@@ -1,0 +1,32 @@
+//! Criterion bench behind Figure 2: wall time of the software decoder's
+//! dual phase relative to a full decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mb_decoder::{Decoder, ParityBlossomDecoder};
+use mb_graph::syndrome::ErrorSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_software_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_software_decode");
+    group.sample_size(10);
+    for d in [3usize, 5, 7] {
+        let graph = bench::evaluation_graph(d, 0.001);
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let shots: Vec<_> = (0..32).map(|_| sampler.sample(&mut rng)).collect();
+        let mut decoder = ParityBlossomDecoder::new(Arc::clone(&graph));
+        group.bench_with_input(BenchmarkId::new("parity_blossom", d), &d, |b, _| {
+            b.iter(|| {
+                for shot in &shots {
+                    std::hint::black_box(decoder.decode(&shot.syndrome));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_software_decode);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench behind Figure 9: decode throughput of the software
+//! baseline vs the Micro Blossom pipeline (simulator wall time; the modeled
+//! hardware latency is printed by the `fig09_latency` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mb_decoder::{Decoder, MicroBlossomDecoder, ParityBlossomDecoder};
+use mb_graph::syndrome::ErrorSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_decoders");
+    group.sample_size(10);
+    for (d, p) in [(5usize, 0.001f64), (7, 0.001), (5, 0.005)] {
+        let graph = bench::evaluation_graph(d, p);
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let shots: Vec<_> = (0..16).map(|_| sampler.sample(&mut rng)).collect();
+        let mut parity = ParityBlossomDecoder::new(Arc::clone(&graph));
+        group.bench_with_input(
+            BenchmarkId::new("parity_blossom", format!("d{d}_p{p}")),
+            &d,
+            |b, _| {
+                b.iter(|| {
+                    for shot in &shots {
+                        std::hint::black_box(parity.decode(&shot.syndrome));
+                    }
+                })
+            },
+        );
+        let mut micro = MicroBlossomDecoder::full(Arc::clone(&graph), Some(d));
+        group.bench_with_input(
+            BenchmarkId::new("micro_blossom", format!("d{d}_p{p}")),
+            &d,
+            |b, _| {
+                b.iter(|| {
+                    for shot in &shots {
+                        std::hint::black_box(micro.decode(&shot.syndrome));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind Figures 10a/10b: the three Micro Blossom
+//! configurations of the ablation, plus batch vs stream decoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mb_decoder::{Decoder, MicroBlossomConfig, MicroBlossomDecoder};
+use mb_graph::syndrome::ErrorSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_ablation");
+    group.sample_size(10);
+    let d = 5usize;
+    let graph = bench::evaluation_graph(d, 0.001);
+    let sampler = ErrorSampler::new(&graph);
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let shots: Vec<_> = (0..16).map(|_| sampler.sample(&mut rng)).collect();
+    let configs = [
+        ("parallel_dual_only", MicroBlossomConfig::parallel_dual_only(&graph, Some(d))),
+        ("with_parallel_primal", MicroBlossomConfig::with_parallel_primal(&graph, Some(d))),
+        ("round_wise_fusion", MicroBlossomConfig::full(&graph, Some(d))),
+    ];
+    for (name, config) in configs {
+        let mut decoder = MicroBlossomDecoder::new(Arc::clone(&graph), config);
+        group.bench_with_input(BenchmarkId::new(name, d), &d, |b, _| {
+            b.iter(|| {
+                for shot in &shots {
+                    std::hint::black_box(decoder.decode(&shot.syndrome));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind Figure 11: the Union-Find baseline vs the exact
+//! decoders (the accuracy data itself is produced by the `fig11_effective`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mb_decoder::{Decoder, MicroBlossomDecoder, UnionFindDecoderAdapter};
+use mb_graph::syndrome::ErrorSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_union_find_vs_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_decoders");
+    group.sample_size(10);
+    let d = 5usize;
+    let graph = bench::evaluation_graph(d, 0.005);
+    let sampler = ErrorSampler::new(&graph);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let shots: Vec<_> = (0..16).map(|_| sampler.sample(&mut rng)).collect();
+    let mut uf = UnionFindDecoderAdapter::new(Arc::clone(&graph));
+    group.bench_with_input(BenchmarkId::new("union_find", d), &d, |b, _| {
+        b.iter(|| {
+            for shot in &shots {
+                std::hint::black_box(uf.decode(&shot.syndrome));
+            }
+        })
+    });
+    let mut micro = MicroBlossomDecoder::full(Arc::clone(&graph), Some(d));
+    group.bench_with_input(BenchmarkId::new("micro_blossom", d), &d, |b, _| {
+        b.iter(|| {
+            for shot in &shots {
+                std::hint::black_box(micro.decode(&shot.syndrome));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_union_find_vs_micro);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench behind Table 4: cost of generating an accelerator
+//! instance (graph construction + resource estimation) per code distance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mb_accel::{estimate_resources, AcceleratorConfig, MicroBlossomAccelerator};
+use std::sync::Arc;
+
+fn bench_accelerator_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_generation");
+    group.sample_size(10);
+    for d in [3usize, 7, 11, 15] {
+        group.bench_with_input(BenchmarkId::new("generate", d), &d, |b, &d| {
+            b.iter(|| {
+                let graph = bench::evaluation_graph(d, 0.001);
+                let accel =
+                    MicroBlossomAccelerator::new(Arc::clone(&graph), AcceleratorConfig::default());
+                std::hint::black_box(estimate_resources(accel.graph(), Some(d)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accelerator_generation);
+criterion_main!(benches);

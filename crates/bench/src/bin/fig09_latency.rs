@@ -1,0 +1,67 @@
+//! Figure 9: average decoding latency vs physical error rate (top) and the
+//! latency distribution with k-tolerant cutoff latencies (bottom).
+//!
+//! Usage: `cargo run -r -p bench --bin fig09_latency [shots] [--distribution]`
+
+use bench::{fig09_average_latency, fig09_distribution, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let shots: usize = args
+        .iter()
+        .skip(1)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(200);
+    let distribution = args.iter().any(|a| a == "--distribution");
+
+    let d_list = [3, 5, 7, 9];
+    let p_list = [0.0001, 0.0005, 0.001, 0.005, 0.01];
+    println!("Figure 9 (top): average decoding latency, {shots} shots per point");
+    let rows = fig09_average_latency(&d_list, &p_list, shots);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.d.to_string(),
+                format!("{:.3}%", 100.0 * r.p),
+                format!("{:.2}", r.parity_us),
+                format!("{:.3}", r.micro_us),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["d", "p", "Parity Blossom CPU (us)", "Micro Blossom (us)"],
+            &table
+        )
+    );
+
+    if distribution {
+        println!("Figure 9 (bottom): latency distribution at d = 9, p = 0.1%");
+        let dists = fig09_distribution(9, 0.001, shots.max(1000));
+        let table: Vec<Vec<String>> = dists
+            .iter()
+            .map(|d| {
+                let fmt = |o: Option<f64>| o.map_or("--".into(), |v| format!("{v:.2}"));
+                vec![
+                    d.decoder.clone(),
+                    format!("{:.3}", d.mean_us),
+                    format!("{:.2}", d.p99_us),
+                    format!("{:.2}", d.max_us),
+                    fmt(d.cutoffs_us[0]),
+                    fmt(d.cutoffs_us[1]),
+                    fmt(d.cutoffs_us[2]),
+                    format!("{:.2e}", d.logical_error_rate),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["decoder", "mean us", "p99 us", "max us", "Lk=1", "Lk=0.1", "Lk=0.01", "p_L"],
+                &table
+            )
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 10a: latency improvement contributed by each key idea
+//! (parallel dual phase, parallel primal phase, round-wise fusion).
+//!
+//! Usage: `cargo run -r -p bench --bin fig10a_ablation [shots]`
+
+use bench::{fig10a_ablation, render_table};
+
+fn main() {
+    let shots: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let d_list = [3, 5, 7, 9];
+    let rows = fig10a_ablation(&d_list, 0.001, shots);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.d.to_string(),
+                format!("{:.2}", r.parity_us),
+                format!("{:.3}", r.parallel_dual_us),
+                format!("{:.3}", r.parallel_primal_us),
+                format!("{:.3}", r.round_wise_fusion_us),
+                format!("{:.1}x", r.parity_us / r.round_wise_fusion_us.max(1e-9)),
+            ]
+        })
+        .collect();
+    println!("Figure 10a: ablation of the key ideas (p = 0.1%, {shots} shots per point, all in us)");
+    println!(
+        "{}",
+        render_table(
+            &["d", "Parity Blossom", "+parallel dual", "+parallel primal", "+round-wise fusion", "total speedup"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 10b: batch vs stream decoding latency as measurement rounds grow.
+//!
+//! Usage: `cargo run -r -p bench --bin fig10b_stream [shots]`
+
+use bench::{fig10b_stream, render_table};
+
+fn main() {
+    let shots: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let rounds = [2, 4, 6, 8, 10, 12, 14, 16, 18];
+    let rows = fig10b_stream(9, 0.001, &rounds, shots);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.rounds.to_string(),
+                format!("{:.3}", r.batch_us),
+                format!("{:.3}", r.stream_us),
+            ]
+        })
+        .collect();
+    println!("Figure 10b: batch vs stream decoding, d = 9, p = 0.1%, {shots} shots per point");
+    println!(
+        "{}",
+        render_table(&["rounds", "batch (us)", "stream (us)"], &table)
+    );
+}

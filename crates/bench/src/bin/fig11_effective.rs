@@ -1,0 +1,34 @@
+//! Figure 11: additional effective logical error rate caused by decoding
+//! latency, relative to a zero-latency MWPM decoder, for the Helios-style
+//! Union-Find decoder, the software MWPM baseline, and Micro Blossom.
+//!
+//! Usage: `cargo run -r -p bench --bin fig11_effective [shots]`
+
+use bench::{fig11_effective_error, render_table};
+
+fn main() {
+    let shots: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let d_list = [3, 5, 7, 9];
+    let p_list = [0.0001, 0.0005, 0.001, 0.005];
+    let cells = fig11_effective_error(&d_list, &p_list, shots);
+    let table: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.d.to_string(),
+                format!("{:.2}%", 100.0 * c.p),
+                c.helios.map_or("--".into(), |v| format!("{v:.2}")),
+                format!("{:.3}", c.parity),
+                format!("{:.3}", c.micro),
+            ]
+        })
+        .collect();
+    println!("Figure 11: p_eff / p_MWPM - 1 ({shots} shots per cell; '--' = UF/MWPM error-rate ratio unresolvable)");
+    println!(
+        "{}",
+        render_table(&["d", "p", "Helios UF", "Parity Blossom", "Micro Blossom"], &table)
+    );
+}

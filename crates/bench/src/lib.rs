@@ -1,0 +1,14 @@
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation (§8).
+//!
+//! Each `fig*`/`table*` function produces the rows/series the corresponding
+//! figure or table plots; the binaries in `src/bin/` print them as aligned
+//! text tables, and the Criterion benches in `benches/` exercise the same
+//! code paths under the timing harness. Shot counts default to values that
+//! finish in seconds on a laptop; pass larger counts for tighter error bars
+//! (EXPERIMENTS.md records which counts were used for the committed
+//! results).
+
+pub mod experiments;
+
+pub use experiments::*;

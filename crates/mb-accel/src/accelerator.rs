@@ -1,0 +1,926 @@
+//! Cycle-level simulator of the Micro Blossom accelerator.
+//!
+//! The accelerator instantiates one vertex PU (vPU) per decoding-graph
+//! vertex and one edge PU (ePU) per edge (§3). Each vPU holds the compact
+//! state of Table 2 (`t_v`, `n_v`, `r_v`, `s_v`, `d_v`, `b_v`), each ePU its
+//! 4-bit weight and pre-match flag. Instructions (Table 3) are broadcast to
+//! all PUs; responses (conflicts or the maximum safe growth) are
+//! convergecast back to the controller.
+//!
+//! ## Fidelity notes (see DESIGN.md)
+//!
+//! * The per-vertex state after the hardware's *Update* pipeline stage is a
+//!   stabilized fixed point of the local propagation rules of Table 1. The
+//!   simulator produces exactly that fixed point (same tie-breaking: a
+//!   defect vertex always stores itself; otherwise the deepest-reaching
+//!   touch, preferring faster-growing nodes) but computes it with a global
+//!   sweep instead of iterating the per-vertex rules, and charges the
+//!   corresponding cycles to the timing counters.
+//! * Isolated-conflict pre-matching (§5.2, Equations 1–3) is evaluated every
+//!   time the state stabilizes, exactly as the Pre-Match pipeline stage
+//!   does. A vertex whose node has already been materialized by the CPU is
+//!   not eligible for pre-matching, which keeps the hardware's and the CPU's
+//!   views consistent (the hardware equivalent is a per-vPU "CPU-owned"
+//!   flag set by the first instruction addressed to its node).
+//! * Round-wise fusion (§6): unloaded vertices (`b_v = 1`) behave exactly
+//!   like virtual vertices; `load Defects` clears the flag one layer at a
+//!   time and optionally applies the temporary fusion-boundary weight
+//!   reduction of §6.3.
+
+use crate::instruction::{HwNodeId, Instruction};
+use mb_graph::{DecodingGraph, EdgeIndex, VertexIndex, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Static configuration of an accelerator instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Enable isolated-conflict pre-matching (§5, "parallel primal phase").
+    pub prematch_enabled: bool,
+    /// Apply the temporary fusion-boundary weight reduction of §6.3.
+    pub fusion_weight_reduction: bool,
+    /// Weight used for fusion-boundary edges while reduced.
+    pub fusion_reduced_weight: Weight,
+    /// Pipeline depth (FE, PM, EX, UP, WR in the prototype).
+    pub pipeline_stages: u64,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self {
+            prematch_enabled: true,
+            fusion_weight_reduction: true,
+            fusion_reduced_weight: 0,
+            pipeline_stages: 5,
+        }
+    }
+}
+
+/// State of one vertex PU (Table 2, compact).
+#[derive(Debug, Clone, Default)]
+pub struct VertexPu {
+    /// Permanent virtual (code boundary) vertex.
+    pub is_virtual: bool,
+    /// Fusion layer this vertex belongs to.
+    pub layer: usize,
+    /// `b_v`: not yet loaded, treated as virtual (round-wise fusion).
+    pub is_boundary: bool,
+    /// `d_v`: carries a defect.
+    pub is_defect: bool,
+    /// `s_v`: growth direction of the stored node.
+    pub speed: i8,
+    /// `r_v`: residual depth of the deepest cover reaching this vertex.
+    pub residual: Weight,
+    /// `n_v`: node whose cover reaches deepest here.
+    pub node: Option<HwNodeId>,
+    /// `t_v`: defect vertex whose circle realizes `r_v`.
+    pub touch: Option<VertexIndex>,
+    /// Set once the CPU has materialized this vertex's node; disables
+    /// pre-matching for it.
+    pub cpu_owned: bool,
+    /// Pre-match freeze (PM stage output): effective speed is zero.
+    pub frozen: bool,
+}
+
+/// State of one edge PU.
+#[derive(Debug, Clone, Default)]
+pub struct EdgePu {
+    /// Current weight (may be temporarily reduced at the fusion boundary).
+    pub weight: Weight,
+    /// Weight from the decoding graph.
+    pub original_weight: Weight,
+    /// `m_e`: this edge currently holds an isolated pre-match.
+    pub prematch: bool,
+}
+
+/// Response returned by the convergecast tree to a `find Conflict`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwResponse {
+    /// Two nodes grow toward each other across a tight edge.
+    Conflict {
+        /// Node on side 1.
+        node_1: HwNodeId,
+        /// Node on side 2.
+        node_2: HwNodeId,
+        /// Touch defect on side 1.
+        touch_1: VertexIndex,
+        /// Touch defect on side 2.
+        touch_2: VertexIndex,
+        /// Decoding-graph vertex on side 1.
+        vertex_1: VertexIndex,
+        /// Decoding-graph vertex on side 2.
+        vertex_2: VertexIndex,
+    },
+    /// A growing node reached a virtual (or not-yet-loaded) vertex.
+    ConflictVirtual {
+        /// The growing node.
+        node: HwNodeId,
+        /// Touch defect.
+        touch: VertexIndex,
+        /// Decoding-graph vertex on the node's side.
+        vertex: VertexIndex,
+        /// The virtual vertex reached.
+        virtual_vertex: VertexIndex,
+    },
+    /// No conflict; all directed covers can grow by this amount.
+    GrowLength {
+        /// Maximum safe growth.
+        length: Weight,
+    },
+    /// Nothing is growing.
+    Idle,
+}
+
+/// What a pre-matched defect is matched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrematchPartner {
+    /// Matched to another defect vertex.
+    Defect(VertexIndex),
+    /// Matched to a virtual or not-yet-loaded vertex.
+    Boundary(VertexIndex),
+}
+
+/// Cycle and traffic counters of the accelerator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AcceleratorStats {
+    /// Total clock cycles consumed.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// `find Conflict` responses produced.
+    pub responses: u64,
+    /// Conflicts filtered out because they were handled by pre-matching.
+    pub prematched_conflicts: u64,
+}
+
+/// The accelerator simulator.
+#[derive(Debug, Clone)]
+pub struct MicroBlossomAccelerator {
+    graph: Arc<DecodingGraph>,
+    config: AcceleratorConfig,
+    vertices: Vec<VertexPu>,
+    edges: Vec<EdgePu>,
+    /// Defects staged per layer, loaded by `load Defects`.
+    staged_syndrome: Vec<Vec<VertexIndex>>,
+    /// Per-vertex state needs recomputation before the next query.
+    dirty: bool,
+    /// Convergecast tree depth in cycles, `ceil(log2(|V| + |E|))`.
+    convergecast_cycles: u64,
+    /// Counters.
+    pub stats: AcceleratorStats,
+}
+
+impl MicroBlossomAccelerator {
+    /// Builds an accelerator for `graph`.
+    pub fn new(graph: Arc<DecodingGraph>, config: AcceleratorConfig) -> Self {
+        let mut vertices = Vec::with_capacity(graph.vertex_count());
+        for v in 0..graph.vertex_count() {
+            vertices.push(VertexPu {
+                is_virtual: graph.is_virtual(v),
+                layer: graph.layer_of(v),
+                is_boundary: true,
+                ..VertexPu::default()
+            });
+        }
+        let edges = graph
+            .edges()
+            .iter()
+            .map(|e| EdgePu {
+                weight: e.weight,
+                original_weight: e.weight,
+                prematch: false,
+            })
+            .collect();
+        let convergecast_cycles =
+            ((graph.vertex_count() + graph.edge_count()).max(2) as f64).log2().ceil() as u64;
+        let staged_syndrome = vec![Vec::new(); graph.num_layers()];
+        Self {
+            graph,
+            config,
+            vertices,
+            edges,
+            staged_syndrome,
+            dirty: true,
+            convergecast_cycles,
+            stats: AcceleratorStats::default(),
+        }
+    }
+
+    /// The decoding graph this accelerator was generated from.
+    pub fn graph(&self) -> &Arc<DecodingGraph> {
+        &self.graph
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Convergecast latency in cycles.
+    pub fn convergecast_cycles(&self) -> u64 {
+        self.convergecast_cycles
+    }
+
+    /// Read access to a vertex PU (for the host driver and for tests).
+    pub fn vertex_pu(&self, v: VertexIndex) -> &VertexPu {
+        &self.vertices[v]
+    }
+
+    /// Read access to an edge PU.
+    pub fn edge_pu(&self, e: EdgeIndex) -> &EdgePu {
+        &self.edges[e]
+    }
+
+    /// Stages the syndrome of one layer; the data is loaded into the vPUs by
+    /// a subsequent [`Instruction::LoadDefects`]. This models the direct
+    /// syndrome path from the quantum hardware into the vPUs (Figure 5).
+    pub fn stage_syndrome(&mut self, layer: usize, defects: &[VertexIndex]) {
+        for &d in defects {
+            assert_eq!(self.graph.layer_of(d), layer, "defect {d} is not in layer {layer}");
+            assert!(!self.graph.is_virtual(d), "virtual vertices cannot be defects");
+        }
+        self.staged_syndrome[layer] = defects.to_vec();
+    }
+
+    /// Marks a vertex's singleton node as CPU-owned (first CPU instruction
+    /// addressed to it), disabling pre-matching for it.
+    pub fn mark_cpu_owned(&mut self, vertex: VertexIndex) {
+        self.vertices[vertex].cpu_owned = true;
+        self.dirty = true;
+    }
+
+    /// Current dual variable (circle radius) of a defect vertex.
+    pub fn radius_of(&self, vertex: VertexIndex) -> Weight {
+        debug_assert!(self.vertices[vertex].is_defect);
+        self.vertices[vertex].residual
+    }
+
+    /// Whether a vertex behaves as a boundary (true virtual or not loaded).
+    fn is_virtualish(&self, v: VertexIndex) -> bool {
+        self.vertices[v].is_virtual || self.vertices[v].is_boundary
+    }
+
+    /// Effective growth speed of the cover stored at vertex `v` (zero when
+    /// frozen by a pre-match).
+    fn effective_speed(&self, v: VertexIndex) -> i8 {
+        let pu = &self.vertices[v];
+        if pu.node.is_none() {
+            return 0;
+        }
+        let frozen = match pu.touch {
+            Some(t) => self.vertices[t].frozen,
+            None => false,
+        };
+        if frozen {
+            0
+        } else {
+            pu.speed
+        }
+    }
+
+    /// Executes one instruction; `find Conflict` produces a response.
+    pub fn execute(&mut self, instruction: Instruction) -> Option<HwResponse> {
+        self.stats.instructions += 1;
+        self.stats.cycles += 1;
+        match instruction {
+            Instruction::Reset => {
+                for (v, pu) in self.vertices.iter_mut().enumerate() {
+                    let is_virtual = pu.is_virtual;
+                    let layer = pu.layer;
+                    *pu = VertexPu {
+                        is_virtual,
+                        layer,
+                        is_boundary: true,
+                        ..VertexPu::default()
+                    };
+                    let _ = v;
+                }
+                for (e, pu) in self.edges.iter_mut().enumerate() {
+                    pu.weight = pu.original_weight;
+                    pu.prematch = false;
+                    let _ = e;
+                }
+                for layer in &mut self.staged_syndrome {
+                    layer.clear();
+                }
+                self.dirty = true;
+                None
+            }
+            Instruction::SetDirection { node, direction } => {
+                for pu in self.vertices.iter_mut() {
+                    if pu.node == Some(node) {
+                        pu.speed = direction.value();
+                    }
+                }
+                self.dirty = true;
+                None
+            }
+            Instruction::SetCover { from, to } => {
+                let vertex_count = self.graph.vertex_count() as u32;
+                for pu in self.vertices.iter_mut() {
+                    let touch_matches =
+                        from < vertex_count && pu.touch == Some(from as VertexIndex);
+                    if pu.node == Some(from) || touch_matches {
+                        pu.node = Some(to);
+                    }
+                }
+                self.dirty = true;
+                None
+            }
+            Instruction::Grow { length } => {
+                self.ensure_stable();
+                for v in 0..self.vertices.len() {
+                    if !self.vertices[v].is_defect || self.is_virtualish(v) {
+                        continue;
+                    }
+                    let speed = if self.vertices[v].frozen {
+                        0
+                    } else {
+                        self.vertices[v].speed
+                    };
+                    let delta = length * speed as Weight;
+                    let pu = &mut self.vertices[v];
+                    pu.residual += delta;
+                    assert!(
+                        pu.residual >= 0,
+                        "defect {v} shrank below zero; the host must bound growth by y_S"
+                    );
+                }
+                self.dirty = true;
+                None
+            }
+            Instruction::FindConflict => {
+                self.ensure_stable();
+                self.stats.cycles += self.convergecast_cycles + self.config.pipeline_stages;
+                self.stats.responses += 1;
+                Some(self.convergecast())
+            }
+            Instruction::LoadDefects { layer } => {
+                let layer = layer as usize;
+                let defects: std::collections::HashSet<VertexIndex> =
+                    self.staged_syndrome[layer].iter().copied().collect();
+                for v in 0..self.vertices.len() {
+                    if self.vertices[v].layer != layer || self.vertices[v].is_virtual {
+                        continue;
+                    }
+                    let pu = &mut self.vertices[v];
+                    pu.is_boundary = false;
+                    if defects.contains(&v) {
+                        pu.is_defect = true;
+                        pu.node = Some(v as HwNodeId);
+                        pu.touch = Some(v);
+                        pu.residual = 0;
+                        pu.speed = 1;
+                    }
+                }
+                self.update_fusion_weights();
+                self.dirty = true;
+                None
+            }
+        }
+    }
+
+    /// Applies (or removes) the §6.3 fusion-boundary weight reduction.
+    fn update_fusion_weights(&mut self) {
+        for e in 0..self.edges.len() {
+            let (u, v) = self.graph.edge(e).vertices;
+            let unloaded = |x: VertexIndex| !self.vertices[x].is_virtual && self.vertices[x].is_boundary;
+            let reduce = self.config.fusion_weight_reduction
+                && (unloaded(u) ^ unloaded(v));
+            self.edges[e].weight = if reduce {
+                self.config.fusion_reduced_weight
+            } else {
+                self.edges[e].original_weight
+            };
+        }
+    }
+
+    /// Brings the per-vertex state to the fixed point of the local update
+    /// rules (the hardware's Update stage), then re-evaluates pre-matching
+    /// (the Pre-Match stage).
+    fn ensure_stable(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.stabilize();
+        self.update_prematch();
+        self.dirty = false;
+        // a conservative constant for the propagation work of the Update
+        // stage; growth steps stop at vertex-arrival events so fronts move
+        // at most one hop per instruction
+        self.stats.cycles += 2;
+    }
+
+    /// Recomputes the stabilized compact state of every non-defect vertex
+    /// from the authoritative defect radii.
+    fn stabilize(&mut self) {
+        // clear derived state
+        for v in 0..self.vertices.len() {
+            let pu = &mut self.vertices[v];
+            if pu.is_defect && !pu.is_boundary {
+                continue; // defect vertices always store themselves
+            }
+            pu.node = None;
+            pu.touch = None;
+            pu.residual = 0;
+            pu.speed = 0;
+        }
+        // max-residual propagation from defect circles
+        // key: (residual, speed, Reverse(touch)) so ties prefer faster nodes
+        let mut best: Vec<Option<(Weight, i8, VertexIndex)>> = vec![None; self.vertices.len()];
+        let mut heap: BinaryHeap<(Weight, i8, Reverse<VertexIndex>, VertexIndex)> = BinaryHeap::new();
+        for v in 0..self.vertices.len() {
+            let pu = &self.vertices[v];
+            if pu.is_defect && !pu.is_boundary && !pu.is_virtual {
+                heap.push((pu.residual, pu.speed, Reverse(v), v));
+            }
+        }
+        while let Some((residual, speed, Reverse(touch), vertex)) = heap.pop() {
+            let better = match best[vertex] {
+                None => true,
+                Some((r, s, t)) => {
+                    (residual, speed, Reverse(touch)) > (r, s, Reverse(t))
+                }
+            };
+            if !better {
+                continue;
+            }
+            best[vertex] = Some((residual, speed, touch));
+            if self.is_virtualish(vertex) {
+                continue; // boundary vertices do not propagate covers
+            }
+            for &e in self.graph.incident_edges(vertex) {
+                let next = self.graph.edge(e).other(vertex);
+                let next_residual = residual - self.edges[e].weight;
+                if next_residual < 0 {
+                    continue;
+                }
+                // defect vertices keep their own circle; do not overwrite
+                if self.vertices[next].is_defect && !self.vertices[next].is_boundary {
+                    continue;
+                }
+                heap.push((next_residual, speed, Reverse(touch), next));
+            }
+        }
+        for v in 0..self.vertices.len() {
+            if self.vertices[v].is_defect && !self.vertices[v].is_boundary {
+                continue;
+            }
+            if self.is_virtualish(v) {
+                continue; // virtual vertices never hold covers
+            }
+            if let Some((residual, _speed, touch)) = best[v] {
+                let node = self.vertices[touch].node;
+                let speed = self.vertices[touch].speed;
+                let pu = &mut self.vertices[v];
+                pu.residual = residual;
+                pu.touch = Some(touch);
+                pu.node = node;
+                pu.speed = speed;
+            }
+        }
+    }
+
+    /// Whether edge `e` is currently tight (`t_e` in §5.2).
+    fn is_tight(&self, e: EdgeIndex) -> bool {
+        let (u, v) = self.graph.edge(e).vertices;
+        let covered = |x: VertexIndex| self.vertices[x].node.is_some();
+        match (self.is_virtualish(u), self.is_virtualish(v)) {
+            (true, true) => false,
+            (true, false) => covered(v) && self.vertices[v].residual >= self.edges[e].weight,
+            (false, true) => covered(u) && self.vertices[u].residual >= self.edges[e].weight,
+            (false, false) => {
+                covered(u)
+                    && covered(v)
+                    && self.vertices[u].residual + self.vertices[v].residual
+                        >= self.edges[e].weight
+            }
+        }
+    }
+
+    /// Re-evaluates the pre-match flags `m_e` (Equations 1–3) and the
+    /// resulting per-vertex freezes.
+    fn update_prematch(&mut self) {
+        for pu in self.vertices.iter_mut() {
+            pu.frozen = false;
+        }
+        for pu in self.edges.iter_mut() {
+            pu.prematch = false;
+        }
+        if !self.config.prematch_enabled {
+            return;
+        }
+        let tight: Vec<bool> = (0..self.edges.len()).map(|e| self.is_tight(e)).collect();
+        let tight_degree: Vec<usize> = (0..self.vertices.len())
+            .map(|v| {
+                self.graph
+                    .incident_edges(v)
+                    .iter()
+                    .filter(|&&e| tight[e])
+                    .count()
+            })
+            .collect();
+        let q = |v: VertexIndex| tight_degree[v] == 1;
+        let mut prematch_edges = Vec::new();
+        for e in 0..self.edges.len() {
+            if !tight[e] {
+                continue;
+            }
+            let (a, b) = self.graph.edge(e).vertices;
+            let eligible_defect = |x: VertexIndex| {
+                let pu = &self.vertices[x];
+                pu.is_defect && !pu.is_boundary && pu.speed > 0 && !pu.cpu_owned
+            };
+            let m = if !self.is_virtualish(a) && !self.is_virtualish(b) {
+                // Equation 1: regular edge between two isolated defects
+                eligible_defect(a) && q(a) && eligible_defect(b) && q(b)
+            } else {
+                // one side is a boundary (virtual or unloaded)
+                let (boundary, defect) = if self.is_virtualish(a) { (a, b) } else { (b, a) };
+                if self.is_virtualish(defect) || !eligible_defect(defect) {
+                    false
+                } else if self.vertices[boundary].is_virtual {
+                    // Equation 2: true boundary edge
+                    self.graph.incident_edges(defect).iter().all(|&e2| {
+                        if e2 == e {
+                            return true;
+                        }
+                        let other = self.graph.edge(e2).other(defect);
+                        !tight[e2]
+                            || (!self.vertices[other].is_defect && q(other))
+                    })
+                } else {
+                    // Equation 3: fusion-boundary edge; require no
+                    // non-volatile tight edge around the defect
+                    self.graph.incident_edges(defect).iter().all(|&e2| {
+                        let other = self.graph.edge(e2).other(defect);
+                        let non_volatile = !self.vertices[other].is_boundary
+                            || self.vertices[other].is_virtual;
+                        !(tight[e2] && non_volatile)
+                    })
+                }
+            };
+            if m {
+                prematch_edges.push(e);
+            }
+        }
+        // apply freezes; if two pre-matches would claim the same defect keep
+        // only the first (the hardware convergecast picks one arbitrarily)
+        for e in prematch_edges {
+            let (a, b) = self.graph.edge(e).vertices;
+            let claimed = |x: VertexIndex| !self.is_virtualish(x) && self.vertices[x].frozen;
+            if claimed(a) || claimed(b) {
+                continue;
+            }
+            self.edges[e].prematch = true;
+            for x in [a, b] {
+                if !self.is_virtualish(x) {
+                    self.vertices[x].frozen = true;
+                }
+            }
+        }
+    }
+
+    /// The convergecast: pick a conflict if any (skipping pre-matched ones),
+    /// otherwise compute the maximum safe growth.
+    fn convergecast(&mut self) -> HwResponse {
+        // conflict detection (Theorem: Conflict Detection)
+        for e in 0..self.edges.len() {
+            if self.edges[e].prematch {
+                continue;
+            }
+            let (a, b) = self.graph.edge(e).vertices;
+            match (self.is_virtualish(a), self.is_virtualish(b)) {
+                (false, false) => {
+                    let (pa, pb) = (&self.vertices[a], &self.vertices[b]);
+                    let (Some(na), Some(nb)) = (pa.node, pb.node) else { continue };
+                    if na == nb {
+                        continue;
+                    }
+                    if pa.residual + pb.residual < self.edges[e].weight {
+                        continue;
+                    }
+                    let sum = self.effective_speed(a) as Weight + self.effective_speed(b) as Weight;
+                    if sum <= 0 {
+                        continue;
+                    }
+                    return HwResponse::Conflict {
+                        node_1: na,
+                        node_2: nb,
+                        touch_1: pa.touch.expect("covered vertex has a touch"),
+                        touch_2: pb.touch.expect("covered vertex has a touch"),
+                        vertex_1: a,
+                        vertex_2: b,
+                    };
+                }
+                (true, false) | (false, true) => {
+                    let (boundary, side) = if self.is_virtualish(a) { (a, b) } else { (b, a) };
+                    let ps = &self.vertices[side];
+                    let Some(node) = ps.node else { continue };
+                    if ps.residual < self.edges[e].weight {
+                        continue;
+                    }
+                    if self.effective_speed(side) <= 0 {
+                        continue;
+                    }
+                    return HwResponse::ConflictVirtual {
+                        node,
+                        touch: ps.touch.expect("covered vertex has a touch"),
+                        vertex: side,
+                        virtual_vertex: boundary,
+                    };
+                }
+                (true, true) => {}
+            }
+        }
+        // maximum growth (Theorem: Local Length to Grow)
+        let mut any_growing = false;
+        let mut limit = Weight::MAX;
+        for v in 0..self.vertices.len() {
+            if self.is_virtualish(v) || self.vertices[v].node.is_none() {
+                continue;
+            }
+            let speed = self.effective_speed(v);
+            if speed > 0 {
+                any_growing = true;
+            } else if speed < 0 && self.vertices[v].residual > 0 {
+                // shrinking fronts stop at vertices so local updates stay valid
+                limit = limit.min(self.vertices[v].residual);
+            }
+        }
+        if !any_growing {
+            return HwResponse::Idle;
+        }
+        for e in 0..self.edges.len() {
+            let (a, b) = self.graph.edge(e).vertices;
+            let weight = self.edges[e].weight;
+            for (side, other) in [(a, b), (b, a)] {
+                if self.is_virtualish(side) || self.vertices[side].node.is_none() {
+                    continue;
+                }
+                if self.effective_speed(side) <= 0 {
+                    continue;
+                }
+                let other_empty =
+                    self.is_virtualish(other) || self.vertices[other].node.is_none();
+                if other_empty {
+                    limit = limit.min(weight - self.vertices[side].residual);
+                }
+            }
+            if !self.is_virtualish(a)
+                && !self.is_virtualish(b)
+                && self.vertices[a].node.is_some()
+                && self.vertices[b].node.is_some()
+                && self.vertices[a].node != self.vertices[b].node
+            {
+                let sum = self.effective_speed(a) as Weight + self.effective_speed(b) as Weight;
+                if sum > 0 {
+                    let gap = weight - self.vertices[a].residual - self.vertices[b].residual;
+                    limit = limit.min(gap.div_euclid(sum));
+                }
+            }
+        }
+        assert!(
+            limit < Weight::MAX,
+            "a growing cover must be bounded by the boundary or another cover"
+        );
+        assert!(limit > 0, "zero growth without a conflict indicates a bug");
+        HwResponse::GrowLength { length: limit }
+    }
+
+    /// Currently pre-matched defects and what they are matched to; read out
+    /// by the controller at the end of decoding to complete the MWPM.
+    pub fn prematched_pairs(&self) -> Vec<(VertexIndex, PrematchPartner)> {
+        let mut pairs = Vec::new();
+        for e in 0..self.edges.len() {
+            if !self.edges[e].prematch {
+                continue;
+            }
+            let (a, b) = self.graph.edge(e).vertices;
+            match (self.is_virtualish(a), self.is_virtualish(b)) {
+                (false, false) => pairs.push((a, PrematchPartner::Defect(b))),
+                (true, false) => pairs.push((b, PrematchPartner::Boundary(a))),
+                (false, true) => pairs.push((a, PrematchPartner::Boundary(b))),
+                (true, true) => unreachable!("pre-match between two boundary vertices"),
+            }
+        }
+        pairs
+    }
+
+    /// The pre-match partner of a specific defect vertex, if any.
+    pub fn prematch_partner_of(&self, vertex: VertexIndex) -> Option<PrematchPartner> {
+        for &e in self.graph.incident_edges(vertex) {
+            if !self.edges[e].prematch {
+                continue;
+            }
+            let other = self.graph.edge(e).other(vertex);
+            return Some(if self.is_virtualish(other) {
+                PrematchPartner::Boundary(other)
+            } else {
+                PrematchPartner::Defect(other)
+            });
+        }
+        None
+    }
+
+    /// Forces state stabilization (useful for tests inspecting PU state).
+    pub fn settle(&mut self) {
+        self.ensure_stable();
+    }
+
+    /// Whether every regular vertex has been loaded.
+    pub fn fully_loaded(&self) -> bool {
+        self.vertices
+            .iter()
+            .all(|pu| pu.is_virtual || !pu.is_boundary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::HwDirection;
+    use mb_graph::codes::CodeCapacityRepetitionCode;
+
+    fn rep_accel(d: usize, prematch: bool) -> MicroBlossomAccelerator {
+        let graph = Arc::new(CodeCapacityRepetitionCode::new(d, 0.1).decoding_graph());
+        MicroBlossomAccelerator::new(
+            graph,
+            AcceleratorConfig {
+                prematch_enabled: prematch,
+                ..AcceleratorConfig::default()
+            },
+        )
+    }
+
+    fn load_all(accel: &mut MicroBlossomAccelerator, defects: &[VertexIndex]) {
+        accel.stage_syndrome(0, defects);
+        accel.execute(Instruction::LoadDefects { layer: 0 });
+    }
+
+    #[test]
+    fn isolated_pair_is_prematched_without_any_conflict_report() {
+        // defects at 3 and 4 (adjacent), far from other defects: Equation 1
+        let mut accel = rep_accel(9, true);
+        load_all(&mut accel, &[3, 4]);
+        let r1 = accel.execute(Instruction::FindConflict).unwrap();
+        assert_eq!(r1, HwResponse::GrowLength { length: 1 });
+        accel.execute(Instruction::Grow { length: 1 });
+        let r2 = accel.execute(Instruction::FindConflict).unwrap();
+        assert_eq!(r2, HwResponse::Idle, "the conflict must be absorbed by pre-matching");
+        let pairs = accel.prematched_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].1, PrematchPartner::Defect(4));
+        assert_eq!(pairs[0].0, 3);
+    }
+
+    #[test]
+    fn without_prematch_the_conflict_is_reported() {
+        let mut accel = rep_accel(9, false);
+        load_all(&mut accel, &[3, 4]);
+        accel.execute(Instruction::Grow { length: 1 });
+        match accel.execute(Instruction::FindConflict).unwrap() {
+            HwResponse::Conflict { node_1, node_2, .. } => {
+                let mut nodes = [node_1, node_2];
+                nodes.sort_unstable();
+                assert_eq!(nodes, [3, 4]);
+            }
+            other => panic!("expected a conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_defect_is_prematched_via_equation_2() {
+        // defect at vertex 1, adjacent to the virtual vertex 0 (weight 2)
+        let mut accel = rep_accel(9, true);
+        load_all(&mut accel, &[1]);
+        accel.execute(Instruction::Grow { length: 2 });
+        assert_eq!(
+            accel.execute(Instruction::FindConflict).unwrap(),
+            HwResponse::Idle
+        );
+        let pairs = accel.prematched_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0], (1, PrematchPartner::Boundary(0)));
+    }
+
+    #[test]
+    fn cpu_owned_vertices_are_not_prematched() {
+        let mut accel = rep_accel(9, true);
+        load_all(&mut accel, &[3, 4]);
+        accel.mark_cpu_owned(3);
+        accel.execute(Instruction::Grow { length: 1 });
+        assert!(matches!(
+            accel.execute(Instruction::FindConflict).unwrap(),
+            HwResponse::Conflict { .. }
+        ));
+    }
+
+    #[test]
+    fn set_direction_and_cover_instructions_update_state() {
+        let mut accel = rep_accel(9, false);
+        load_all(&mut accel, &[3, 5]);
+        accel.execute(Instruction::Grow { length: 1 });
+        accel.settle();
+        assert_eq!(accel.vertex_pu(3).residual, 1);
+        // merge both into a fictitious blossom id 20 and freeze it
+        accel.execute(Instruction::SetCover { from: 3, to: 20 });
+        accel.execute(Instruction::SetCover { from: 5, to: 20 });
+        accel.execute(Instruction::SetDirection {
+            node: 20,
+            direction: HwDirection::Stay,
+        });
+        accel.settle();
+        assert_eq!(accel.vertex_pu(3).node, Some(20));
+        assert_eq!(accel.vertex_pu(5).node, Some(20));
+        assert_eq!(accel.vertex_pu(3).speed, 0);
+        assert_eq!(
+            accel.execute(Instruction::FindConflict).unwrap(),
+            HwResponse::Idle
+        );
+    }
+
+    #[test]
+    fn unloaded_layers_act_as_virtual_boundaries() {
+        // two-layer phenomenological-style graph on the repetition code
+        let base = CodeCapacityRepetitionCode::new(5, 0.1).decoding_graph();
+        let graph = Arc::new(
+            mb_graph::codes::PhenomenologicalCode::new(base, 2, 0.1).decoding_graph(),
+        );
+        let mut accel = MicroBlossomAccelerator::new(
+            Arc::clone(&graph),
+            AcceleratorConfig {
+                prematch_enabled: false,
+                fusion_weight_reduction: false,
+                ..AcceleratorConfig::default()
+            },
+        );
+        // find a regular vertex in layer 0 that has a time-like edge upward
+        let defect = (0..graph.vertex_count())
+            .find(|&v| !graph.is_virtual(v) && graph.layer_of(v) == 0)
+            .unwrap();
+        accel.stage_syndrome(0, &[defect]);
+        accel.execute(Instruction::LoadDefects { layer: 0 });
+        // grow by 2: the defect reaches its neighbours, including the
+        // unloaded layer-1 twin, which behaves as a virtual vertex
+        accel.execute(Instruction::Grow { length: 2 });
+        match accel.execute(Instruction::FindConflict).unwrap() {
+            HwResponse::ConflictVirtual { virtual_vertex, .. } => {
+                assert!(
+                    graph.is_virtual(virtual_vertex) || graph.layer_of(virtual_vertex) == 1,
+                    "boundary must be a virtual vertex or the unloaded layer"
+                );
+            }
+            other => panic!("expected a boundary conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_weight_reduction_prematches_new_layer_instantly() {
+        let base = CodeCapacityRepetitionCode::new(5, 0.1).decoding_graph();
+        let graph = Arc::new(
+            mb_graph::codes::PhenomenologicalCode::new(base, 3, 0.1).decoding_graph(),
+        );
+        let mut accel = MicroBlossomAccelerator::new(Arc::clone(&graph), AcceleratorConfig::default());
+        let defect = (0..graph.vertex_count())
+            .find(|&v| !graph.is_virtual(v) && graph.layer_of(v) == 0)
+            .unwrap();
+        accel.stage_syndrome(0, &[defect]);
+        accel.execute(Instruction::LoadDefects { layer: 0 });
+        // with the §6.3 weight reduction the defect is immediately tight with
+        // the unloaded layer above and gets pre-matched: zero CPU work
+        assert_eq!(
+            accel.execute(Instruction::FindConflict).unwrap(),
+            HwResponse::Idle
+        );
+        assert_eq!(accel.prematched_pairs().len(), 1);
+        // loading the next (empty) layer restores the weight and the defect
+        // resumes growing
+        accel.execute(Instruction::LoadDefects { layer: 1 });
+        let response = accel.execute(Instruction::FindConflict).unwrap();
+        assert!(matches!(response, HwResponse::GrowLength { .. } | HwResponse::Idle));
+    }
+
+    #[test]
+    fn cycle_counters_increase() {
+        let mut accel = rep_accel(5, true);
+        load_all(&mut accel, &[2]);
+        let before = accel.stats.cycles;
+        accel.execute(Instruction::FindConflict);
+        assert!(accel.stats.cycles > before + accel.convergecast_cycles());
+        assert_eq!(accel.stats.responses, 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut accel = rep_accel(5, true);
+        load_all(&mut accel, &[2]);
+        accel.execute(Instruction::Grow { length: 2 });
+        accel.execute(Instruction::Reset);
+        accel.settle();
+        assert!(!accel.vertex_pu(2).is_defect);
+        assert!(!accel.fully_loaded());
+        assert!(accel.prematched_pairs().is_empty());
+    }
+}

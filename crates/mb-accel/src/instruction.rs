@@ -1,0 +1,259 @@
+//! The 32-bit instruction set of the Micro Blossom accelerator (Table 3).
+//!
+//! The controller receives instructions from the CPU over the memory-mapped
+//! bus, broadcasts them to every PU, and convergecasts a single response.
+//! Node indices share one 15-bit space: single-vertex nodes use their vertex
+//! index (`[0, |V|)`), blossoms are allocated above `|V|` (the paper reserves
+//! `[|V|, 2|V|)`, supporting `2^14 = 16384` vertices, i.e. `d ≤ 31`).
+
+use mb_graph::Weight;
+use serde::{Deserialize, Serialize};
+
+/// Hardware node identifier (vertex index or blossom index).
+pub type HwNodeId = u32;
+
+/// Growth direction field of `set Direction`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HwDirection {
+    /// `Δy = +1`
+    Grow,
+    /// `Δy = 0`
+    Stay,
+    /// `Δy = -1`
+    Shrink,
+}
+
+impl HwDirection {
+    fn encode(self) -> u32 {
+        match self {
+            HwDirection::Grow => 0b01,
+            HwDirection::Stay => 0b00,
+            HwDirection::Shrink => 0b11,
+        }
+    }
+
+    fn decode(bits: u32) -> Option<Self> {
+        match bits & 0b11 {
+            0b01 => Some(HwDirection::Grow),
+            0b00 => Some(HwDirection::Stay),
+            0b11 => Some(HwDirection::Shrink),
+            _ => None,
+        }
+    }
+
+    /// Signed value in `{-1, 0, +1}`.
+    pub fn value(self) -> i8 {
+        match self {
+            HwDirection::Grow => 1,
+            HwDirection::Stay => 0,
+            HwDirection::Shrink => -1,
+        }
+    }
+}
+
+/// One accelerator instruction (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Clear every PU.
+    Reset,
+    /// Set the growth direction of a node: every vPU with `n_v = node`
+    /// updates its speed register.
+    SetDirection {
+        /// Target node.
+        node: HwNodeId,
+        /// New direction.
+        direction: HwDirection,
+    },
+    /// Grow every directed cover by `length`.
+    Grow {
+        /// Growth amount (26-bit field).
+        length: Weight,
+    },
+    /// Re-parent covers: every vPU whose node (or whose unique touch, for
+    /// single-vertex sources) equals `from` adopts node `to`. Implements
+    /// both "merge Cover" and "split Cover".
+    SetCover {
+        /// Node (or single-vertex touch) being replaced.
+        from: HwNodeId,
+        /// Replacement node.
+        to: HwNodeId,
+    },
+    /// Ask the convergecast tree for a conflict or the maximum safe growth.
+    FindConflict,
+    /// Load the syndrome bits of one measurement-round layer into the vPUs
+    /// of that layer (round-wise fusion, §6.2).
+    LoadDefects {
+        /// Layer id (`t` coordinate).
+        layer: u32,
+    },
+}
+
+/// Error returned when decoding an invalid instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError(pub u32);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// opcode layout (low bits), following Table 3:
+//   ...|1001|00  reset
+//   ...|dir |0|00  set direction  (node in [31:17])
+//   ...|1101|00  grow            (length in [31:6])
+//   ...|..  |01  set cover       (from [31:17], to [16:2])
+//   ...|0001|00  find conflict
+//   ...|0111|00  load defects    (custom [31:6])
+const OP_EXT: u32 = 0b00;
+const OP_SET_COVER: u32 = 0b01;
+const EXT_RESET: u32 = 0b1001;
+const EXT_GROW: u32 = 0b1101;
+const EXT_FIND_CONFLICT: u32 = 0b0001;
+const EXT_LOAD_DEFECTS: u32 = 0b0111;
+
+impl Instruction {
+    /// Encodes the instruction into a 32-bit word (Table 3 layout).
+    pub fn encode(self) -> u32 {
+        match self {
+            Instruction::Reset => (EXT_RESET << 2) | OP_EXT,
+            Instruction::SetDirection { node, direction } => {
+                assert!(node < (1 << 15), "node id overflows 15 bits");
+                (node << 17) | (direction.encode() << 15) | OP_EXT
+            }
+            Instruction::Grow { length } => {
+                assert!((0..(1 << 26)).contains(&length), "grow length overflows 26 bits");
+                ((length as u32) << 6) | (EXT_GROW << 2) | OP_EXT
+            }
+            Instruction::SetCover { from, to } => {
+                assert!(from < (1 << 15) && to < (1 << 15), "node id overflows 15 bits");
+                (from << 17) | (to << 2) | OP_SET_COVER
+            }
+            Instruction::FindConflict => (EXT_FIND_CONFLICT << 2) | OP_EXT,
+            Instruction::LoadDefects { layer } => {
+                assert!(layer < (1 << 26), "layer overflows the custom field");
+                (layer << 6) | (EXT_LOAD_DEFECTS << 2) | OP_EXT
+            }
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the word does not correspond to a valid
+    /// instruction.
+    pub fn decode(word: u32) -> Result<Self, DecodeError> {
+        match word & 0b11 {
+            OP_SET_COVER => Ok(Instruction::SetCover {
+                from: (word >> 17) & 0x7fff,
+                to: (word >> 2) & 0x7fff,
+            }),
+            OP_EXT => {
+                // bit 2 distinguishes the fixed-function opcodes (bit 2 = 1 in
+                // every extension code of Table 3) from `set Direction`
+                // (whose low bits are all zero below the direction field).
+                if (word >> 2) & 1 == 1 {
+                    let ext = (word >> 2) & 0b1111;
+                    match ext {
+                        EXT_RESET => Ok(Instruction::Reset),
+                        EXT_GROW => Ok(Instruction::Grow {
+                            length: ((word >> 6) & 0x03ff_ffff) as Weight,
+                        }),
+                        EXT_FIND_CONFLICT => Ok(Instruction::FindConflict),
+                        EXT_LOAD_DEFECTS => Ok(Instruction::LoadDefects {
+                            layer: (word >> 6) & 0x03ff_ffff,
+                        }),
+                        _ => Err(DecodeError(word)),
+                    }
+                } else {
+                    let direction =
+                        HwDirection::decode((word >> 15) & 0b11).ok_or(DecodeError(word))?;
+                    Ok(Instruction::SetDirection {
+                        node: (word >> 17) & 0x7fff,
+                        direction,
+                    })
+                }
+            }
+            _ => Err(DecodeError(word)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_instruction_kinds() {
+        let cases = vec![
+            Instruction::Reset,
+            Instruction::FindConflict,
+            Instruction::Grow { length: 0 },
+            Instruction::Grow { length: 12345 },
+            Instruction::SetDirection {
+                node: 0,
+                direction: HwDirection::Stay,
+            },
+            Instruction::SetDirection {
+                node: 1273,
+                direction: HwDirection::Shrink,
+            },
+            Instruction::SetDirection {
+                node: 16383,
+                direction: HwDirection::Grow,
+            },
+            Instruction::SetCover { from: 5, to: 1280 },
+            Instruction::SetCover {
+                from: 16383,
+                to: 16382,
+            },
+            Instruction::LoadDefects { layer: 0 },
+            Instruction::LoadDefects { layer: 12 },
+        ];
+        for instr in cases {
+            let word = instr.encode();
+            let decoded = Instruction::decode(word).unwrap();
+            assert_eq!(decoded, instr, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn grow_amount_uses_26_bit_field() {
+        let instr = Instruction::Grow {
+            length: (1 << 26) - 1,
+        };
+        assert_eq!(Instruction::decode(instr.encode()).unwrap(), instr);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_grow_panics() {
+        Instruction::Grow { length: 1 << 26 }.encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_node_panics() {
+        Instruction::SetDirection {
+            node: 1 << 15,
+            direction: HwDirection::Grow,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn directions_have_signed_values() {
+        assert_eq!(HwDirection::Grow.value(), 1);
+        assert_eq!(HwDirection::Stay.value(), 0);
+        assert_eq!(HwDirection::Shrink.value(), -1);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Instruction::decode(0b10).is_err());
+        assert!(Instruction::decode(0xffff_fffe & !0b01 | 0b10).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Hardware timing model: converts cycle and bus-transaction counters into
+//! wall-clock decoding latency.
+//!
+//! The paper's prototype runs the PU array at the Table 4 clock frequency
+//! (62 MHz at d = 13) and talks to an ARM Cortex-A72 over an AXI4 bus whose
+//! blocking reads cost "hundreds of nanoseconds per interaction" (§5). This
+//! model charges:
+//!
+//! * accelerator busy cycles at the configured clock frequency,
+//! * one bus round trip per blocking read (responses, register reads),
+//! * a smaller posted-write cost per instruction,
+//! * a per-obstacle software handling cost for the primal phase.
+
+use crate::resource::estimate_resources;
+use mb_graph::DecodingGraph;
+use serde::{Deserialize, Serialize};
+
+/// Latency model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Accelerator clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Cost of a blocking CPU read over the bus, in nanoseconds.
+    pub bus_read_ns: f64,
+    /// Cost of a posted CPU write over the bus, in nanoseconds.
+    pub bus_write_ns: f64,
+    /// Software cost of handling one obstacle in the primal phase, in
+    /// nanoseconds.
+    pub cpu_obstacle_ns: f64,
+    /// Fixed overhead per decoding task (result readout, bookkeeping), ns.
+    pub readout_ns: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self {
+            clock_mhz: 62.0, // d = 13 prototype clock (Table 4)
+            bus_read_ns: 150.0,
+            bus_write_ns: 30.0,
+            cpu_obstacle_ns: 100.0,
+            readout_ns: 100.0,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Builds a timing model for a specific decoding graph, looking up the
+    /// Table 4 clock frequency for its code distance when known.
+    pub fn for_graph(graph: &DecodingGraph, code_distance: Option<usize>) -> Self {
+        let est = estimate_resources(graph, code_distance);
+        Self {
+            clock_mhz: est.frequency_mhz,
+            ..Self::default()
+        }
+    }
+
+    /// Converts counters into nanoseconds of decoding latency.
+    pub fn latency_ns(&self, cycles: u64, reads: u64, writes: u64, obstacles: u64) -> f64 {
+        let cycle_ns = 1000.0 / self.clock_mhz;
+        self.readout_ns
+            + cycles as f64 * cycle_ns
+            + reads as f64 * self.bus_read_ns
+            + writes as f64 * self.bus_write_ns
+            + obstacles as f64 * self.cpu_obstacle_ns
+    }
+
+    /// Convenience conversion to microseconds.
+    pub fn latency_us(&self, cycles: u64, reads: u64, writes: u64, obstacles: u64) -> f64 {
+        self.latency_ns(cycles, reads, writes, obstacles) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_graph::codes::PhenomenologicalCode;
+
+    #[test]
+    fn latency_is_monotone_in_every_counter() {
+        let model = TimingModel::default();
+        let base = model.latency_ns(100, 5, 20, 3);
+        assert!(model.latency_ns(200, 5, 20, 3) > base);
+        assert!(model.latency_ns(100, 6, 20, 3) > base);
+        assert!(model.latency_ns(100, 5, 21, 3) > base);
+        assert!(model.latency_ns(100, 5, 20, 4) > base);
+    }
+
+    #[test]
+    fn graph_specific_model_uses_table4_clock() {
+        let graph = PhenomenologicalCode::rotated(13, 13, 0.001).decoding_graph();
+        let model = TimingModel::for_graph(&graph, Some(13));
+        assert_eq!(model.clock_mhz, 62.0);
+        let graph3 = PhenomenologicalCode::rotated(3, 3, 0.001).decoding_graph();
+        let model3 = TimingModel::for_graph(&graph3, Some(3));
+        assert_eq!(model3.clock_mhz, 170.0);
+    }
+
+    #[test]
+    fn an_idle_decode_is_well_under_a_microsecond() {
+        // one find-conflict round trip on an empty syndrome
+        let model = TimingModel::default();
+        let ns = model.latency_ns(20, 1, 1, 0);
+        assert!(ns < 1000.0, "idle decode took {ns} ns");
+    }
+
+    #[test]
+    fn microsecond_conversion() {
+        let model = TimingModel::default();
+        let ns = model.latency_ns(1000, 10, 10, 5);
+        assert!((model.latency_us(1000, 10, 10, 5) - ns / 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,133 @@
+//! Brute-force exact MWPM reference used to certify optimality.
+//!
+//! This mirrors the paper's correctness methodology (§8.1 / §A.6): the
+//! decoder under test is compared against a known-exact matcher. Here the
+//! reference works on the *syndrome graph*: all-pairs shortest distances
+//! between defects (plus the distance of each defect to its nearest virtual
+//! vertex), then a bitmask dynamic program over all pairings.
+//!
+//! The dynamic program is exponential in the number of defects and is only
+//! meant for verification on small syndromes (up to ~20 defects).
+
+use mb_graph::dijkstra::dijkstra;
+use mb_graph::{DecodingGraph, VertexIndex, Weight};
+
+/// Exact minimum matching weight of a syndrome, or `None` if some defect can
+/// neither reach another unmatched defect nor the boundary.
+///
+/// # Panics
+///
+/// Panics if there are more than 24 defects (the bitmask DP would be too
+/// large); the test-suite keeps reference checks well below this.
+pub fn minimum_matching_weight(graph: &DecodingGraph, defects: &[VertexIndex]) -> Option<Weight> {
+    let n = defects.len();
+    assert!(n <= 24, "brute-force reference supports at most 24 defects");
+    if n == 0 {
+        return Some(0);
+    }
+    const INF: Weight = Weight::MAX / 4;
+    // pairwise distances and boundary distances
+    let mut pair = vec![vec![INF; n]; n];
+    let mut boundary = vec![INF; n];
+    for (i, &d) in defects.iter().enumerate() {
+        let sp = dijkstra(graph, d);
+        for (j, &e) in defects.iter().enumerate() {
+            if let Some(dist) = sp.distance_to(e) {
+                pair[i][j] = dist;
+            }
+        }
+        for v in 0..graph.vertex_count() {
+            if graph.is_virtual(v) {
+                if let Some(dist) = sp.distance_to(v) {
+                    boundary[i] = boundary[i].min(dist);
+                }
+            }
+        }
+    }
+    // DP over subsets: f[mask] = min cost to match all defects in mask
+    let full = (1usize << n) - 1;
+    let mut f = vec![INF; full + 1];
+    f[0] = 0;
+    for mask in 1..=full {
+        let i = mask.trailing_zeros() as usize;
+        let rest = mask & !(1 << i);
+        // match i to the boundary
+        if boundary[i] < INF && f[rest] < INF {
+            f[mask] = f[mask].min(f[rest] + boundary[i]);
+        }
+        // match i to some other defect j in the mask
+        let mut remaining = rest;
+        while remaining != 0 {
+            let j = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            let sub = rest & !(1 << j);
+            if pair[i][j] < INF && f[sub] < INF {
+                f[mask] = f[mask].min(f[sub] + pair[i][j]);
+            }
+        }
+    }
+    if f[full] >= INF {
+        None
+    } else {
+        Some(f[full])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_graph::codes::{CodeCapacityRepetitionCode, CodeCapacityRotatedCode};
+
+    #[test]
+    fn empty_syndrome_costs_nothing() {
+        let g = CodeCapacityRepetitionCode::new(5, 0.1).decoding_graph();
+        assert_eq!(minimum_matching_weight(&g, &[]), Some(0));
+    }
+
+    #[test]
+    fn single_defect_matches_nearest_boundary() {
+        // rep-7: virt(0) - v1 .. v6 - virt(7), weight 2 per edge
+        let g = CodeCapacityRepetitionCode::new(7, 0.1).decoding_graph();
+        assert_eq!(minimum_matching_weight(&g, &[1]), Some(2));
+        assert_eq!(minimum_matching_weight(&g, &[3]), Some(6));
+        assert_eq!(minimum_matching_weight(&g, &[6]), Some(2));
+    }
+
+    #[test]
+    fn pair_of_adjacent_defects_matches_together() {
+        let g = CodeCapacityRepetitionCode::new(7, 0.1).decoding_graph();
+        assert_eq!(minimum_matching_weight(&g, &[3, 4]), Some(2));
+    }
+
+    #[test]
+    fn distant_pair_prefers_two_boundary_matches() {
+        let g = CodeCapacityRepetitionCode::new(7, 0.1).decoding_graph();
+        // defects at 1 and 6: matching together costs 10, boundaries cost 2+2
+        assert_eq!(minimum_matching_weight(&g, &[1, 6]), Some(4));
+    }
+
+    #[test]
+    fn three_defects_mix_pair_and_boundary() {
+        let g = CodeCapacityRepetitionCode::new(7, 0.1).decoding_graph();
+        // defects 1, 2, 6: pair (1,2) costs 2, defect 6 to boundary costs 2
+        assert_eq!(minimum_matching_weight(&g, &[1, 2, 6]), Some(4));
+    }
+
+    #[test]
+    fn works_on_rotated_surface_code() {
+        let g = CodeCapacityRotatedCode::new(5, 0.05).decoding_graph();
+        let defects: Vec<_> = (0..g.vertex_count()).filter(|&v| !g.is_virtual(v)).take(4).collect();
+        let w = minimum_matching_weight(&g, &defects).unwrap();
+        assert!(w > 0);
+        // the weight of matching everything to the boundary is an upper bound
+        let ub: Weight = defects
+            .iter()
+            .map(|&d| {
+                mb_graph::dijkstra::distance_to_boundary(&g, d)
+                    .map(|(w, _)| w)
+                    .unwrap()
+            })
+            .sum();
+        assert!(w <= ub);
+    }
+}

@@ -1,0 +1,190 @@
+//! The software/hardware interface of the blossom algorithm.
+//!
+//! [`DualModule`] is the contract between the primal phase (always in
+//! software) and the dual phase. The paper implements the dual phase twice:
+//! once in software (Parity Blossom, used as the baseline) and once in the
+//! accelerator (§4). Both implementations expose exactly the operations of
+//! Table 1, phrased here as a Rust trait so the same [`crate::PrimalModule`]
+//! drives either one.
+
+use mb_graph::{NodeIndex, VertexIndex, Weight};
+
+/// Direction `Δy_S` assigned by the primal phase to an (outer) node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrowDirection {
+    /// `Δy_S = +1`: the node's dual variable grows.
+    Grow,
+    /// `Δy_S = 0`: the node is matched; its dual variable is frozen.
+    Stay,
+    /// `Δy_S = -1`: the node's dual variable shrinks.
+    Shrink,
+}
+
+impl GrowDirection {
+    /// The direction as a signed integer in `{-1, 0, +1}`.
+    pub fn value(self) -> i8 {
+        match self {
+            GrowDirection::Grow => 1,
+            GrowDirection::Stay => 0,
+            GrowDirection::Shrink => -1,
+        }
+    }
+
+    /// Builds a direction from a signed integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value` is not in `{-1, 0, +1}`.
+    pub fn from_value(value: i8) -> Self {
+        match value {
+            1 => GrowDirection::Grow,
+            0 => GrowDirection::Stay,
+            -1 => GrowDirection::Shrink,
+            other => panic!("invalid grow direction {other}"),
+        }
+    }
+}
+
+/// An *Obstacle* (paper §4.1): a reason the dual phase cannot keep growing
+/// and control must return to the primal phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Obstacle {
+    /// Two nodes grow toward each other and the edge between them became
+    /// tight (constraint 2b — called a *Conflict* in the paper).
+    Conflict {
+        /// First (outer) node.
+        node_1: NodeIndex,
+        /// Second (outer) node.
+        node_2: NodeIndex,
+        /// Defect vertex of `node_1` whose circle realizes the touch.
+        touch_1: VertexIndex,
+        /// Defect vertex of `node_2` whose circle realizes the touch.
+        touch_2: VertexIndex,
+        /// Decoding-graph vertex on `node_1`'s side of the touching edge.
+        vertex_1: VertexIndex,
+        /// Decoding-graph vertex on `node_2`'s side of the touching edge.
+        vertex_2: VertexIndex,
+    },
+    /// A growing node reached a virtual (boundary) vertex.
+    ConflictVirtual {
+        /// The growing node.
+        node: NodeIndex,
+        /// Defect vertex whose circle reached the boundary.
+        touch: VertexIndex,
+        /// Decoding-graph vertex on the node's side of the boundary edge.
+        vertex: VertexIndex,
+        /// The virtual vertex that was reached.
+        virtual_vertex: VertexIndex,
+    },
+    /// A shrinking blossom's dual variable reached zero (constraint 2a) and
+    /// must be expanded.
+    BlossomNeedExpand {
+        /// The blossom node.
+        blossom: NodeIndex,
+    },
+    /// A shrinking single-vertex node's dual variable reached zero
+    /// (constraint 2a); the primal phase restructures the tree around it.
+    VertexShrinkStop {
+        /// The single-vertex node.
+        node: NodeIndex,
+    },
+}
+
+/// Result of asking the dual phase for the next event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DualReport {
+    /// No node is growing: the dual phase has nothing left to do.
+    Finished,
+    /// An obstacle the primal phase must resolve before any further growth.
+    Obstacle(Obstacle),
+    /// All directed nodes can safely grow by this (strictly positive) amount.
+    GrowLength(Weight),
+}
+
+impl DualReport {
+    /// Convenience accessor for tests: the grow length if this is one.
+    pub fn grow_length(&self) -> Option<Weight> {
+        match self {
+            DualReport::GrowLength(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for tests: the obstacle if this is one.
+    pub fn obstacle(&self) -> Option<&Obstacle> {
+        match self {
+            DualReport::Obstacle(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// The dual phase of the blossom algorithm (Table 1 of the paper).
+///
+/// All node indices are assigned by the caller (the primal module): defect
+/// nodes when syndromes are loaded, blossoms when conflicts in the same
+/// alternating tree are resolved.
+pub trait DualModule {
+    /// Clears all state, forgetting every node and defect.
+    fn reset(&mut self);
+
+    /// Registers defect vertex `vertex` as new single-vertex node `node`
+    /// with direction [`GrowDirection::Grow`] and dual variable 0.
+    fn add_defect(&mut self, vertex: VertexIndex, node: NodeIndex);
+
+    /// Sets the direction of outer node `node` ("set Direction").
+    fn set_direction(&mut self, node: NodeIndex, direction: GrowDirection);
+
+    /// Creates blossom `blossom` from the outer nodes `children`
+    /// ("merge Cover" / "set Cover"). The blossom starts with dual variable
+    /// 0 and direction [`GrowDirection::Grow`].
+    fn create_blossom(&mut self, blossom: NodeIndex, children: &[NodeIndex]);
+
+    /// Dissolves blossom `blossom`, whose dual variable must be zero; its
+    /// children become outer nodes again ("split Cover").
+    fn expand_blossom(&mut self, blossom: NodeIndex);
+
+    /// Grows every directed node by `length` times its direction ("grow").
+    fn grow(&mut self, length: Weight);
+
+    /// Reports the next obstacle, or how far it is safe to grow
+    /// ("detect Conflict" / "find Conflict").
+    fn find_obstacle(&mut self) -> DualReport;
+
+    /// Current dual variable `y_S` of a node.
+    fn dual_variable(&self, node: NodeIndex) -> Weight;
+
+    /// Sum of all dual variables; equals the matching weight at optimality.
+    fn dual_objective(&self) -> Weight;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_direction_roundtrip() {
+        for dir in [GrowDirection::Grow, GrowDirection::Stay, GrowDirection::Shrink] {
+            assert_eq!(GrowDirection::from_value(dir.value()), dir);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid grow direction")]
+    fn invalid_direction_panics() {
+        GrowDirection::from_value(3);
+    }
+
+    #[test]
+    fn dual_report_accessors() {
+        let r = DualReport::GrowLength(4);
+        assert_eq!(r.grow_length(), Some(4));
+        assert!(r.obstacle().is_none());
+        let o = DualReport::Obstacle(Obstacle::BlossomNeedExpand { blossom: 3 });
+        assert!(o.grow_length().is_none());
+        assert!(matches!(
+            o.obstacle(),
+            Some(Obstacle::BlossomNeedExpand { blossom: 3 })
+        ));
+    }
+}

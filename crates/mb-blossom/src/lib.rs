@@ -1,0 +1,45 @@
+//! Exact Minimum-Weight Perfect Matching (blossom algorithm) on decoding
+//! graphs — the algorithmic core shared by the software baseline (Parity
+//! Blossom style) and the Micro Blossom accelerator.
+//!
+//! The blossom algorithm is split, exactly as in the paper (§2–§4), into:
+//!
+//! * a **dual phase** that grows/shrinks the covers of nodes on the decoding
+//!   graph and detects *Obstacles* — implemented here in software by
+//!   [`DualModuleSerial`] and by the accelerator simulator in `mb-accel`;
+//! * a **primal phase** that maintains alternating trees, matched pairs and
+//!   blossoms, and resolves every obstacle — implemented by
+//!   [`PrimalModule`], which drives any [`DualModule`] implementation.
+//!
+//! The crate also provides the final matching representation
+//! ([`PerfectMatching`]), correction extraction, and a brute-force exact
+//! reference matcher ([`exact`]) used by the test-suite to certify
+//! optimality.
+//!
+//! # Example
+//!
+//! ```
+//! use mb_blossom::SolverSerial;
+//! use mb_graph::codes::CodeCapacityRotatedCode;
+//! use mb_graph::SyndromePattern;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.05).decoding_graph());
+//! let mut solver = SolverSerial::new(Arc::clone(&graph));
+//! let defect = graph.vertices().iter().position(|v| !v.is_virtual).unwrap();
+//! let matching = solver.solve(&SyndromePattern::new(vec![defect]));
+//! assert_eq!(matching.boundary.len() + 2 * matching.pairs.len(), 1);
+//! ```
+
+pub mod dual_serial;
+pub mod exact;
+pub mod interface;
+pub mod matching;
+pub mod primal;
+pub mod solver;
+
+pub use dual_serial::DualModuleSerial;
+pub use interface::{DualModule, DualReport, GrowDirection, Obstacle};
+pub use matching::PerfectMatching;
+pub use primal::{PrimalModule, SolveStats};
+pub use solver::SolverSerial;

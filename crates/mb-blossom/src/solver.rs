@@ -1,0 +1,277 @@
+//! The all-software exact MWPM solver (the "Parity Blossom" baseline of the
+//! paper's evaluation): [`PrimalModule`] driving [`DualModuleSerial`].
+
+use crate::dual_serial::DualModuleSerial;
+use crate::interface::DualModule;
+use crate::matching::PerfectMatching;
+use crate::primal::{PrimalModule, SolveStats};
+use mb_graph::{DecodingGraph, SyndromePattern, Weight};
+use std::sync::Arc;
+
+/// Software exact MWPM decoder on the decoding graph.
+#[derive(Debug, Clone)]
+pub struct SolverSerial {
+    graph: Arc<DecodingGraph>,
+    dual: DualModuleSerial,
+    primal: PrimalModule,
+}
+
+impl SolverSerial {
+    /// Creates a solver for `graph`.
+    pub fn new(graph: Arc<DecodingGraph>) -> Self {
+        Self {
+            dual: DualModuleSerial::new(Arc::clone(&graph)),
+            primal: PrimalModule::new(),
+            graph,
+        }
+    }
+
+    /// The decoding graph.
+    pub fn graph(&self) -> &Arc<DecodingGraph> {
+        &self.graph
+    }
+
+    /// Decodes one syndrome, returning the minimum-weight perfect matching.
+    pub fn solve(&mut self, syndrome: &SyndromePattern) -> PerfectMatching {
+        self.primal.clear();
+        self.dual.reset();
+        self.primal.run(syndrome, &mut self.dual)
+    }
+
+    /// Statistics of the most recent [`Self::solve`] call.
+    pub fn stats(&self) -> &SolveStats {
+        &self.primal.stats
+    }
+
+    /// Dual objective of the most recent solve; equals the matching weight
+    /// at optimality and is used by the test-suite as a certificate.
+    pub fn dual_objective(&self) -> Weight {
+        self.dual.dual_objective()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::minimum_matching_weight;
+    use mb_graph::codes::{
+        CodeCapacityPlanarCode, CodeCapacityRepetitionCode, CodeCapacityRotatedCode,
+        PhenomenologicalCode,
+    };
+    use mb_graph::syndrome::ErrorSampler;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_optimal(graph: &Arc<DecodingGraph>, solver: &mut SolverSerial, defects: Vec<usize>) {
+        let syndrome = SyndromePattern::new(defects.clone());
+        let matching = solver.solve(&syndrome);
+        assert!(
+            matching.is_valid_for(&syndrome.defects),
+            "matching {matching:?} does not cover syndrome {syndrome:?}"
+        );
+        assert!(
+            matching.correction_matches_syndrome(graph, &syndrome.defects),
+            "correction does not reproduce the syndrome"
+        );
+        let expected = minimum_matching_weight(graph, &syndrome.defects)
+            .expect("reference matcher must find a matching");
+        let got = matching.weight(graph);
+        assert_eq!(
+            got, expected,
+            "suboptimal matching: got {got}, optimum {expected}, syndrome {syndrome:?}, matching {matching:?}"
+        );
+        // the dual objective certifies optimality from below
+        assert_eq!(solver.dual_objective(), expected, "dual objective mismatch");
+    }
+
+    #[test]
+    fn empty_syndrome() {
+        let graph = Arc::new(CodeCapacityRepetitionCode::new(5, 0.1).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        let matching = solver.solve(&SyndromePattern::empty());
+        assert!(matching.pairs.is_empty() && matching.boundary.is_empty());
+    }
+
+    #[test]
+    fn repetition_single_defects() {
+        let graph = Arc::new(CodeCapacityRepetitionCode::new(7, 0.1).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        for v in 1..=6 {
+            check_optimal(&graph, &mut solver, vec![v]);
+        }
+    }
+
+    #[test]
+    fn repetition_all_defect_pairs() {
+        let graph = Arc::new(CodeCapacityRepetitionCode::new(9, 0.1).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        for a in 1..=8 {
+            for b in (a + 1)..=8 {
+                check_optimal(&graph, &mut solver, vec![a, b]);
+            }
+        }
+    }
+
+    #[test]
+    fn repetition_exhaustive_small_subsets() {
+        // exhaustively test every defect subset of the d=6 repetition code
+        let graph = Arc::new(CodeCapacityRepetitionCode::new(6, 0.1).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        for mask in 0u32..(1 << 5) {
+            let defects: Vec<usize> = (0..5).filter(|i| mask >> i & 1 == 1).map(|i| i + 1).collect();
+            check_optimal(&graph, &mut solver, defects);
+        }
+    }
+
+    #[test]
+    fn blossom_is_formed_for_odd_cluster() {
+        // three mutually close defects on the planar code force a blossom
+        let graph = Arc::new(CodeCapacityPlanarCode::new(5, 0.1).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        // pick a vertex with two neighbours forming a triangle-ish cluster in
+        // the middle of the lattice (vertices are a 5x4 grid here)
+        let center = 1 * 4 + 1; // row 1, col 1
+        let right = 1 * 4 + 2;
+        let below = 2 * 4 + 1;
+        check_optimal(&graph, &mut solver, vec![center, right, below]);
+        assert!(solver.stats().defects == 3);
+    }
+
+    #[test]
+    fn rotated_code_exhaustive_pairs() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.05).decoding_graph());
+        let regulars: Vec<usize> = (0..graph.vertex_count())
+            .filter(|&v| !graph.is_virtual(v))
+            .collect();
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        for (i, &a) in regulars.iter().enumerate() {
+            for &b in &regulars[i + 1..] {
+                check_optimal(&graph, &mut solver, vec![a, b]);
+            }
+        }
+    }
+
+    #[test]
+    fn random_syndromes_match_brute_force_on_rotated_code() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.08).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        let mut nontrivial = 0;
+        for _ in 0..300 {
+            let shot = sampler.sample(&mut rng);
+            if shot.syndrome.len() > 12 {
+                continue; // keep the brute-force reference tractable
+            }
+            if !shot.syndrome.is_empty() {
+                nontrivial += 1;
+            }
+            check_optimal(&graph, &mut solver, shot.syndrome.defects.clone());
+        }
+        assert!(nontrivial > 50, "too few non-trivial samples: {nontrivial}");
+    }
+
+    #[test]
+    fn random_syndromes_match_brute_force_on_planar_code() {
+        let graph = Arc::new(CodeCapacityPlanarCode::new(5, 0.06).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            let shot = sampler.sample(&mut rng);
+            if shot.syndrome.len() > 12 {
+                continue;
+            }
+            check_optimal(&graph, &mut solver, shot.syndrome.defects.clone());
+        }
+    }
+
+    #[test]
+    fn random_syndromes_match_brute_force_on_phenomenological_code() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.03).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..300 {
+            let shot = sampler.sample(&mut rng);
+            if shot.syndrome.len() > 12 {
+                continue;
+            }
+            check_optimal(&graph, &mut solver, shot.syndrome.defects.clone());
+        }
+    }
+
+    #[test]
+    fn high_error_rate_stress_small_code() {
+        // p = 0.3 produces dense syndromes exercising blossom formation and
+        // expansion heavily, on a graph small enough for the reference
+        let graph = Arc::new(CodeCapacityRotatedCode::new(3, 0.3).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..500 {
+            let shot = sampler.sample(&mut rng);
+            check_optimal(&graph, &mut solver, shot.syndrome.defects.clone());
+        }
+    }
+
+    #[test]
+    fn solver_is_reusable_across_solves() {
+        let graph = Arc::new(CodeCapacityRepetitionCode::new(7, 0.1).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        let m1 = solver.solve(&SyndromePattern::new(vec![1, 2]));
+        let m2 = solver.solve(&SyndromePattern::new(vec![3]));
+        let m3 = solver.solve(&SyndromePattern::new(vec![1, 2]));
+        assert_eq!(m1, m3);
+        assert_eq!(m2.defect_count(), 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.05).decoding_graph());
+        let mut solver = SolverSerial::new(Arc::clone(&graph));
+        let regulars: Vec<usize> = (0..graph.vertex_count())
+            .filter(|&v| !graph.is_virtual(v))
+            .take(4)
+            .collect();
+        solver.solve(&SyndromePattern::new(regulars));
+        let stats = solver.stats();
+        assert_eq!(stats.defects, 4);
+        assert!(stats.grow_steps > 0);
+        assert!(stats.obstacle_reports > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn proptest_optimality_on_repetition_code(
+            d in 4usize..10,
+            mask in any::<u16>(),
+        ) {
+            let graph = Arc::new(CodeCapacityRepetitionCode::new(d, 0.1).decoding_graph());
+            let defects: Vec<usize> = (0..d - 1).filter(|i| mask >> i & 1 == 1).map(|i| i + 1).collect();
+            let mut solver = SolverSerial::new(Arc::clone(&graph));
+            let syndrome = SyndromePattern::new(defects);
+            let matching = solver.solve(&syndrome);
+            prop_assert!(matching.is_valid_for(&syndrome.defects));
+            prop_assert!(matching.correction_matches_syndrome(&graph, &syndrome.defects));
+            let expected = minimum_matching_weight(&graph, &syndrome.defects).unwrap();
+            prop_assert_eq!(matching.weight(&graph), expected);
+        }
+
+        #[test]
+        fn proptest_optimality_on_rotated_code(seed in any::<u64>()) {
+            let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.1).decoding_graph());
+            let sampler = ErrorSampler::new(&graph);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let shot = sampler.sample(&mut rng);
+            prop_assume!(shot.syndrome.len() <= 12);
+            let mut solver = SolverSerial::new(Arc::clone(&graph));
+            let matching = solver.solve(&shot.syndrome);
+            prop_assert!(matching.is_valid_for(&shot.syndrome.defects));
+            let expected = minimum_matching_weight(&graph, &shot.syndrome.defects).unwrap();
+            prop_assert_eq!(matching.weight(&graph), expected);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Top-level decoders and evaluation harness of the Micro Blossom
+//! reproduction.
+//!
+//! This crate ties the workspace together:
+//!
+//! * [`MicroBlossomDecoder`] — the heterogeneous decoder of the paper:
+//!   software primal phase + simulated hardware accelerator, with batch or
+//!   stream (round-wise fusion) decoding and the ablation knobs of
+//!   Figure 10a;
+//! * [`ParityBlossomDecoder`] — the all-software exact MWPM baseline;
+//! * [`UnionFindDecoderAdapter`] — the Helios-style Union-Find baseline of
+//!   Figure 11;
+//! * [`evaluation`] — Monte-Carlo harness producing logical error rates,
+//!   latency distributions, cutoff latencies and effective logical error
+//!   rates (§8.2–§8.3).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mb_decoder::{Decoder, MicroBlossomDecoder};
+//! use mb_graph::codes::PhenomenologicalCode;
+//! use mb_graph::syndrome::ErrorSampler;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.01).decoding_graph());
+//! let mut decoder = MicroBlossomDecoder::full(Arc::clone(&graph), Some(3));
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let shot = ErrorSampler::new(&graph).sample(&mut rng);
+//! let outcome = decoder.decode(&shot.syndrome);
+//! assert!(outcome.latency_ns >= 0.0);
+//! ```
+
+pub mod evaluation;
+pub mod micro;
+pub mod outcome;
+pub mod parity;
+pub mod uf;
+
+pub use evaluation::{evaluate_decoder, phase_profile, EvaluationResult, PhaseProfile};
+pub use micro::{MicroBlossomConfig, MicroBlossomDecoder};
+pub use outcome::{DecodeOutcome, Decoder, LatencyBreakdown};
+pub use parity::ParityBlossomDecoder;
+pub use uf::{HeliosLatencyModel, UnionFindDecoderAdapter};

@@ -1,0 +1,401 @@
+//! The Micro Blossom decoder: software primal phase driving the simulated
+//! hardware accelerator, with batch or stream (round-wise fusion) decoding.
+//!
+//! This is the top-level object a user instantiates to decode syndromes the
+//! way the paper's prototype does (§3–§7). The three key ideas are exposed
+//! as configuration knobs so the ablation of Figure 10a can be reproduced:
+//!
+//! * **parallel dual phase** — always on (it *is* the accelerator);
+//! * **parallel primal phase** — [`MicroBlossomConfig::prematch_enabled`]
+//!   plus lazy CPU node materialization
+//!   (`materialize_all_defects = false`);
+//! * **round-wise fusion** — [`MicroBlossomConfig::stream_decoding`].
+
+use crate::outcome::{DecodeOutcome, Decoder, LatencyBreakdown};
+use mb_accel::{
+    AcceleratedDual, AcceleratorConfig, MicroBlossomAccelerator, PollEvent, PrematchPartner,
+    TimingModel,
+};
+use mb_blossom::{PerfectMatching, PrimalModule};
+use mb_graph::{DecodingGraph, SyndromePattern, VertexIndex};
+use std::sync::Arc;
+
+/// Configuration of a [`MicroBlossomDecoder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroBlossomConfig {
+    /// Offload isolated conflicts to the accelerator (§5).
+    pub prematch_enabled: bool,
+    /// Stream decoding with round-wise fusion (§6); when false the whole
+    /// syndrome is loaded before decoding starts (batch).
+    pub stream_decoding: bool,
+    /// Apply the §6.3 fusion-boundary weight reduction while streaming.
+    pub fusion_weight_reduction: bool,
+    /// Force the CPU to materialize every defect up front (disables the
+    /// lazy-node optimization; used by the Figure 10a ablation).
+    pub materialize_all_defects: bool,
+    /// Hardware timing model used to convert counters into latency.
+    pub timing: TimingModel,
+}
+
+impl MicroBlossomConfig {
+    /// The full Micro Blossom configuration (all three ideas enabled).
+    pub fn full(graph: &DecodingGraph, code_distance: Option<usize>) -> Self {
+        Self {
+            prematch_enabled: true,
+            stream_decoding: true,
+            fusion_weight_reduction: true,
+            materialize_all_defects: false,
+            timing: TimingModel::for_graph(graph, code_distance),
+        }
+    }
+
+    /// Ablation step 1 of Figure 10a: only the parallel dual phase.
+    pub fn parallel_dual_only(graph: &DecodingGraph, code_distance: Option<usize>) -> Self {
+        Self {
+            prematch_enabled: false,
+            stream_decoding: false,
+            fusion_weight_reduction: false,
+            materialize_all_defects: true,
+            timing: TimingModel::for_graph(graph, code_distance),
+        }
+    }
+
+    /// Ablation step 2 of Figure 10a: parallel dual + parallel primal phase.
+    pub fn with_parallel_primal(graph: &DecodingGraph, code_distance: Option<usize>) -> Self {
+        Self {
+            prematch_enabled: true,
+            stream_decoding: false,
+            fusion_weight_reduction: false,
+            materialize_all_defects: false,
+            timing: TimingModel::for_graph(graph, code_distance),
+        }
+    }
+}
+
+/// The Micro Blossom heterogeneous decoder.
+#[derive(Debug, Clone)]
+pub struct MicroBlossomDecoder {
+    graph: Arc<DecodingGraph>,
+    config: MicroBlossomConfig,
+    driver: AcceleratedDual,
+    primal: PrimalModule,
+}
+
+impl MicroBlossomDecoder {
+    /// Builds a decoder for `graph` with the given configuration.
+    pub fn new(graph: Arc<DecodingGraph>, config: MicroBlossomConfig) -> Self {
+        let accel_config = AcceleratorConfig {
+            prematch_enabled: config.prematch_enabled,
+            fusion_weight_reduction: config.fusion_weight_reduction && config.stream_decoding,
+            ..AcceleratorConfig::default()
+        };
+        let accel = MicroBlossomAccelerator::new(Arc::clone(&graph), accel_config);
+        Self {
+            driver: AcceleratedDual::new(accel),
+            primal: PrimalModule::new(),
+            graph,
+            config,
+        }
+    }
+
+    /// Convenience constructor with the full configuration.
+    pub fn full(graph: Arc<DecodingGraph>, code_distance: Option<usize>) -> Self {
+        let config = MicroBlossomConfig::full(&graph, code_distance);
+        Self::new(graph, config)
+    }
+
+    /// The decoding graph.
+    pub fn graph(&self) -> &Arc<DecodingGraph> {
+        &self.graph
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MicroBlossomConfig {
+        &self.config
+    }
+
+    /// Decodes a syndrome and returns the perfect matching together with the
+    /// latency breakdown.
+    pub fn decode_matching(&mut self, syndrome: &SyndromePattern) -> (PerfectMatching, LatencyBreakdown) {
+        use mb_blossom::DualModule;
+        self.driver.reset();
+        self.primal.clear();
+        let layers = syndrome.split_by_layer(&self.graph);
+        let last_layer = layers.len() - 1;
+        let mut snapshot = self.counters();
+        if self.config.stream_decoding {
+            for (t, defects) in layers.iter().enumerate() {
+                self.driver.load_layer(t, defects);
+                self.materialize_if_configured(defects);
+                if t == last_layer {
+                    // latency is measured from the arrival of the last round
+                    snapshot = self.counters();
+                    // re-charge the final load instruction to the measured window
+                    snapshot.bus_writes -= 1;
+                }
+                self.run_to_completion();
+            }
+        } else {
+            for (t, defects) in layers.iter().enumerate() {
+                self.driver.load_layer(t, defects);
+            }
+            self.materialize_if_configured(&syndrome.defects);
+            snapshot = self.counters();
+            self.run_to_completion();
+        }
+        // complete the matching with the pairs the hardware pre-matched and
+        // the CPU never saw
+        let mut matching = self.primal.perfect_matching();
+        for (vertex, partner) in self.driver.remaining_prematches() {
+            match partner {
+                PrematchPartner::Defect(other) => matching.pairs.push((vertex, other)),
+                PrematchPartner::Boundary(boundary) => matching.boundary.push((vertex, boundary)),
+            }
+        }
+        let end = self.counters();
+        let breakdown = LatencyBreakdown {
+            hardware_cycles: end.hardware_cycles - snapshot.hardware_cycles,
+            bus_reads: end.bus_reads - snapshot.bus_reads,
+            bus_writes: end.bus_writes - snapshot.bus_writes,
+            cpu_obstacles: end.cpu_obstacles - snapshot.cpu_obstacles,
+        };
+        (matching, breakdown)
+    }
+
+    fn counters(&self) -> LatencyBreakdown {
+        let accel = self.driver.accelerator();
+        LatencyBreakdown {
+            hardware_cycles: accel.stats.cycles,
+            bus_reads: self.driver.io.reads,
+            bus_writes: self.driver.io.writes,
+            cpu_obstacles: self.driver.io.obstacles,
+        }
+    }
+
+    fn materialize_if_configured(&mut self, defects: &[VertexIndex]) {
+        if !self.config.materialize_all_defects {
+            return;
+        }
+        for &d in defects {
+            if self.primal.singleton_of(d).is_none() {
+                self.primal.load_defect(d, &mut self.driver);
+            }
+        }
+    }
+
+    /// Runs the decode loop until the accelerator reports that nothing is
+    /// growing any more.
+    fn run_to_completion(&mut self) {
+        let guard = 1000 + 100 * self.graph.vertex_count() * self.graph.vertex_count();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= guard,
+                "Micro Blossom decode loop failed to converge"
+            );
+            match self.driver.poll() {
+                PollEvent::Finished => break,
+                PollEvent::GrowLength(length) => {
+                    use mb_blossom::DualModule;
+                    self.driver.grow(length);
+                }
+                PollEvent::Obstacle(obstacle) => {
+                    self.primal.resolve(obstacle, &mut self.driver);
+                }
+                PollEvent::UnknownNodes(response) => {
+                    for vertex in self.driver.unknown_vertices(&response) {
+                        if self.primal.singleton_of(vertex).is_some() {
+                            continue;
+                        }
+                        match self.driver.prematch_partner_of(vertex) {
+                            Some(PrematchPartner::Defect(other)) => {
+                                self.primal
+                                    .load_prematched_pair(vertex, other, &mut self.driver);
+                            }
+                            Some(PrematchPartner::Boundary(boundary)) => {
+                                self.primal.load_prematched_boundary(
+                                    vertex,
+                                    boundary,
+                                    &mut self.driver,
+                                );
+                            }
+                            None => {
+                                self.primal.load_defect(vertex, &mut self.driver);
+                            }
+                        }
+                    }
+                    let obstacle = self
+                        .driver
+                        .translate(&response)
+                        .expect("all nodes were just materialized");
+                    self.primal.resolve(obstacle, &mut self.driver);
+                }
+            }
+        }
+        assert!(self.primal.is_solved(), "CPU trees left after the dual phase finished");
+    }
+}
+
+impl Decoder for MicroBlossomDecoder {
+    fn name(&self) -> &'static str {
+        if self.config.stream_decoding {
+            "micro-blossom-stream"
+        } else if self.config.prematch_enabled {
+            "micro-blossom-batch"
+        } else {
+            "micro-blossom-dual-only"
+        }
+    }
+
+    fn decode(&mut self, syndrome: &SyndromePattern) -> DecodeOutcome {
+        let (matching, breakdown) = self.decode_matching(syndrome);
+        let observable = matching.correction_observable(&self.graph);
+        let latency_ns = self.config.timing.latency_ns(
+            breakdown.hardware_cycles,
+            breakdown.bus_reads,
+            breakdown.bus_writes,
+            breakdown.cpu_obstacles,
+        );
+        DecodeOutcome {
+            observable,
+            latency_ns,
+            matching: Some(matching),
+            breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_blossom::exact::minimum_matching_weight;
+    use mb_graph::codes::{CodeCapacityRotatedCode, PhenomenologicalCode};
+    use mb_graph::syndrome::ErrorSampler;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn all_configs(graph: &DecodingGraph) -> Vec<MicroBlossomConfig> {
+        vec![
+            MicroBlossomConfig::parallel_dual_only(graph, None),
+            MicroBlossomConfig::with_parallel_primal(graph, None),
+            MicroBlossomConfig::full(graph, None),
+        ]
+    }
+
+    #[test]
+    fn every_configuration_is_an_exact_mwpm_decoder_on_2d_code() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.08).decoding_graph());
+        let sampler = ErrorSampler::new(&graph);
+        for (c, config) in all_configs(&graph).into_iter().enumerate() {
+            let mut decoder = MicroBlossomDecoder::new(Arc::clone(&graph), config);
+            let mut rng = ChaCha8Rng::seed_from_u64(42 + c as u64);
+            for _ in 0..80 {
+                let shot = sampler.sample(&mut rng);
+                if shot.syndrome.len() > 12 {
+                    continue;
+                }
+                let (matching, _) = decoder.decode_matching(&shot.syndrome);
+                assert!(matching.is_valid_for(&shot.syndrome.defects));
+                assert!(matching.correction_matches_syndrome(&graph, &shot.syndrome.defects));
+                let expected = minimum_matching_weight(&graph, &shot.syndrome.defects).unwrap();
+                assert_eq!(
+                    matching.weight(&graph),
+                    expected,
+                    "config {c} produced a sub-optimal matching for {:?}",
+                    shot.syndrome
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_configuration_is_exact_on_3d_stream_decoding() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.04).decoding_graph());
+        let sampler = ErrorSampler::new(&graph);
+        for (c, config) in all_configs(&graph).into_iter().enumerate() {
+            let mut decoder = MicroBlossomDecoder::new(Arc::clone(&graph), config);
+            let mut rng = ChaCha8Rng::seed_from_u64(7 + c as u64);
+            for _ in 0..60 {
+                let shot = sampler.sample(&mut rng);
+                if shot.syndrome.len() > 10 {
+                    continue;
+                }
+                let (matching, _) = decoder.decode_matching(&shot.syndrome);
+                assert!(matching.is_valid_for(&shot.syndrome.defects), "config {c}");
+                let expected = minimum_matching_weight(&graph, &shot.syndrome.defects).unwrap();
+                assert_eq!(matching.weight(&graph), expected, "config {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn prematching_reduces_cpu_interactions_for_sparse_syndromes() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(5, 5, 0.002).decoding_graph());
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut without = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::parallel_dual_only(&graph, Some(5)),
+        );
+        let mut with = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::with_parallel_primal(&graph, Some(5)),
+        );
+        let mut reads_without = 0u64;
+        let mut reads_with = 0u64;
+        for _ in 0..50 {
+            let shot = sampler.sample(&mut rng);
+            let (_, b1) = without.decode_matching(&shot.syndrome);
+            let (_, b2) = with.decode_matching(&shot.syndrome);
+            reads_without += b1.bus_reads + b1.cpu_obstacles;
+            reads_with += b2.bus_reads + b2.cpu_obstacles;
+        }
+        assert!(
+            reads_with < reads_without,
+            "pre-matching should reduce CPU interaction: {reads_with} vs {reads_without}"
+        );
+    }
+
+    #[test]
+    fn stream_latency_window_excludes_earlier_rounds() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 6, 0.01).decoding_graph());
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut stream = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::full(&graph, Some(3)),
+        );
+        let mut batch = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::with_parallel_primal(&graph, Some(3)),
+        );
+        let mut stream_cycles = 0u64;
+        let mut batch_cycles = 0u64;
+        for _ in 0..40 {
+            let shot = sampler.sample(&mut rng);
+            let (m1, b1) = stream.decode_matching(&shot.syndrome);
+            let (m2, b2) = batch.decode_matching(&shot.syndrome);
+            assert_eq!(m1.weight(&graph), m2.weight(&graph), "stream must stay exact");
+            stream_cycles += b1.hardware_cycles;
+            batch_cycles += b2.hardware_cycles;
+        }
+        assert!(
+            stream_cycles < batch_cycles,
+            "work counted after the last round ({stream_cycles}) should be below batch ({batch_cycles})"
+        );
+    }
+
+    #[test]
+    fn decoder_trait_reports_modeled_latency() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.02).decoding_graph());
+        let mut decoder = MicroBlossomDecoder::full(Arc::clone(&graph), Some(5));
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let shot = sampler.sample(&mut rng);
+        let outcome = decoder.decode(&shot.syndrome);
+        assert!(outcome.latency_ns > 0.0);
+        assert!(outcome.matching.is_some());
+        assert_eq!(decoder.name(), "micro-blossom-stream");
+    }
+}

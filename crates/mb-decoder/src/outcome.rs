@@ -1,0 +1,62 @@
+//! Common decoder interface and decode outcomes.
+
+use mb_blossom::PerfectMatching;
+use mb_graph::{ObservableMask, SyndromePattern};
+use serde::{Deserialize, Serialize};
+
+/// Latency breakdown of one decode, in the units the latency model consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Accelerator busy cycles (0 for pure-software decoders).
+    pub hardware_cycles: u64,
+    /// Blocking bus reads.
+    pub bus_reads: u64,
+    /// Posted bus writes.
+    pub bus_writes: u64,
+    /// Obstacles handled by the software primal phase.
+    pub cpu_obstacles: u64,
+}
+
+/// Result of decoding one syndrome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeOutcome {
+    /// Logical observables flipped by the correction.
+    pub observable: ObservableMask,
+    /// End-to-end decoding latency in nanoseconds (measured wall clock for
+    /// software decoders, modeled hardware + bus time for Micro Blossom).
+    pub latency_ns: f64,
+    /// The perfect matching, when the decoder produces one (MWPM decoders).
+    pub matching: Option<PerfectMatching>,
+    /// Counter breakdown behind `latency_ns`.
+    pub breakdown: LatencyBreakdown,
+}
+
+/// A decoder that can be evaluated by the Monte-Carlo harness.
+pub trait Decoder {
+    /// Human-readable name used in benchmark output.
+    fn name(&self) -> &'static str;
+    /// Decodes one syndrome.
+    fn decode(&mut self, syndrome: &SyndromePattern) -> DecodeOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_breakdown_defaults_to_zero() {
+        let b = LatencyBreakdown::default();
+        assert_eq!(b.hardware_cycles + b.bus_reads + b.bus_writes + b.cpu_obstacles, 0);
+    }
+
+    #[test]
+    fn decode_outcome_is_cloneable_and_comparable() {
+        let a = DecodeOutcome {
+            observable: 1,
+            latency_ns: 100.0,
+            matching: None,
+            breakdown: LatencyBreakdown::default(),
+        };
+        assert_eq!(a.clone(), a);
+    }
+}

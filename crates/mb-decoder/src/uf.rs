@@ -1,0 +1,97 @@
+//! Adapter exposing the Union-Find decoder through the common [`Decoder`]
+//! interface, with a Helios-style hardware latency model (Figure 11a).
+//!
+//! Helios [25, 26] runs the UF decoder on an FPGA with one processing unit
+//! per vertex; its decoding latency is a small constant plus a per-growth-
+//! stage cost, essentially independent of the syndrome density. We charge a
+//! configurable cost per growth round on top of a fixed pipeline overhead.
+
+use crate::outcome::{DecodeOutcome, Decoder, LatencyBreakdown};
+use mb_graph::{DecodingGraph, SyndromePattern};
+use mb_uf::UnionFindDecoder;
+use std::sync::Arc;
+
+/// Latency model for a Helios-style hardware UF decoder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeliosLatencyModel {
+    /// Fixed overhead (syndrome readout, result write-back), nanoseconds.
+    pub base_ns: f64,
+    /// Cost of one cluster-growth stage, nanoseconds.
+    pub per_growth_round_ns: f64,
+}
+
+impl Default for HeliosLatencyModel {
+    fn default() -> Self {
+        Self {
+            base_ns: 200.0,
+            per_growth_round_ns: 30.0,
+        }
+    }
+}
+
+/// Union-Find decoder with Helios-style latency accounting.
+#[derive(Debug, Clone)]
+pub struct UnionFindDecoderAdapter {
+    graph: Arc<DecodingGraph>,
+    decoder: UnionFindDecoder,
+    latency: HeliosLatencyModel,
+}
+
+impl UnionFindDecoderAdapter {
+    /// Creates the adapter with the default Helios latency model.
+    pub fn new(graph: Arc<DecodingGraph>) -> Self {
+        Self {
+            decoder: UnionFindDecoder::new(Arc::clone(&graph)),
+            graph,
+            latency: HeliosLatencyModel::default(),
+        }
+    }
+
+    /// Overrides the latency model.
+    pub fn with_latency_model(mut self, latency: HeliosLatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+impl Decoder for UnionFindDecoderAdapter {
+    fn name(&self) -> &'static str {
+        "union-find-helios"
+    }
+
+    fn decode(&mut self, syndrome: &SyndromePattern) -> DecodeOutcome {
+        let correction = self.decoder.decode(syndrome);
+        let observable = self.graph.observable_of(correction);
+        let rounds = self.decoder.stats.growth_rounds as f64;
+        DecodeOutcome {
+            observable,
+            latency_ns: self.latency.base_ns + rounds * self.latency.per_growth_round_ns,
+            matching: None,
+            breakdown: LatencyBreakdown::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_graph::codes::CodeCapacityRotatedCode;
+    use mb_graph::syndrome::ErrorSampler;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn decodes_with_sub_microsecond_modeled_latency() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(7, 0.01).decoding_graph());
+        let mut decoder = UnionFindDecoderAdapter::new(Arc::clone(&graph));
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..100 {
+            let shot = sampler.sample(&mut rng);
+            let outcome = decoder.decode(&shot.syndrome);
+            assert!(outcome.latency_ns >= 200.0);
+            assert!(outcome.latency_ns < 2000.0, "latency {}", outcome.latency_ns);
+        }
+        assert_eq!(decoder.name(), "union-find-helios");
+    }
+}

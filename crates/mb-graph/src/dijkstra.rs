@@ -1,0 +1,179 @@
+//! Shortest paths on decoding graphs.
+//!
+//! Distances between defect vertices define the syndrome-graph weights used
+//! by the reference exact matcher, and shortest paths realize the physical
+//! correction for each matched pair. Paths never pass *through* virtual
+//! vertices (a correction chain may terminate on the boundary but not cross
+//! it), matching the treatment of virtual vertices in Parity Blossom.
+
+use crate::graph::DecodingGraph;
+use crate::types::{EdgeIndex, VertexIndex, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// Source vertex.
+    pub source: VertexIndex,
+    /// `distance[v]` is `None` when `v` is unreachable without crossing a
+    /// virtual vertex.
+    pub distance: Vec<Option<Weight>>,
+    /// Predecessor edge on a shortest path, for path reconstruction.
+    pub predecessor: Vec<Option<EdgeIndex>>,
+}
+
+impl ShortestPaths {
+    /// Distance from the source to `v`.
+    pub fn distance_to(&self, v: VertexIndex) -> Option<Weight> {
+        self.distance[v]
+    }
+
+    /// Reconstructs the edge list of a shortest path from the source to `v`.
+    ///
+    /// Returns `None` if `v` is unreachable.
+    pub fn path_to(&self, v: VertexIndex, graph: &DecodingGraph) -> Option<Vec<EdgeIndex>> {
+        self.distance[v]?;
+        let mut path = Vec::new();
+        let mut current = v;
+        while current != self.source {
+            let e = self.predecessor[current]?;
+            path.push(e);
+            current = graph.edge(e).other(current);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Runs Dijkstra from `source`, never expanding out of virtual vertices.
+///
+/// Virtual vertices are still assigned distances (a path may end on the
+/// boundary), they just cannot be intermediate hops.
+pub fn dijkstra(graph: &DecodingGraph, source: VertexIndex) -> ShortestPaths {
+    let n = graph.vertex_count();
+    let mut distance: Vec<Option<Weight>> = vec![None; n];
+    let mut predecessor: Vec<Option<EdgeIndex>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexIndex)>> = BinaryHeap::new();
+    distance[source] = Some(0);
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((dist, v))) = heap.pop() {
+        if distance[v] != Some(dist) {
+            continue;
+        }
+        if graph.is_virtual(v) && v != source {
+            continue; // boundary vertices terminate paths
+        }
+        for &e in graph.incident_edges(v) {
+            let u = graph.edge(e).other(v);
+            let next = dist + graph.edge(e).weight;
+            if distance[u].map_or(true, |d| next < d) {
+                distance[u] = Some(next);
+                predecessor[u] = Some(e);
+                heap.push(Reverse((next, u)));
+            }
+        }
+    }
+    ShortestPaths {
+        source,
+        distance,
+        predecessor,
+    }
+}
+
+/// Shortest distance between two vertices, or `None` if unreachable.
+pub fn distance_between(graph: &DecodingGraph, u: VertexIndex, v: VertexIndex) -> Option<Weight> {
+    dijkstra(graph, u).distance_to(v)
+}
+
+/// Shortest path (edge list) between two vertices.
+pub fn path_between(
+    graph: &DecodingGraph,
+    u: VertexIndex,
+    v: VertexIndex,
+) -> Option<Vec<EdgeIndex>> {
+    dijkstra(graph, u).path_to(v, graph)
+}
+
+/// Distance from `u` to its closest virtual vertex together with that vertex.
+pub fn distance_to_boundary(
+    graph: &DecodingGraph,
+    u: VertexIndex,
+) -> Option<(Weight, VertexIndex)> {
+    let sp = dijkstra(graph, u);
+    (0..graph.vertex_count())
+        .filter(|&v| graph.is_virtual(v))
+        .filter_map(|v| sp.distance_to(v).map(|d| (d, v)))
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DecodingGraphBuilder;
+    use crate::types::Position;
+
+    /// line: virt(0) -2- v1 -4- v2 -2- virt(3), plus a shortcut v1 -10- virt(3)
+    fn line_graph() -> DecodingGraph {
+        let mut b = DecodingGraphBuilder::new();
+        let b0 = b.add_virtual_vertex(Position::new(0, 0, -1));
+        let v1 = b.add_vertex(Position::new(0, 0, 0));
+        let v2 = b.add_vertex(Position::new(0, 0, 1));
+        let b3 = b.add_virtual_vertex(Position::new(0, 0, 2));
+        b.add_edge(b0, v1, 2, 0.01, 1);
+        b.add_edge(v1, v2, 4, 0.001, 0);
+        b.add_edge(v2, b3, 2, 0.01, 0);
+        b.add_edge(v1, b3, 10, 0.0001, 0);
+        b.build()
+    }
+
+    #[test]
+    fn distances_are_correct() {
+        let g = line_graph();
+        assert_eq!(distance_between(&g, 1, 2), Some(4));
+        assert_eq!(distance_between(&g, 1, 3), Some(6));
+        assert_eq!(distance_between(&g, 1, 0), Some(2));
+    }
+
+    #[test]
+    fn paths_do_not_cross_virtual_vertices() {
+        let g = line_graph();
+        // From v2 to virt(0): must go v2-v1-virt0 (weight 6), not through virt3.
+        assert_eq!(distance_between(&g, 2, 0), Some(6));
+        let path = path_between(&g, 2, 0).unwrap();
+        assert_eq!(path, vec![1, 0]);
+    }
+
+    #[test]
+    fn boundary_distance_picks_nearest_virtual() {
+        let g = line_graph();
+        let (d, v) = distance_to_boundary(&g, 1).unwrap();
+        assert_eq!((d, v), (2, 0));
+        let (d, v) = distance_to_boundary(&g, 2).unwrap();
+        assert_eq!((d, v), (2, 3));
+    }
+
+    #[test]
+    fn path_reconstruction_weight_matches_distance() {
+        let g = line_graph();
+        let sp = dijkstra(&g, 1);
+        for v in 0..g.vertex_count() {
+            if let Some(d) = sp.distance_to(v) {
+                let path = sp.path_to(v, &g).unwrap();
+                assert_eq!(g.total_weight(path), d);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_return_none() {
+        let mut b = DecodingGraphBuilder::new();
+        let v0 = b.add_vertex(Position::new(0, 0, 0));
+        let _v1 = b.add_vertex(Position::new(0, 0, 1));
+        let v2 = b.add_vertex(Position::new(0, 0, 2));
+        b.add_edge(v0, v2, 2, 0.01, 0);
+        let g = b.build();
+        assert_eq!(distance_between(&g, 0, 1), None);
+        assert_eq!(distance_between(&g, 0, 2), Some(2));
+    }
+}

@@ -1,0 +1,144 @@
+//! JSON export/import of decoding graphs.
+//!
+//! The paper's artifact (§A.5) drives the hardware generator from a JSON
+//! description of the decoding graph ("resources/graphs/example_d3.json").
+//! This module provides the equivalent machine-readable interface so that
+//! the accelerator simulator (and any external tooling) can be configured
+//! from a file.
+
+use crate::graph::{DecodingGraph, DecodingGraphBuilder};
+use crate::types::{Position, Weight};
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of a decoding graph, mirroring the JSON schema
+/// of the paper's artifact (vertices with virtual flags and positions, edges
+/// with weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphDescription {
+    /// Number of vertices.
+    pub vertex_num: usize,
+    /// Indices of virtual (boundary) vertices.
+    pub virtual_vertices: Vec<usize>,
+    /// Positions of every vertex as `(t, i, j)`.
+    pub positions: Vec<(i64, i64, i64)>,
+    /// Edges as `(u, v, weight)`.
+    pub weighted_edges: Vec<(usize, usize, Weight)>,
+    /// Per-edge error probabilities.
+    pub error_probabilities: Vec<f64>,
+    /// Per-edge logical observable masks.
+    pub observable_masks: Vec<u64>,
+}
+
+impl GraphDescription {
+    /// Extracts a description from a graph.
+    pub fn from_graph(graph: &DecodingGraph) -> Self {
+        Self {
+            vertex_num: graph.vertex_count(),
+            virtual_vertices: (0..graph.vertex_count())
+                .filter(|&v| graph.is_virtual(v))
+                .collect(),
+            positions: graph
+                .vertices()
+                .iter()
+                .map(|v| (v.position.t, v.position.i, v.position.j))
+                .collect(),
+            weighted_edges: graph
+                .edges()
+                .iter()
+                .map(|e| (e.vertices.0, e.vertices.1, e.weight))
+                .collect(),
+            error_probabilities: graph.edges().iter().map(|e| e.error_probability).collect(),
+            observable_masks: graph.edges().iter().map(|e| e.observable_mask).collect(),
+        }
+    }
+
+    /// Rebuilds a graph from the description.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the description is internally inconsistent
+    /// (mismatching lengths or out-of-range indices).
+    pub fn to_graph(&self) -> Result<DecodingGraph, String> {
+        if self.positions.len() != self.vertex_num {
+            return Err("positions length does not match vertex_num".into());
+        }
+        if self.error_probabilities.len() != self.weighted_edges.len()
+            || self.observable_masks.len() != self.weighted_edges.len()
+        {
+            return Err("edge attribute lengths do not match".into());
+        }
+        let mut builder = DecodingGraphBuilder::new();
+        let virtual_set: std::collections::HashSet<usize> =
+            self.virtual_vertices.iter().copied().collect();
+        for (v, &(t, i, j)) in self.positions.iter().enumerate() {
+            let pos = Position::new(t, i, j);
+            if virtual_set.contains(&v) {
+                builder.add_virtual_vertex(pos);
+            } else {
+                builder.add_vertex(pos);
+            }
+        }
+        for (k, &(u, v, w)) in self.weighted_edges.iter().enumerate() {
+            if u >= self.vertex_num || v >= self.vertex_num {
+                return Err(format!("edge {k} references missing vertex"));
+            }
+            builder.add_edge(u, v, w, self.error_probabilities[k], self.observable_masks[k]);
+        }
+        Ok(builder.build())
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on failure.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on failure.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::{CodeCapacityRotatedCode, PhenomenologicalCode};
+
+    #[test]
+    fn roundtrip_through_description() {
+        let g = CodeCapacityRotatedCode::new(5, 0.01).decoding_graph();
+        let desc = GraphDescription::from_graph(&g);
+        let g2 = desc.to_graph().unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let g = PhenomenologicalCode::rotated(3, 3, 0.01).decoding_graph();
+        let json = GraphDescription::from_graph(&g).to_json().unwrap();
+        let desc = GraphDescription::from_json(&json).unwrap();
+        let g2 = desc.to_graph().unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn inconsistent_description_is_rejected() {
+        let g = CodeCapacityRotatedCode::new(3, 0.01).decoding_graph();
+        let mut desc = GraphDescription::from_graph(&g);
+        desc.positions.pop();
+        assert!(desc.to_graph().is_err());
+
+        let mut desc2 = GraphDescription::from_graph(&g);
+        desc2.weighted_edges.push((0, 999, 2));
+        desc2.error_probabilities.push(0.1);
+        desc2.observable_masks.push(0);
+        assert!(desc2.to_graph().is_err());
+    }
+}

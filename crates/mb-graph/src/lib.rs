@@ -1,0 +1,47 @@
+//! Decoding-graph substrate for the Micro Blossom reproduction.
+//!
+//! This crate provides everything the decoders need to know about the code
+//! being decoded:
+//!
+//! * [`DecodingGraph`]: a weighted graph whose vertices are stabilizer
+//!   measurements (possibly replicated over measurement rounds) and whose
+//!   edges are independent error mechanisms, exactly as described in §2 of
+//!   the Micro Blossom paper.
+//! * Builders for the quantum repetition code and the rotated / planar
+//!   surface codes under code-capacity and phenomenological noise
+//!   ([`codes`]).
+//! * Shortest-path machinery used both by the decoders (correction paths)
+//!   and by the exact reference matcher ([`dijkstra`]).
+//! * Independent-edge error sampling producing syndromes and logical
+//!   observable flips ([`syndrome`]).
+//! * JSON export of decoding graphs mirroring the artifact interface of the
+//!   paper (§A.5), see [`export`].
+//!
+//! # Example
+//!
+//! ```
+//! use mb_graph::codes::CodeCapacityRotatedCode;
+//! use mb_graph::syndrome::ErrorSampler;
+//! use rand::SeedableRng;
+//!
+//! let code = CodeCapacityRotatedCode::new(5, 0.05);
+//! let graph = code.decoding_graph();
+//! assert_eq!(graph.vertex_count() - graph.virtual_count(), 12); // (d^2-1)/2
+//! let sampler = ErrorSampler::new(&graph);
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let shot = sampler.sample(&mut rng);
+//! assert!(shot.syndrome.defects.len() % 2 == 0 || graph.virtual_count() > 0);
+//! ```
+
+pub mod codes;
+pub mod dijkstra;
+pub mod export;
+pub mod graph;
+pub mod syndrome;
+pub mod types;
+pub mod weights;
+
+pub use graph::{DecodingGraph, DecodingGraphBuilder, EdgeInfo, VertexInfo};
+pub use syndrome::{ErrorPattern, ErrorSampler, Shot, SyndromePattern};
+pub use types::{EdgeIndex, NodeIndex, ObservableMask, Position, VertexIndex, Weight};
+pub use weights::WeightScaler;

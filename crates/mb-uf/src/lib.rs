@@ -1,0 +1,257 @@
+//! Union-Find decoder (the Helios-style baseline of Figure 11).
+//!
+//! The Union-Find (UF) decoder approximates MWPM decoding: clusters grow
+//! from every defect by half-edges until every cluster is *valid* (contains
+//! an even number of defects or touches the code boundary), clusters that
+//! meet are merged with a union-find structure, and a peeling pass inside
+//! each cluster produces the correction. It is faster but less accurate
+//! than MWPM — exactly the trade-off the paper quantifies in Figure 11 by
+//! comparing against Helios [25, 26].
+//!
+//! This implementation works on weighted decoding graphs (growth is in
+//! integer weight units), supports virtual boundary vertices, and returns a
+//! correction as a set of decoding-graph edges.
+
+pub mod peeling;
+pub mod union_find;
+
+use mb_graph::{DecodingGraph, EdgeIndex, SyndromePattern, VertexIndex, Weight};
+use std::sync::Arc;
+use union_find::UnionFind;
+
+/// Statistics of one UF decode, used by the latency model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UnionFindStats {
+    /// Number of cluster-growth iterations until all clusters were valid.
+    pub growth_rounds: usize,
+    /// Number of union operations performed.
+    pub merges: usize,
+    /// Number of edges fully grown.
+    pub grown_edges: usize,
+}
+
+/// Weighted Union-Find decoder over a decoding graph.
+#[derive(Debug, Clone)]
+pub struct UnionFindDecoder {
+    graph: Arc<DecodingGraph>,
+    /// Statistics of the most recent decode.
+    pub stats: UnionFindStats,
+}
+
+impl UnionFindDecoder {
+    /// Creates a decoder for `graph`.
+    pub fn new(graph: Arc<DecodingGraph>) -> Self {
+        Self {
+            graph,
+            stats: UnionFindStats::default(),
+        }
+    }
+
+    /// The decoding graph.
+    pub fn graph(&self) -> &Arc<DecodingGraph> {
+        &self.graph
+    }
+
+    /// Decodes a syndrome, returning the correction as a set of edges.
+    pub fn decode(&mut self, syndrome: &SyndromePattern) -> Vec<EdgeIndex> {
+        self.stats = UnionFindStats::default();
+        let graph = Arc::clone(&self.graph);
+        let n = graph.vertex_count();
+        let mut uf = UnionFind::new(n);
+        let mut is_defect = vec![false; n];
+        for &d in &syndrome.defects {
+            is_defect[d] = true;
+        }
+        // cluster bookkeeping indexed by union-find root
+        let mut parity = vec![false; n]; // odd number of defects
+        let mut touches_boundary: Vec<bool> = (0..n).map(|v| graph.is_virtual(v)).collect();
+        for &d in &syndrome.defects {
+            parity[d] = true;
+        }
+        // per-edge growth from both sides combined
+        let mut growth: Vec<Weight> = vec![0; graph.edge_count()];
+        let mut fully_grown = vec![false; graph.edge_count()];
+        // a vertex is part of some cluster once a cluster has reached it
+        let mut occupied: Vec<bool> = (0..n).map(|v| is_defect[v]).collect();
+
+        let invalid_clusters = |uf: &mut UnionFind,
+                                parity: &[bool],
+                                touches_boundary: &[bool],
+                                occupied: &[bool]|
+         -> Vec<VertexIndex> {
+            let mut roots = std::collections::BTreeSet::new();
+            for v in 0..parity.len() {
+                if !occupied[v] {
+                    continue;
+                }
+                let r = uf.find(v);
+                if parity[r] && !touches_boundary[r] {
+                    roots.insert(r);
+                }
+            }
+            roots.into_iter().collect()
+        };
+
+        loop {
+            let invalid = invalid_clusters(&mut uf, &parity, &touches_boundary, &occupied);
+            if invalid.is_empty() {
+                break;
+            }
+            self.stats.growth_rounds += 1;
+            assert!(
+                self.stats.growth_rounds
+                    <= 4 * (graph.edge_count() + 1) * (graph.max_weight() as usize + 1),
+                "union-find growth failed to converge"
+            );
+            let invalid_set: std::collections::HashSet<VertexIndex> =
+                invalid.iter().copied().collect();
+            // grow the boundary of every invalid cluster by one weight unit
+            let mut newly_grown: Vec<EdgeIndex> = Vec::new();
+            for e in 0..graph.edge_count() {
+                if fully_grown[e] {
+                    continue;
+                }
+                let (u, v) = graph.edge(e).vertices;
+                let mut speed: Weight = 0;
+                for x in [u, v] {
+                    if occupied[x] && invalid_set.contains(&uf.find(x)) {
+                        speed += 1;
+                    }
+                }
+                if speed == 0 {
+                    continue;
+                }
+                growth[e] += speed;
+                if growth[e] >= graph.edge(e).weight {
+                    fully_grown[e] = true;
+                    newly_grown.push(e);
+                }
+            }
+            // merge across fully grown edges
+            for e in newly_grown {
+                self.stats.grown_edges += 1;
+                let (u, v) = graph.edge(e).vertices;
+                for x in [u, v] {
+                    occupied[x] = true;
+                }
+                let (ru, rv) = (uf.find(u), uf.find(v));
+                if ru != rv {
+                    self.stats.merges += 1;
+                    let merged = uf.union(ru, rv);
+                    let new_parity = parity[ru] ^ parity[rv];
+                    let new_boundary = touches_boundary[ru] || touches_boundary[rv];
+                    parity[merged] = new_parity;
+                    touches_boundary[merged] = new_boundary;
+                }
+            }
+        }
+
+        // peeling: compute the correction inside every cluster
+        peeling::peel(&graph, &fully_grown, &syndrome.defects, &mut uf)
+    }
+
+    /// Decodes and reports whether the correction commutes with the sampled
+    /// error (no logical error).
+    pub fn decodes_correctly(&mut self, shot: &mb_graph::Shot) -> bool {
+        let correction = self.decode(&shot.syndrome);
+        let observable = self.graph.observable_of(correction);
+        observable == shot.observable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_graph::codes::{CodeCapacityRepetitionCode, CodeCapacityRotatedCode};
+    use mb_graph::syndrome::{ErrorPattern, ErrorSampler};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn syndrome_of(graph: &DecodingGraph, correction: &[EdgeIndex]) -> Vec<VertexIndex> {
+        ErrorPattern::new(correction.to_vec()).syndrome(graph).defects
+    }
+
+    #[test]
+    fn empty_syndrome_gives_empty_correction() {
+        let graph = Arc::new(CodeCapacityRepetitionCode::new(5, 0.05).decoding_graph());
+        let mut decoder = UnionFindDecoder::new(Arc::clone(&graph));
+        assert!(decoder.decode(&SyndromePattern::empty()).is_empty());
+    }
+
+    #[test]
+    fn single_error_is_corrected_exactly() {
+        let graph = Arc::new(CodeCapacityRepetitionCode::new(7, 0.05).decoding_graph());
+        let mut decoder = UnionFindDecoder::new(Arc::clone(&graph));
+        for e in 0..graph.edge_count() {
+            let shot_syndrome = ErrorPattern::new(vec![e]).syndrome(&graph);
+            let correction = decoder.decode(&shot_syndrome);
+            assert_eq!(
+                syndrome_of(&graph, &correction),
+                shot_syndrome.defects,
+                "edge {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn correction_always_reproduces_the_syndrome_on_rotated_code() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(7, 0.08).decoding_graph());
+        let mut decoder = UnionFindDecoder::new(Arc::clone(&graph));
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..300 {
+            let shot = sampler.sample(&mut rng);
+            let correction = decoder.decode(&shot.syndrome);
+            assert_eq!(
+                syndrome_of(&graph, &correction),
+                shot.syndrome.defects,
+                "syndrome {:?}",
+                shot.syndrome
+            );
+        }
+    }
+
+    #[test]
+    fn logical_error_rate_is_reasonable_but_worse_than_mwpm() {
+        // at a moderate physical error rate the UF decoder should fix most
+        // shots but fail at least as often as the exact MWPM decoder
+        let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.05).decoding_graph());
+        let mut uf = UnionFindDecoder::new(Arc::clone(&graph));
+        let mut mwpm = mb_blossom::SolverSerial::new(Arc::clone(&graph));
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let shots = 2000;
+        let mut uf_errors = 0;
+        let mut mwpm_errors = 0;
+        for _ in 0..shots {
+            let shot = sampler.sample(&mut rng);
+            if !uf.decodes_correctly(&shot) {
+                uf_errors += 1;
+            }
+            let matching = mwpm.solve(&shot.syndrome);
+            if matching.correction_observable(&graph) != shot.observable {
+                mwpm_errors += 1;
+            }
+        }
+        assert!(uf_errors > 0, "expected some UF logical errors at p = 5%");
+        assert!(
+            uf_errors as f64 >= mwpm_errors as f64,
+            "UF ({uf_errors}) should not beat exact MWPM ({mwpm_errors})"
+        );
+        assert!(
+            (uf_errors as f64) < shots as f64 * 0.25,
+            "UF logical error rate implausibly high: {uf_errors}/{shots}"
+        );
+    }
+
+    #[test]
+    fn growth_rounds_scale_with_defect_separation() {
+        let graph = Arc::new(CodeCapacityRepetitionCode::new(9, 0.05).decoding_graph());
+        let mut decoder = UnionFindDecoder::new(Arc::clone(&graph));
+        decoder.decode(&SyndromePattern::new(vec![4]));
+        let lonely = decoder.stats.growth_rounds;
+        decoder.decode(&SyndromePattern::new(vec![4, 5]));
+        let adjacent = decoder.stats.growth_rounds;
+        assert!(lonely >= adjacent, "lonely defect must grow at least as long");
+    }
+}

@@ -1,0 +1,131 @@
+//! Union-find (disjoint set) structure with path compression and union by
+//! size, the data structure at the heart of the UF decoder.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of the set containing `x`, with path compression.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut current = x;
+        while self.parent[current] != root {
+            let next = self.parent[current];
+            self.parent[current] = root;
+            current = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns the new root.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        ra
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let mut uf = UnionFind::new(5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.set_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_sets() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert!(uf.same_set(0, 1));
+        assert!(!uf.same_set(0, 2));
+        uf.union(1, 3);
+        assert!(uf.same_set(0, 2));
+        assert_eq!(uf.set_size(3), 4);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        let r1 = uf.union(0, 1);
+        let r2 = uf.union(0, 1);
+        assert_eq!(r1, r2);
+        assert_eq!(uf.set_size(0), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn same_set_is_an_equivalence_relation(ops in prop::collection::vec((0usize..20, 0usize..20), 0..40)) {
+            let mut uf = UnionFind::new(20);
+            for (a, b) in &ops {
+                uf.union(*a, *b);
+            }
+            // reflexive, symmetric consistency of find
+            for x in 0..20 {
+                prop_assert!(uf.same_set(x, x));
+            }
+            for (a, b) in &ops {
+                prop_assert!(uf.same_set(*a, *b));
+            }
+            // transitivity through the explicit union list
+            for (a, b) in &ops {
+                for (c, d) in &ops {
+                    if uf.same_set(*b, *c) {
+                        prop_assert!(uf.same_set(*a, *d));
+                    }
+                }
+            }
+        }
+    }
+}

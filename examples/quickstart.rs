@@ -1,0 +1,44 @@
+//! Quickstart: decode one shot of a distance-5 surface code with Micro
+//! Blossom and print the matching, the correction, and the modeled latency.
+//!
+//! Run with: `cargo run -r -p mb-decoder --example quickstart`
+
+use mb_decoder::{Decoder, MicroBlossomDecoder};
+use mb_graph::codes::PhenomenologicalCode;
+use mb_graph::syndrome::ErrorSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn main() {
+    let d = 5;
+    let p = 0.005;
+    // d rounds of noisy stabilizer measurement of the rotated surface code
+    let graph = Arc::new(PhenomenologicalCode::rotated(d, d, p).decoding_graph());
+    println!(
+        "decoding graph: {} vertices ({} virtual), {} edges, {} rounds",
+        graph.vertex_count(),
+        graph.virtual_count(),
+        graph.edge_count(),
+        graph.num_layers()
+    );
+
+    let mut decoder = MicroBlossomDecoder::full(Arc::clone(&graph), Some(d));
+    let sampler = ErrorSampler::new(&graph);
+    let mut rng = ChaCha8Rng::seed_from_u64(2025);
+
+    for shot_index in 0..8 {
+        let shot = sampler.sample(&mut rng);
+        let outcome = decoder.decode(&shot.syndrome);
+        let matching = outcome.matching.as_ref().unwrap();
+        println!(
+            "shot {shot_index}: {} defects, {} matched pairs, {} boundary matches, \
+             latency {:.3} us, logical error: {}",
+            shot.syndrome.len(),
+            matching.pairs.len(),
+            matching.boundary.len(),
+            outcome.latency_ns / 1000.0,
+            outcome.observable != shot.observable,
+        );
+    }
+}

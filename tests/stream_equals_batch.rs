@@ -1,0 +1,69 @@
+//! Round-wise fusion (§6) must not change the decoding result: stream
+//! decoding finds exactly the same minimum weight as batch decoding, and the
+//! work performed after the last measurement round (the decoding latency
+//! that matters) is bounded regardless of how many rounds the block has.
+
+use mb_decoder::{MicroBlossomConfig, MicroBlossomDecoder};
+use mb_graph::codes::PhenomenologicalCode;
+use mb_graph::syndrome::ErrorSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+#[test]
+fn stream_and_batch_agree_on_matching_weight() {
+    for (d, rounds, p) in [(3usize, 4usize, 0.02), (3, 8, 0.01), (5, 5, 0.005)] {
+        let graph = Arc::new(PhenomenologicalCode::rotated(d, rounds, p).decoding_graph());
+        let mut stream = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::full(&graph, Some(d)),
+        );
+        let mut batch = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::with_parallel_primal(&graph, Some(d)),
+        );
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for _ in 0..60 {
+            let shot = sampler.sample(&mut rng);
+            let (stream_matching, _) = stream.decode_matching(&shot.syndrome);
+            let (batch_matching, _) = batch.decode_matching(&shot.syndrome);
+            assert!(stream_matching.is_valid_for(&shot.syndrome.defects));
+            assert_eq!(
+                stream_matching.weight(&graph),
+                batch_matching.weight(&graph),
+                "d={d} rounds={rounds} syndrome {:?}",
+                shot.syndrome
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_latency_stays_flat_as_rounds_grow() {
+    let d = 3;
+    let p = 0.002;
+    let shots = 60;
+    let mut per_round_cycles = Vec::new();
+    for rounds in [4usize, 12] {
+        let graph = Arc::new(PhenomenologicalCode::rotated(d, rounds, p).decoding_graph());
+        let mut stream = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::full(&graph, Some(d)),
+        );
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut cycles = 0u64;
+        for _ in 0..shots {
+            let shot = sampler.sample(&mut rng);
+            let (_, breakdown) = stream.decode_matching(&shot.syndrome);
+            cycles += breakdown.hardware_cycles + breakdown.bus_reads;
+        }
+        per_round_cycles.push(cycles as f64 / shots as f64);
+    }
+    // tripling the number of rounds must not triple the post-last-round work
+    assert!(
+        per_round_cycles[1] < per_round_cycles[0] * 2.0,
+        "stream decoding work grew with block size: {per_round_cycles:?}"
+    );
+}
