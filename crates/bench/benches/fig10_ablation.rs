@@ -17,9 +17,18 @@ fn bench_ablation(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(10);
     let shots: Vec<_> = (0..16).map(|_| sampler.sample(&mut rng)).collect();
     let configs = [
-        ("parallel_dual_only", MicroBlossomConfig::parallel_dual_only(&graph, Some(d))),
-        ("with_parallel_primal", MicroBlossomConfig::with_parallel_primal(&graph, Some(d))),
-        ("round_wise_fusion", MicroBlossomConfig::full(&graph, Some(d))),
+        (
+            "parallel_dual_only",
+            MicroBlossomConfig::parallel_dual_only(&graph, Some(d)),
+        ),
+        (
+            "with_parallel_primal",
+            MicroBlossomConfig::with_parallel_primal(&graph, Some(d)),
+        ),
+        (
+            "round_wise_fusion",
+            MicroBlossomConfig::full(&graph, Some(d)),
+        ),
     ];
     for (name, config) in configs {
         let mut decoder = MicroBlossomDecoder::new(Arc::clone(&graph), config);

@@ -26,6 +26,9 @@ fn main() {
     println!("Figure 2: CPU wall-time split (p = 0.1%, {shots} shots per d)");
     println!(
         "{}",
-        render_table(&["d", "dual phase", "primal phase", "potential speedup"], &table)
+        render_table(
+            &["d", "dual phase", "primal phase", "potential speedup"],
+            &table
+        )
     );
 }

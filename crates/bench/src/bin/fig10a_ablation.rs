@@ -25,11 +25,20 @@ fn main() {
             ]
         })
         .collect();
-    println!("Figure 10a: ablation of the key ideas (p = 0.1%, {shots} shots per point, all in us)");
+    println!(
+        "Figure 10a: ablation of the key ideas (p = 0.1%, {shots} shots per point, all in us)"
+    );
     println!(
         "{}",
         render_table(
-            &["d", "Parity Blossom", "+parallel dual", "+parallel primal", "+round-wise fusion", "total speedup"],
+            &[
+                "d",
+                "Parity Blossom",
+                "+parallel dual",
+                "+parallel primal",
+                "+round-wise fusion",
+                "total speedup"
+            ],
             &table
         )
     );

@@ -29,6 +29,9 @@ fn main() {
     println!("Figure 11: p_eff / p_MWPM - 1 ({shots} shots per cell; '--' = UF/MWPM error-rate ratio unresolvable)");
     println!(
         "{}",
-        render_table(&["d", "p", "Helios UF", "Parity Blossom", "Micro Blossom"], &table)
+        render_table(
+            &["d", "p", "Helios UF", "Parity Blossom", "Micro Blossom"],
+            &table
+        )
     );
 }

@@ -2,8 +2,7 @@
 
 use mb_accel::{estimate_resources, ResourceEstimate};
 use mb_decoder::{
-    evaluate_decoder, phase_profile, EvaluationResult, MicroBlossomConfig, MicroBlossomDecoder,
-    ParityBlossomDecoder, UnionFindDecoderAdapter,
+    evaluate_decoder, phase_profile, BackendSpec, EvaluationResult, MicroBlossomConfig,
 };
 use mb_graph::codes::PhenomenologicalCode;
 use mb_graph::DecodingGraph;
@@ -37,7 +36,7 @@ pub fn fig02_amdahl(d_list: &[usize], p: f64, shots: usize) -> Vec<AmdahlRow> {
         .iter()
         .map(|&d| {
             let graph = evaluation_graph(d, p);
-            let profile = phase_profile(&graph, shots, 0xF16_02);
+            let profile = phase_profile(&graph, shots, 0x000F_1602);
             AmdahlRow {
                 d,
                 dual_fraction: profile.dual_fraction,
@@ -68,10 +67,13 @@ pub fn fig09_average_latency(d_list: &[usize], p_list: &[f64], shots: usize) -> 
     for &d in d_list {
         for &p in p_list {
             let graph = evaluation_graph(d, p);
-            let mut parity = ParityBlossomDecoder::new(Arc::clone(&graph));
-            let mut micro = MicroBlossomDecoder::full(Arc::clone(&graph), Some(d));
-            let parity_eval = evaluate_decoder(&mut parity, &graph, shots, 0xF16_09);
-            let micro_eval = evaluate_decoder(&mut micro, &graph, shots, 0xF16_09);
+            let parity_eval = evaluate_decoder(&BackendSpec::Parity, &graph, shots, 0x000F_1609);
+            let micro_eval = evaluate_decoder(
+                &BackendSpec::micro_full(Some(d)),
+                &graph,
+                shots,
+                0x000F_1609,
+            );
             rows.push(LatencyPoint {
                 d,
                 p,
@@ -120,11 +122,19 @@ fn distribution_of(result: &EvaluationResult) -> LatencyDistribution {
 /// Micro Blossom at one `(d, p)` point.
 pub fn fig09_distribution(d: usize, p: f64, shots: usize) -> Vec<LatencyDistribution> {
     let graph = evaluation_graph(d, p);
-    let mut parity = ParityBlossomDecoder::new(Arc::clone(&graph));
-    let mut micro = MicroBlossomDecoder::full(Arc::clone(&graph), Some(d));
     vec![
-        distribution_of(&evaluate_decoder(&mut parity, &graph, shots, 0xD15)),
-        distribution_of(&evaluate_decoder(&mut micro, &graph, shots, 0xD15)),
+        distribution_of(&evaluate_decoder(
+            &BackendSpec::Parity,
+            &graph,
+            shots,
+            0x0D15,
+        )),
+        distribution_of(&evaluate_decoder(
+            &BackendSpec::micro_full(Some(d)),
+            &graph,
+            shots,
+            0x0D15,
+        )),
     ]
 }
 
@@ -149,7 +159,6 @@ pub fn fig10a_ablation(d_list: &[usize], p: f64, shots: usize) -> Vec<AblationRo
         .iter()
         .map(|&d| {
             let graph = evaluation_graph(d, p);
-            let mut parity = ParityBlossomDecoder::new(Arc::clone(&graph));
             let configs = [
                 MicroBlossomConfig::parallel_dual_only(&graph, Some(d)),
                 MicroBlossomConfig::with_parallel_primal(&graph, Some(d)),
@@ -157,11 +166,11 @@ pub fn fig10a_ablation(d_list: &[usize], p: f64, shots: usize) -> Vec<AblationRo
             ];
             let mut latencies = [0.0f64; 3];
             for (i, config) in configs.into_iter().enumerate() {
-                let mut decoder = MicroBlossomDecoder::new(Arc::clone(&graph), config);
-                let eval = evaluate_decoder(&mut decoder, &graph, shots, 0xF16_10);
+                let eval =
+                    evaluate_decoder(&BackendSpec::Micro(config), &graph, shots, 0x000F_1610);
                 latencies[i] = eval.mean_latency_ns() / 1000.0;
             }
-            let parity_eval = evaluate_decoder(&mut parity, &graph, shots, 0xF16_10);
+            let parity_eval = evaluate_decoder(&BackendSpec::Parity, &graph, shots, 0x000F_1610);
             AblationRow {
                 d,
                 parity_us: parity_eval.mean_latency_ns() / 1000.0,
@@ -191,18 +200,12 @@ pub fn fig10b_stream(d: usize, p: f64, rounds_list: &[usize], shots: usize) -> V
     rounds_list
         .iter()
         .map(|&rounds| {
-            let graph =
-                Arc::new(PhenomenologicalCode::rotated(d, rounds, p).decoding_graph());
-            let mut batch = MicroBlossomDecoder::new(
-                Arc::clone(&graph),
-                MicroBlossomConfig::with_parallel_primal(&graph, Some(d)),
-            );
-            let mut stream = MicroBlossomDecoder::new(
-                Arc::clone(&graph),
-                MicroBlossomConfig::full(&graph, Some(d)),
-            );
-            let batch_eval = evaluate_decoder(&mut batch, &graph, shots, 0xF16_0B);
-            let stream_eval = evaluate_decoder(&mut stream, &graph, shots, 0xF16_0B);
+            let graph = Arc::new(PhenomenologicalCode::rotated(d, rounds, p).decoding_graph());
+            let batch_spec =
+                BackendSpec::Micro(MicroBlossomConfig::with_parallel_primal(&graph, Some(d)));
+            let stream_spec = BackendSpec::Micro(MicroBlossomConfig::full(&graph, Some(d)));
+            let batch_eval = evaluate_decoder(&batch_spec, &graph, shots, 0x000F_160B);
+            let stream_eval = evaluate_decoder(&stream_spec, &graph, shots, 0x000F_160B);
             StreamPoint {
                 rounds,
                 batch_us: batch_eval.mean_latency_ns() / 1000.0,
@@ -244,12 +247,15 @@ pub fn fig11_effective_error(
     for &d in d_list {
         for &p in p_list {
             let graph = evaluation_graph(d, p);
-            let mut parity = ParityBlossomDecoder::new(Arc::clone(&graph));
-            let mut micro = MicroBlossomDecoder::full(Arc::clone(&graph), Some(d));
-            let mut helios = UnionFindDecoderAdapter::new(Arc::clone(&graph));
-            let parity_eval = evaluate_decoder(&mut parity, &graph, shots, 0xF16_11);
-            let micro_eval = evaluate_decoder(&mut micro, &graph, shots, 0xF16_11);
-            let helios_eval = evaluate_decoder(&mut helios, &graph, shots, 0xF16_11);
+            let parity_eval = evaluate_decoder(&BackendSpec::Parity, &graph, shots, 0x000F_1611);
+            let micro_eval = evaluate_decoder(
+                &BackendSpec::micro_full(Some(d)),
+                &graph,
+                shots,
+                0x000F_1611,
+            );
+            let helios_eval =
+                evaluate_decoder(&BackendSpec::union_find(), &graph, shots, 0x000F_1611);
             let rounds = |ns: f64| ns / MEASUREMENT_CYCLE_NS / d as f64;
             let p_mwpm = parity_eval.logical_error_rate();
             let helios_ratio = if p_mwpm > 0.0 && helios_eval.logical_error_rate() > 0.0 {
@@ -372,7 +378,10 @@ mod tests {
     fn render_table_aligns_columns() {
         let table = render_table(
             &["d", "value"],
-            &[vec!["3".into(), "1.5".into()], vec!["13".into(), "10.25".into()]],
+            &[
+                vec!["3".into(), "1.5".into()],
+                vec!["13".into(), "10.25".into()],
+            ],
         );
         assert!(table.contains('d'));
         assert!(table.lines().count() == 4);

@@ -192,8 +192,9 @@ impl MicroBlossomAccelerator {
                 prematch: false,
             })
             .collect();
-        let convergecast_cycles =
-            ((graph.vertex_count() + graph.edge_count()).max(2) as f64).log2().ceil() as u64;
+        let convergecast_cycles = ((graph.vertex_count() + graph.edge_count()).max(2) as f64)
+            .log2()
+            .ceil() as u64;
         let staged_syndrome = vec![Vec::new(); graph.num_layers()];
         Self {
             graph,
@@ -237,8 +238,15 @@ impl MicroBlossomAccelerator {
     /// syndrome path from the quantum hardware into the vPUs (Figure 5).
     pub fn stage_syndrome(&mut self, layer: usize, defects: &[VertexIndex]) {
         for &d in defects {
-            assert_eq!(self.graph.layer_of(d), layer, "defect {d} is not in layer {layer}");
-            assert!(!self.graph.is_virtual(d), "virtual vertices cannot be defects");
+            assert_eq!(
+                self.graph.layer_of(d),
+                layer,
+                "defect {d} is not in layer {layer}"
+            );
+            assert!(
+                !self.graph.is_virtual(d),
+                "virtual vertices cannot be defects"
+            );
         }
         self.staged_syndrome[layer] = defects.to_vec();
     }
@@ -385,9 +393,9 @@ impl MicroBlossomAccelerator {
     fn update_fusion_weights(&mut self) {
         for e in 0..self.edges.len() {
             let (u, v) = self.graph.edge(e).vertices;
-            let unloaded = |x: VertexIndex| !self.vertices[x].is_virtual && self.vertices[x].is_boundary;
-            let reduce = self.config.fusion_weight_reduction
-                && (unloaded(u) ^ unloaded(v));
+            let unloaded =
+                |x: VertexIndex| !self.vertices[x].is_virtual && self.vertices[x].is_boundary;
+            let reduce = self.config.fusion_weight_reduction && (unloaded(u) ^ unloaded(v));
             self.edges[e].weight = if reduce {
                 self.config.fusion_reduced_weight
             } else {
@@ -429,7 +437,8 @@ impl MicroBlossomAccelerator {
         // max-residual propagation from defect circles
         // key: (residual, speed, Reverse(touch)) so ties prefer faster nodes
         let mut best: Vec<Option<(Weight, i8, VertexIndex)>> = vec![None; self.vertices.len()];
-        let mut heap: BinaryHeap<(Weight, i8, Reverse<VertexIndex>, VertexIndex)> = BinaryHeap::new();
+        let mut heap: BinaryHeap<(Weight, i8, Reverse<VertexIndex>, VertexIndex)> =
+            BinaryHeap::new();
         for v in 0..self.vertices.len() {
             let pu = &self.vertices[v];
             if pu.is_defect && !pu.is_boundary && !pu.is_virtual {
@@ -439,9 +448,7 @@ impl MicroBlossomAccelerator {
         while let Some((residual, speed, Reverse(touch), vertex)) = heap.pop() {
             let better = match best[vertex] {
                 None => true,
-                Some((r, s, t)) => {
-                    (residual, speed, Reverse(touch)) > (r, s, Reverse(t))
-                }
+                Some((r, s, t)) => (residual, speed, Reverse(touch)) > (r, s, Reverse(t)),
             };
             if !better {
                 continue;
@@ -463,6 +470,7 @@ impl MicroBlossomAccelerator {
                 heap.push((next_residual, speed, Reverse(touch), next));
             }
         }
+        #[allow(clippy::needless_range_loop)] // `v` indexes two parallel arrays
         for v in 0..self.vertices.len() {
             if self.vertices[v].is_defect && !self.vertices[v].is_boundary {
                 continue;
@@ -493,8 +501,7 @@ impl MicroBlossomAccelerator {
             (false, false) => {
                 covered(u)
                     && covered(v)
-                    && self.vertices[u].residual + self.vertices[v].residual
-                        >= self.edges[e].weight
+                    && self.vertices[u].residual + self.vertices[v].residual >= self.edges[e].weight
             }
         }
     }
@@ -537,7 +544,11 @@ impl MicroBlossomAccelerator {
                 eligible_defect(a) && q(a) && eligible_defect(b) && q(b)
             } else {
                 // one side is a boundary (virtual or unloaded)
-                let (boundary, defect) = if self.is_virtualish(a) { (a, b) } else { (b, a) };
+                let (boundary, defect) = if self.is_virtualish(a) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 if self.is_virtualish(defect) || !eligible_defect(defect) {
                     false
                 } else if self.vertices[boundary].is_virtual {
@@ -547,16 +558,15 @@ impl MicroBlossomAccelerator {
                             return true;
                         }
                         let other = self.graph.edge(e2).other(defect);
-                        !tight[e2]
-                            || (!self.vertices[other].is_defect && q(other))
+                        !tight[e2] || (!self.vertices[other].is_defect && q(other))
                     })
                 } else {
                     // Equation 3: fusion-boundary edge; require no
                     // non-volatile tight edge around the defect
                     self.graph.incident_edges(defect).iter().all(|&e2| {
                         let other = self.graph.edge(e2).other(defect);
-                        let non_volatile = !self.vertices[other].is_boundary
-                            || self.vertices[other].is_virtual;
+                        let non_volatile =
+                            !self.vertices[other].is_boundary || self.vertices[other].is_virtual;
                         !(tight[e2] && non_volatile)
                     })
                 }
@@ -594,7 +604,9 @@ impl MicroBlossomAccelerator {
             match (self.is_virtualish(a), self.is_virtualish(b)) {
                 (false, false) => {
                     let (pa, pb) = (&self.vertices[a], &self.vertices[b]);
-                    let (Some(na), Some(nb)) = (pa.node, pb.node) else { continue };
+                    let (Some(na), Some(nb)) = (pa.node, pb.node) else {
+                        continue;
+                    };
                     if na == nb {
                         continue;
                     }
@@ -615,7 +627,11 @@ impl MicroBlossomAccelerator {
                     };
                 }
                 (true, false) | (false, true) => {
-                    let (boundary, side) = if self.is_virtualish(a) { (a, b) } else { (b, a) };
+                    let (boundary, side) = if self.is_virtualish(a) {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
                     let ps = &self.vertices[side];
                     let Some(node) = ps.node else { continue };
                     if ps.residual < self.edges[e].weight {
@@ -662,8 +678,7 @@ impl MicroBlossomAccelerator {
                 if self.effective_speed(side) <= 0 {
                     continue;
                 }
-                let other_empty =
-                    self.is_virtualish(other) || self.vertices[other].node.is_none();
+                let other_empty = self.is_virtualish(other) || self.vertices[other].node.is_none();
                 if other_empty {
                     limit = limit.min(weight - self.vertices[side].residual);
                 }
@@ -768,7 +783,11 @@ mod tests {
         assert_eq!(r1, HwResponse::GrowLength { length: 1 });
         accel.execute(Instruction::Grow { length: 1 });
         let r2 = accel.execute(Instruction::FindConflict).unwrap();
-        assert_eq!(r2, HwResponse::Idle, "the conflict must be absorbed by pre-matching");
+        assert_eq!(
+            r2,
+            HwResponse::Idle,
+            "the conflict must be absorbed by pre-matching"
+        );
         let pairs = accel.prematched_pairs();
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].1, PrematchPartner::Defect(4));
@@ -845,9 +864,8 @@ mod tests {
     fn unloaded_layers_act_as_virtual_boundaries() {
         // two-layer phenomenological-style graph on the repetition code
         let base = CodeCapacityRepetitionCode::new(5, 0.1).decoding_graph();
-        let graph = Arc::new(
-            mb_graph::codes::PhenomenologicalCode::new(base, 2, 0.1).decoding_graph(),
-        );
+        let graph =
+            Arc::new(mb_graph::codes::PhenomenologicalCode::new(base, 2, 0.1).decoding_graph());
         let mut accel = MicroBlossomAccelerator::new(
             Arc::clone(&graph),
             AcceleratorConfig {
@@ -879,10 +897,10 @@ mod tests {
     #[test]
     fn fusion_weight_reduction_prematches_new_layer_instantly() {
         let base = CodeCapacityRepetitionCode::new(5, 0.1).decoding_graph();
-        let graph = Arc::new(
-            mb_graph::codes::PhenomenologicalCode::new(base, 3, 0.1).decoding_graph(),
-        );
-        let mut accel = MicroBlossomAccelerator::new(Arc::clone(&graph), AcceleratorConfig::default());
+        let graph =
+            Arc::new(mb_graph::codes::PhenomenologicalCode::new(base, 3, 0.1).decoding_graph());
+        let mut accel =
+            MicroBlossomAccelerator::new(Arc::clone(&graph), AcceleratorConfig::default());
         let defect = (0..graph.vertex_count())
             .find(|&v| !graph.is_virtual(v) && graph.layer_of(v) == 0)
             .unwrap();
@@ -899,7 +917,10 @@ mod tests {
         // resumes growing
         accel.execute(Instruction::LoadDefects { layer: 1 });
         let response = accel.execute(Instruction::FindConflict).unwrap();
-        assert!(matches!(response, HwResponse::GrowLength { .. } | HwResponse::Idle));
+        assert!(matches!(
+            response,
+            HwResponse::GrowLength { .. } | HwResponse::Idle
+        ));
     }
 
     #[test]

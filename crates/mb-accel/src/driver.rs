@@ -255,7 +255,11 @@ impl DualModule for AcceleratedDual {
     }
 
     fn add_defect(&mut self, vertex: VertexIndex, node: NodeIndex) {
-        assert_eq!(node, self.nodes.len(), "node indices must be allocated in order");
+        assert_eq!(
+            node,
+            self.nodes.len(),
+            "node indices must be allocated in order"
+        );
         assert!(
             self.accel.vertex_pu(vertex).is_defect,
             "defect {vertex} must be loaded into the accelerator before it is materialized"
@@ -295,7 +299,11 @@ impl DualModule for AcceleratedDual {
     }
 
     fn create_blossom(&mut self, blossom: NodeIndex, children: &[NodeIndex]) {
-        assert_eq!(blossom, self.nodes.len(), "node indices must be allocated in order");
+        assert_eq!(
+            blossom,
+            self.nodes.len(),
+            "node indices must be allocated in order"
+        );
         let hw_id = self.next_blossom_hw;
         self.next_blossom_hw += 1;
         let mut defects = Vec::new();
@@ -380,8 +388,7 @@ impl DualModule for AcceleratedDual {
         let graph = self.accel.graph();
         let untracked: Weight = (0..graph.vertex_count())
             .filter(|&v| {
-                self.accel.vertex_pu(v).is_defect
-                    && !self.node_of_hw.contains_key(&(v as HwNodeId))
+                self.accel.vertex_pu(v).is_defect && !self.node_of_hw.contains_key(&(v as HwNodeId))
             })
             .map(|v| self.accel.radius_of(v))
             .sum();
@@ -438,7 +445,10 @@ mod tests {
     fn accelerated_dual_matches_software_dual_on_repetition_code() {
         let graph = Arc::new(CodeCapacityRepetitionCode::new(9, 0.1).decoding_graph());
         for mask in 0u32..(1 << 8) {
-            let defects: Vec<usize> = (0..8).filter(|i| mask >> i & 1 == 1).map(|i| i + 1).collect();
+            let defects: Vec<usize> = (0..8)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| i + 1)
+                .collect();
             let syndrome = SyndromePattern::new(defects);
             let accel_matching = decode_with_accelerator(&graph, &syndrome);
             let mut serial = DualModuleSerial::new(Arc::clone(&graph));
@@ -498,8 +508,7 @@ mod tests {
         // with pre-matching on, an isolated pair never reaches the CPU but
         // still contributes its circles to the dual objective
         let graph = Arc::new(CodeCapacityRepetitionCode::new(9, 0.1).decoding_graph());
-        let accel =
-            MicroBlossomAccelerator::new(Arc::clone(&graph), AcceleratorConfig::default());
+        let accel = MicroBlossomAccelerator::new(Arc::clone(&graph), AcceleratorConfig::default());
         let mut driver = AcceleratedDual::new(accel);
         driver.load_layer(0, &[3, 4]);
         loop {

@@ -7,13 +7,12 @@
 //! `[|V|, 2|V|)`, supporting `2^14 = 16384` vertices, i.e. `d ≤ 31`).
 
 use mb_graph::Weight;
-use serde::{Deserialize, Serialize};
 
 /// Hardware node identifier (vertex index or blossom index).
 pub type HwNodeId = u32;
 
 /// Growth direction field of `set Direction`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HwDirection {
     /// `Δy = +1`
     Grow,
@@ -52,7 +51,7 @@ impl HwDirection {
 }
 
 /// One accelerator instruction (Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instruction {
     /// Clear every PU.
     Reset,
@@ -124,11 +123,17 @@ impl Instruction {
                 (node << 17) | (direction.encode() << 15) | OP_EXT
             }
             Instruction::Grow { length } => {
-                assert!((0..(1 << 26)).contains(&length), "grow length overflows 26 bits");
+                assert!(
+                    (0..(1 << 26)).contains(&length),
+                    "grow length overflows 26 bits"
+                );
                 ((length as u32) << 6) | (EXT_GROW << 2) | OP_EXT
             }
             Instruction::SetCover { from, to } => {
-                assert!(from < (1 << 15) && to < (1 << 15), "node id overflows 15 bits");
+                assert!(
+                    from < (1 << 15) && to < (1 << 15),
+                    "node id overflows 15 bits"
+                );
                 (from << 17) | (to << 2) | OP_SET_COVER
             }
             Instruction::FindConflict => (EXT_FIND_CONFLICT << 2) | OP_EXT,

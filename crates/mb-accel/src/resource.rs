@@ -8,7 +8,6 @@
 
 use crate::accelerator::MicroBlossomAccelerator;
 use mb_graph::DecodingGraph;
-use serde::{Deserialize, Serialize};
 
 /// Published Table 4 rows `(d, LUTs, frequency MHz)` used for calibration.
 const PAPER_TABLE4: &[(usize, f64, f64)] = &[
@@ -22,7 +21,7 @@ const PAPER_TABLE4: &[(usize, f64, f64)] = &[
 ];
 
 /// Resource-usage estimate for one accelerator instance (one row of Table 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceEstimate {
     /// Code distance, if known (used to return paper-calibrated LUT/clock
     /// figures).
@@ -114,10 +113,7 @@ fn frequency_model(vertices: usize, edges: usize) -> f64 {
 ///
 /// `code_distance` may be provided to use the paper's published LUT/clock
 /// numbers for the exact configurations of Table 4.
-pub fn estimate_resources(
-    graph: &DecodingGraph,
-    code_distance: Option<usize>,
-) -> ResourceEstimate {
+pub fn estimate_resources(graph: &DecodingGraph, code_distance: Option<usize>) -> ResourceEstimate {
     let vertices = graph.vertex_count();
     let edges = graph.edge_count();
     let max_weight_sum: i64 = graph.max_weight() * graph.num_layers().max(1) as i64 * 4;
@@ -133,12 +129,11 @@ pub fn estimate_resources(
     // CPU memory: primal node bookkeeping sized for the worst case of |V|/2
     // defects plus as many blossoms, ~60 bytes per node.
     let cpu_memory_bytes = vertices * 60;
-    let (luts, frequency_mhz) = match code_distance
-        .and_then(|d| PAPER_TABLE4.iter().find(|row| row.0 == d))
-    {
-        Some(&(_, luts, freq)) => (luts, freq),
-        None => (lut_model(vertices, edges), frequency_model(vertices, edges)),
-    };
+    let (luts, frequency_mhz) =
+        match code_distance.and_then(|d| PAPER_TABLE4.iter().find(|row| row.0 == d)) {
+            Some(&(_, luts, freq)) => (luts, freq),
+            None => (lut_model(vertices, edges), frequency_model(vertices, edges)),
+        };
     ResourceEstimate {
         code_distance,
         vertices,
@@ -199,7 +194,11 @@ mod tests {
         let graph = PhenomenologicalCode::rotated(9, 9, 0.001).decoding_graph();
         let est = estimate_resources(&graph, Some(9));
         assert!(est.epu_bits <= 6, "ePU bits {}", est.epu_bits);
-        assert!(est.vpu_bits >= 20 && est.vpu_bits <= 48, "vPU bits {}", est.vpu_bits);
+        assert!(
+            est.vpu_bits >= 20 && est.vpu_bits <= 48,
+            "vPU bits {}",
+            est.vpu_bits
+        );
     }
 
     #[test]

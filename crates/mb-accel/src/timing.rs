@@ -13,10 +13,9 @@
 
 use crate::resource::estimate_resources;
 use mb_graph::DecodingGraph;
-use serde::{Deserialize, Serialize};
 
 /// Latency model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingModel {
     /// Accelerator clock frequency in MHz.
     pub clock_mhz: f64,

@@ -58,6 +58,11 @@ pub struct DualModuleSerial {
     nodes: Vec<DualNodeData>,
     /// Scratch cover state, recomputed by `find_obstacle`.
     covers: Vec<VertexCover>,
+    /// Scratch: best residual seen per vertex during the sweep (reused
+    /// across sweeps to keep the hot path allocation-free).
+    visited_best: Vec<Option<Weight>>,
+    /// Scratch: the sweep's priority queue (reused across sweeps).
+    heap: BinaryHeap<(Weight, Reverse<VertexIndex>, VertexIndex, NodeIndex)>,
     /// Statistics: how many cover sweeps were performed (dual-phase work).
     pub sweep_count: usize,
 }
@@ -72,6 +77,8 @@ impl DualModuleSerial {
             node_of_defect: vec![None; n],
             nodes: Vec::new(),
             covers: vec![VertexCover::default(); n],
+            visited_best: vec![None; n],
+            heap: BinaryHeap::new(),
             sweep_count: 0,
         }
     }
@@ -99,6 +106,9 @@ impl DualModuleSerial {
     }
 
     /// Recomputes the per-vertex cover description from the defect radii.
+    ///
+    /// Uses the scratch `visited_best` / `heap` fields instead of allocating
+    /// per sweep, so steady-state decoding performs no allocations here.
     fn compute_covers(&mut self) {
         self.sweep_count += 1;
         for cover in &mut self.covers {
@@ -106,9 +116,11 @@ impl DualModuleSerial {
             cover.touches.clear();
         }
         // Max-residual multi-source Dijkstra. Entries: (residual, vertex, touch, outer node)
-        let mut visited_best: Vec<Option<Weight>> = vec![None; self.graph.vertex_count()];
-        let mut heap: BinaryHeap<(Weight, Reverse<VertexIndex>, VertexIndex, NodeIndex)> =
-            BinaryHeap::new();
+        let mut visited_best = std::mem::take(&mut self.visited_best);
+        let mut heap = std::mem::take(&mut self.heap);
+        visited_best.clear();
+        visited_best.resize(self.graph.vertex_count(), None);
+        heap.clear();
         for (vertex, &node) in self.node_of_defect.iter().enumerate() {
             let Some(node) = node else { continue };
             if self.nodes[node].expanded {
@@ -156,6 +168,9 @@ impl DualModuleSerial {
                 heap.push((next_residual, Reverse(next), touch, outer));
             }
         }
+        // hand the scratch buffers back for the next sweep
+        self.visited_best = visited_best;
+        self.heap = heap;
     }
 
     /// Scans the cover description for a conflict.
@@ -289,8 +304,8 @@ impl DualModuleSerial {
                         if node_1 == node_2 {
                             continue;
                         }
-                        let sum =
-                            self.node(node_1).direction as Weight + self.node(node_2).direction as Weight;
+                        let sum = self.node(node_1).direction as Weight
+                            + self.node(node_2).direction as Weight;
                         if sum > 0 {
                             // rounding down never overshoots a constraint; with
                             // even weights all binding events are integral anyway
@@ -322,11 +337,7 @@ fn touch_side_vertex(
 ) -> VertexIndex {
     for &e in dual.graph.incident_edges(virtual_vertex) {
         let other = dual.graph.edge(e).other(virtual_vertex);
-        if dual.covers[other]
-            .touches
-            .iter()
-            .any(|&(t, _)| t == touch)
-        {
+        if dual.covers[other].touches.iter().any(|&(t, _)| t == touch) {
             return other;
         }
     }
@@ -335,11 +346,15 @@ fn touch_side_vertex(
 
 impl DualModule for DualModuleSerial {
     fn reset(&mut self) {
-        let n = self.graph.vertex_count();
-        self.radius = vec![0; n];
-        self.node_of_defect = vec![None; n];
+        // clear in place: per-shot reuse must not reallocate (the sharded
+        // pipeline keeps one dual module per worker for millions of shots)
+        self.radius.fill(0);
+        self.node_of_defect.fill(None);
         self.nodes.clear();
-        self.covers = vec![VertexCover::default(); n];
+        for cover in &mut self.covers {
+            cover.residual = 0;
+            cover.touches.clear();
+        }
     }
 
     fn add_defect(&mut self, vertex: VertexIndex, node: NodeIndex) {
@@ -347,7 +362,11 @@ impl DualModule for DualModuleSerial {
             !self.graph.is_virtual(vertex),
             "virtual vertices cannot be defects"
         );
-        assert_eq!(node, self.nodes.len(), "node indices must be allocated in order");
+        assert_eq!(
+            node,
+            self.nodes.len(),
+            "node indices must be allocated in order"
+        );
         assert!(
             self.node_of_defect[vertex].is_none(),
             "vertex {vertex} is already a defect"
@@ -365,13 +384,23 @@ impl DualModule for DualModuleSerial {
     }
 
     fn set_direction(&mut self, node: NodeIndex, direction: GrowDirection) {
-        debug_assert!(self.is_outer(node), "direction is only meaningful for outer nodes");
+        debug_assert!(
+            self.is_outer(node),
+            "direction is only meaningful for outer nodes"
+        );
         self.nodes[node].direction = direction.value();
     }
 
     fn create_blossom(&mut self, blossom: NodeIndex, children: &[NodeIndex]) {
-        assert_eq!(blossom, self.nodes.len(), "node indices must be allocated in order");
-        assert!(children.len() >= 3 && children.len() % 2 == 1, "blossoms have odd size >= 3");
+        assert_eq!(
+            blossom,
+            self.nodes.len(),
+            "node indices must be allocated in order"
+        );
+        assert!(
+            children.len() >= 3 && children.len() % 2 == 1,
+            "blossoms have odd size >= 3"
+        );
         let mut defects = Vec::new();
         for &child in children {
             assert!(self.is_outer(child), "blossom children must be outer nodes");
@@ -391,9 +420,15 @@ impl DualModule for DualModuleSerial {
     }
 
     fn expand_blossom(&mut self, blossom: NodeIndex) {
-        assert!(self.is_outer(blossom), "only outer blossoms can be expanded");
+        assert!(
+            self.is_outer(blossom),
+            "only outer blossoms can be expanded"
+        );
         assert_eq!(self.nodes[blossom].dual, 0, "blossoms expand only at y = 0");
-        assert!(!self.nodes[blossom].children.is_empty(), "cannot expand a vertex node");
+        assert!(
+            !self.nodes[blossom].children.is_empty(),
+            "cannot expand a vertex node"
+        );
         let children = self.nodes[blossom].children.clone();
         for child in children {
             self.nodes[child].parent = None;
@@ -441,7 +476,10 @@ impl DualModule for DualModuleSerial {
         match self.max_growth() {
             None => DualReport::Finished,
             Some(length) => {
-                assert!(length > 0, "zero growth without an obstacle indicates a bug");
+                assert!(
+                    length > 0,
+                    "zero growth without an obstacle indicates a bug"
+                );
                 DualReport::GrowLength(length)
             }
         }
@@ -478,7 +516,12 @@ mod tests {
         assert_eq!(report, DualReport::GrowLength(2));
         dual.grow(2);
         match dual.find_obstacle() {
-            DualReport::Obstacle(Obstacle::ConflictVirtual { node, touch, virtual_vertex, .. }) => {
+            DualReport::Obstacle(Obstacle::ConflictVirtual {
+                node,
+                touch,
+                virtual_vertex,
+                ..
+            }) => {
                 assert_eq!(node, 0);
                 assert_eq!(touch, 2);
                 assert_eq!(virtual_vertex, 0);
@@ -497,9 +540,19 @@ mod tests {
         assert_eq!(dual.find_obstacle(), DualReport::GrowLength(2));
         dual.grow(2);
         match dual.find_obstacle() {
-            DualReport::Obstacle(Obstacle::Conflict { node_1, node_2, touch_1, touch_2, .. }) => {
-                assert_eq!([node_1, node_2].into_iter().collect::<std::collections::BTreeSet<_>>(),
-                           [0, 1].into_iter().collect());
+            DualReport::Obstacle(Obstacle::Conflict {
+                node_1,
+                node_2,
+                touch_1,
+                touch_2,
+                ..
+            }) => {
+                assert_eq!(
+                    [node_1, node_2]
+                        .into_iter()
+                        .collect::<std::collections::BTreeSet<_>>(),
+                    [0, 1].into_iter().collect()
+                );
                 assert!([touch_1, touch_2].contains(&2));
                 assert!([touch_1, touch_2].contains(&4));
             }

@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn works_on_rotated_surface_code() {
         let g = CodeCapacityRotatedCode::new(5, 0.05).decoding_graph();
-        let defects: Vec<_> = (0..g.vertex_count()).filter(|&v| !g.is_virtual(v)).take(4).collect();
+        let defects: Vec<_> = (0..g.vertex_count())
+            .filter(|&v| !g.is_virtual(v))
+            .take(4)
+            .collect();
         let w = minimum_matching_weight(&g, &defects).unwrap();
         assert!(w > 0);
         // the weight of matching everything to the boundary is an upper bound

@@ -164,7 +164,11 @@ mod tests {
 
     #[test]
     fn grow_direction_roundtrip() {
-        for dir in [GrowDirection::Grow, GrowDirection::Stay, GrowDirection::Shrink] {
+        for dir in [
+            GrowDirection::Grow,
+            GrowDirection::Stay,
+            GrowDirection::Shrink,
+        ] {
             assert_eq!(GrowDirection::from_value(dir.value()), dir);
         }
     }

@@ -3,13 +3,12 @@
 
 use mb_graph::dijkstra::{dijkstra, distance_between, path_between};
 use mb_graph::{DecodingGraph, EdgeIndex, ObservableMask, VertexIndex, Weight};
-use serde::{Deserialize, Serialize};
 
 /// A perfect matching of the defect vertices of one syndrome.
 ///
 /// Every defect appears exactly once: either paired with another defect or
 /// matched to a virtual (boundary) vertex.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PerfectMatching {
     /// Pairs of matched defect vertices.
     pub pairs: Vec<(VertexIndex, VertexIndex)>,

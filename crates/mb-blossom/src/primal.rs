@@ -220,7 +220,7 @@ impl PrimalModule {
 
     /// Depth parity of an outer tree node: `true` for `+` (even depth).
     fn is_plus(&self, node: NodeIndex) -> bool {
-        self.depth_of(node) % 2 == 0
+        self.depth_of(node).is_multiple_of(2)
     }
 
     fn depth_of(&self, node: NodeIndex) -> usize {
@@ -228,7 +228,9 @@ impl PrimalModule {
         let mut current = node;
         loop {
             match &self.nodes[current].state {
-                NodeState::InTree { parent: Some(link), .. } => {
+                NodeState::InTree {
+                    parent: Some(link), ..
+                } => {
                     depth += 1;
                     current = link.parent;
                 }
@@ -242,7 +244,9 @@ impl PrimalModule {
         let mut current = node;
         loop {
             match &self.nodes[current].state {
-                NodeState::InTree { parent: Some(link), .. } => current = link.parent,
+                NodeState::InTree {
+                    parent: Some(link), ..
+                } => current = link.parent,
                 NodeState::InTree { parent: None, .. } => return current,
                 other => panic!("tree_root_of called on non-tree node {current}: {other:?}"),
             }
@@ -388,9 +392,15 @@ impl PrimalModule {
         touch: TouchPair,
         dual: &mut impl DualModule,
     ) {
-        assert!(self.is_plus(o_tree), "tree side of a conflict must be growing");
+        assert!(
+            self.is_plus(o_tree),
+            "tree side of a conflict must be growing"
+        );
         match self.nodes[o_other].state.clone() {
-            NodeState::Matched { peer, touch: match_touch } => {
+            NodeState::Matched {
+                peer,
+                touch: match_touch,
+            } => {
                 // attach the matched pair: o_other becomes `-`, peer becomes `+`
                 match &mut self.nodes[o_tree].state {
                     NodeState::InTree { children, .. } => children.push(o_other),
@@ -462,7 +472,11 @@ impl PrimalModule {
             new_matches.push((minus, plus, link.touch));
             i += 2;
         }
-        debug_assert_eq!(path.len() % 2, 1, "augmenting path must have odd node count");
+        debug_assert_eq!(
+            path.len() % 2,
+            1,
+            "augmenting path must have odd node count"
+        );
         // off-path matched pairs: every `-` node not on the path keeps its
         // matched partner (its unique tree child)
         let on_path: std::collections::HashSet<NodeIndex> = path.iter().copied().collect();
@@ -569,8 +583,7 @@ impl PrimalModule {
         let lca_parent = self.parent_link(lca);
         // children of the blossom in the tree: all tree children of cycle
         // members that are not themselves cycle members
-        let cycle_set: std::collections::HashSet<NodeIndex> =
-            cycle_nodes.iter().copied().collect();
+        let cycle_set: std::collections::HashSet<NodeIndex> = cycle_nodes.iter().copied().collect();
         let mut blossom_children = Vec::new();
         for &member in &cycle_nodes {
             for &child in self.tree_children(member) {
@@ -590,7 +603,10 @@ impl PrimalModule {
         });
         // re-parent the hanging children onto the blossom
         for &child in &blossom_children {
-            if let NodeState::InTree { parent: Some(link), .. } = &mut self.nodes[child].state {
+            if let NodeState::InTree {
+                parent: Some(link), ..
+            } = &mut self.nodes[child].state
+            {
                 link.parent = blossom;
             }
         }
@@ -623,7 +639,11 @@ impl PrimalModule {
             .parent_link(blossom)
             .expect("an expanding blossom is a `-` node and has a parent");
         let children = self.tree_children(blossom).to_vec();
-        assert_eq!(children.len(), 1, "a `-` blossom has exactly one tree child");
+        assert_eq!(
+            children.len(),
+            1,
+            "a `-` blossom has exactly one tree child"
+        );
         let tree_child = children[0];
         let tree_child_link = self
             .parent_link(tree_child)
@@ -641,7 +661,7 @@ impl PrimalModule {
         // walk from `entry` to `exit` in the direction that uses an even
         // number of cycle edges
         let forward_steps = (exit + len - entry) % len;
-        let (steps, forward) = if forward_steps % 2 == 0 {
+        let (steps, forward) = if forward_steps.is_multiple_of(2) {
             (forward_steps, true)
         } else {
             (len - forward_steps, false)
@@ -706,7 +726,10 @@ impl PrimalModule {
                 }
             }
         }
-        if let NodeState::InTree { parent: Some(link), .. } = &mut self.nodes[tree_child].state {
+        if let NodeState::InTree {
+            parent: Some(link), ..
+        } = &mut self.nodes[tree_child].state
+        {
             link.parent = cycle[*path.last().unwrap()].child;
         }
         // off-path members pair up consecutively around the cycle
@@ -715,7 +738,11 @@ impl PrimalModule {
         for k in 1..(len - steps) {
             // walk away from `entry` on the side not taken by the tree path,
             // so consecutive entries are cycle-adjacent
-            let pos = if forward { (entry + len - k) % len } else { (entry + k) % len };
+            let pos = if forward {
+                (entry + len - k) % len
+            } else {
+                (entry + k) % len
+            };
             debug_assert!(!path_set.contains(&pos));
             off_path.push(pos);
         }
@@ -870,7 +897,10 @@ impl PrimalModule {
                 }
             }
         }
-        assert!(self.is_solved(), "dual module finished with live alternating trees");
+        assert!(
+            self.is_solved(),
+            "dual module finished with live alternating trees"
+        );
     }
 
     /// Total weight implied by the dual objective (equals the matching

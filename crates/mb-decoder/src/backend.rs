@@ -1,0 +1,192 @@
+//! The unified decoder-backend abstraction.
+//!
+//! Every decoder in this workspace — the heterogeneous
+//! [`MicroBlossomDecoder`], the all-software [`ParityBlossomDecoder`], and
+//! the [`UnionFindDecoderAdapter`] — implements the object-safe
+//! [`DecoderBackend`] trait, so the evaluation harness, the sharded
+//! [`pipeline`](crate::pipeline), and the bench binaries can treat them
+//! interchangeably. Construction is factored into [`BackendSpec`], a
+//! cloneable, thread-shareable recipe that builds one backend instance per
+//! pipeline worker.
+
+use crate::micro::{MicroBlossomConfig, MicroBlossomDecoder};
+use crate::outcome::DecodeOutcome;
+use crate::parity::ParityBlossomDecoder;
+use crate::uf::{HeliosLatencyModel, UnionFindDecoderAdapter};
+use mb_graph::{DecodingGraph, SyndromePattern};
+use std::sync::Arc;
+
+/// A decoder that can be driven shot-by-shot by the evaluation harness and
+/// the sharded pipeline.
+///
+/// The trait is object-safe: the pipeline holds `Box<dyn DecoderBackend>`
+/// per worker. Implementations are expected to be *reusable*: after
+/// [`DecoderBackend::reset`] (which every [`DecoderBackend::decode`] call
+/// performs implicitly first), a backend must behave exactly as a freshly
+/// constructed one while retaining its internal allocations, so that the
+/// steady-state hot path is allocation-free.
+pub trait DecoderBackend: Send {
+    /// Human-readable name used in benchmark and evaluation output.
+    fn name(&self) -> &'static str;
+
+    /// The decoding graph this backend was built for.
+    fn graph(&self) -> &Arc<DecodingGraph>;
+
+    /// Decodes one syndrome. Implementations reset their per-shot state
+    /// first, so backends can be reused across shots without an explicit
+    /// [`DecoderBackend::reset`] in between.
+    fn decode(&mut self, syndrome: &SyndromePattern) -> DecodeOutcome;
+
+    /// Clears all per-shot state, retaining allocations where possible.
+    fn reset(&mut self);
+
+    /// Whether [`DecodeOutcome::latency_ns`] is produced by a deterministic
+    /// hardware model (`true`) or measured wall clock (`false`). The
+    /// pipeline equivalence tests only compare latencies of deterministic
+    /// backends.
+    fn deterministic_latency(&self) -> bool;
+}
+
+/// Construction recipe for a [`DecoderBackend`].
+///
+/// A spec is independent of any particular backend *instance*: it can be
+/// cloned, shared across threads, and materialized once per pipeline worker
+/// with [`BackendSpec::build`].
+#[derive(Debug, Clone)]
+pub enum BackendSpec {
+    /// Micro Blossom with an explicit configuration (ablation knobs, timing
+    /// model already derived from the target graph).
+    Micro(MicroBlossomConfig),
+    /// Micro Blossom in the full configuration; the timing model is derived
+    /// from the graph at build time.
+    MicroFull {
+        /// Code distance used by the timing model's bus latency estimate.
+        code_distance: Option<usize>,
+    },
+    /// The all-software exact MWPM baseline (wall-clock latency).
+    Parity,
+    /// The Union-Find decoder with a Helios-style latency model.
+    UnionFind(HeliosLatencyModel),
+}
+
+impl BackendSpec {
+    /// Convenience spec for the full Micro Blossom configuration.
+    pub fn micro_full(code_distance: Option<usize>) -> Self {
+        Self::MicroFull { code_distance }
+    }
+
+    /// Convenience spec for the Union-Find decoder with default latency.
+    pub fn union_find() -> Self {
+        Self::UnionFind(HeliosLatencyModel::default())
+    }
+
+    /// The name the built backend will report, without building it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Micro(config) => MicroBlossomDecoder::name_of(config),
+            Self::MicroFull { .. } => "micro-blossom-stream",
+            Self::Parity => "parity-blossom-cpu",
+            Self::UnionFind(_) => "union-find-helios",
+        }
+    }
+
+    /// Whether the built backend's latencies come from a deterministic
+    /// model, without building it (mirrors
+    /// [`DecoderBackend::deterministic_latency`]).
+    ///
+    /// The pipeline uses this to default wall-clock backends to a single
+    /// shard: concurrent workers would contend for cores and inflate every
+    /// measured latency.
+    pub fn deterministic_latency(&self) -> bool {
+        !matches!(self, Self::Parity)
+    }
+
+    /// Builds one backend instance for `graph`.
+    pub fn build(&self, graph: Arc<DecodingGraph>) -> Box<dyn DecoderBackend> {
+        match self {
+            Self::Micro(config) => Box::new(MicroBlossomDecoder::new(graph, config.clone())),
+            Self::MicroFull { code_distance } => {
+                Box::new(MicroBlossomDecoder::full(graph, *code_distance))
+            }
+            Self::Parity => Box::new(ParityBlossomDecoder::new(graph)),
+            Self::UnionFind(latency) => {
+                Box::new(UnionFindDecoderAdapter::new(graph).with_latency_model(*latency))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_graph::codes::CodeCapacityRotatedCode;
+    use mb_graph::syndrome::ErrorSampler;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph() -> Arc<DecodingGraph> {
+        Arc::new(CodeCapacityRotatedCode::new(5, 0.05).decoding_graph())
+    }
+
+    fn all_specs(graph: &DecodingGraph) -> Vec<BackendSpec> {
+        vec![
+            BackendSpec::micro_full(Some(5)),
+            BackendSpec::Micro(MicroBlossomConfig::parallel_dual_only(graph, Some(5))),
+            BackendSpec::Parity,
+            BackendSpec::union_find(),
+        ]
+    }
+
+    #[test]
+    fn every_spec_builds_a_working_backend() {
+        let graph = graph();
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let shot = sampler.sample(&mut rng);
+        for spec in all_specs(&graph) {
+            let mut backend = spec.build(Arc::clone(&graph));
+            assert_eq!(backend.name(), spec.name());
+            assert_eq!(backend.graph().vertex_count(), graph.vertex_count());
+            let outcome = backend.decode(&shot.syndrome);
+            assert!(outcome.latency_ns >= 0.0, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn reset_makes_backends_reusable() {
+        let graph = graph();
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let shots: Vec<_> = (0..10).map(|_| sampler.sample(&mut rng)).collect();
+        for spec in all_specs(&graph) {
+            let mut fresh_per_shot: Vec<_> = Vec::new();
+            for shot in &shots {
+                let mut backend = spec.build(Arc::clone(&graph));
+                fresh_per_shot.push(backend.decode(&shot.syndrome).observable);
+            }
+            let mut reused = spec.build(Arc::clone(&graph));
+            for (shot, &expected) in shots.iter().zip(&fresh_per_shot) {
+                reused.reset();
+                let outcome = reused.decode(&shot.syndrome);
+                assert_eq!(
+                    outcome.observable,
+                    expected,
+                    "{} diverges when reused",
+                    reused.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_latency_flags() {
+        let graph = graph();
+        assert!(BackendSpec::micro_full(None)
+            .build(Arc::clone(&graph))
+            .deterministic_latency());
+        assert!(BackendSpec::union_find()
+            .build(Arc::clone(&graph))
+            .deterministic_latency());
+        assert!(!BackendSpec::Parity.build(graph).deterministic_latency());
+    }
+}

@@ -2,17 +2,14 @@
 //! distributions, cutoff latencies, effective logical error rates, and the
 //! primal/dual phase profile — the machinery behind every figure of §8.
 
-use crate::outcome::Decoder;
+use crate::backend::{BackendSpec, DecoderBackend};
 use crate::parity::ParityBlossomDecoder;
-use mb_graph::syndrome::ErrorSampler;
+use crate::pipeline::ShardedPipeline;
 use mb_graph::DecodingGraph;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// Aggregate result of a Monte-Carlo evaluation of one decoder.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Aggregate result of a Monte-Carlo evaluation of one decoder backend.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvaluationResult {
     /// Decoder name.
     pub decoder: String,
@@ -95,39 +92,40 @@ impl EvaluationResult {
     }
 }
 
-/// Runs `shots` Monte-Carlo decoding shots of `decoder` on `graph`.
+/// Runs `shots` Monte-Carlo decoding shots of the backend described by
+/// `spec` on `graph`, through the sharded multi-threaded pipeline.
+///
+/// Shots are sampled with a per-shot seeded RNG (see
+/// [`crate::pipeline::shot_seed`]), so the result is bit-identical for any
+/// shard/thread count (modulo the `latencies_ns` of wall-clock backends,
+/// which vary run to run even single-threaded); the shard count only
+/// affects wall-clock throughput. Wall-clock backends default to one shard
+/// so their measured latencies stay free of worker contention — see
+/// [`ShardedPipeline::new`].
 pub fn evaluate_decoder(
-    decoder: &mut dyn Decoder,
+    spec: &BackendSpec,
     graph: &Arc<DecodingGraph>,
     shots: usize,
     seed: u64,
 ) -> EvaluationResult {
-    let sampler = ErrorSampler::new(graph);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut logical_errors = 0;
-    let mut latencies = Vec::with_capacity(shots);
-    let mut total_defects = 0usize;
-    for _ in 0..shots {
-        let shot = sampler.sample(&mut rng);
-        total_defects += shot.syndrome.len();
-        let outcome = decoder.decode(&shot.syndrome);
-        if outcome.observable != shot.observable {
-            logical_errors += 1;
-        }
-        latencies.push(outcome.latency_ns);
-    }
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    EvaluationResult {
-        decoder: decoder.name().to_string(),
-        shots,
-        logical_errors,
-        latencies_ns: latencies,
-        mean_defects: total_defects as f64 / shots.max(1) as f64,
-    }
+    ShardedPipeline::new(spec.clone(), Arc::clone(graph)).evaluate(shots, seed)
+}
+
+/// Like [`evaluate_decoder`], with an explicit shard count.
+pub fn evaluate_decoder_sharded(
+    spec: &BackendSpec,
+    graph: &Arc<DecodingGraph>,
+    shots: usize,
+    seed: u64,
+    shards: usize,
+) -> EvaluationResult {
+    ShardedPipeline::new(spec.clone(), Arc::clone(graph))
+        .with_shards(shards)
+        .evaluate(shots, seed)
 }
 
 /// Primal/dual wall-time split of the software decoder (Figure 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseProfile {
     /// Fraction of decoding time spent in the dual phase.
     pub dual_fraction: f64,
@@ -139,13 +137,18 @@ pub struct PhaseProfile {
 }
 
 /// Profiles the software decoder over `shots` samples.
+///
+/// Stays single-threaded on purpose: it reads per-shot `SolveStats` from the
+/// concrete decoder, and wall-clock phase splits would be distorted by
+/// sibling workers competing for cores. The shots are the same ones the
+/// pipeline would generate (per-shot RNG).
 pub fn phase_profile(graph: &Arc<DecodingGraph>, shots: usize, seed: u64) -> PhaseProfile {
     let mut decoder = ParityBlossomDecoder::new(Arc::clone(graph));
-    let sampler = ErrorSampler::new(graph);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sampler = mb_graph::syndrome::ErrorSampler::new(graph);
     let mut dual = 0.0f64;
     let mut primal = 0.0f64;
-    for _ in 0..shots {
+    for index in 0..shots {
+        let mut rng = crate::pipeline::shot_rng(seed, index as u64);
         let shot = sampler.sample(&mut rng);
         decoder.decode(&shot.syndrome);
         dual += decoder.stats().dual_time.as_secs_f64();
@@ -163,8 +166,6 @@ pub fn phase_profile(graph: &Arc<DecodingGraph>, shots: usize, seed: u64) -> Pha
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::micro::MicroBlossomDecoder;
-    use crate::uf::UnionFindDecoderAdapter;
     use mb_graph::codes::{CodeCapacityRotatedCode, PhenomenologicalCode};
 
     fn sorted(mut v: Vec<f64>) -> Vec<f64> {
@@ -178,7 +179,9 @@ mod tests {
             decoder: "test".into(),
             shots: 10,
             logical_errors: 2,
-            latencies_ns: sorted(vec![100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0]),
+            latencies_ns: sorted(vec![
+                100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0,
+            ]),
             mean_defects: 3.0,
         };
         assert!((result.logical_error_rate() - 0.2).abs() < 1e-12);
@@ -208,11 +211,9 @@ mod tests {
     #[test]
     fn exact_decoders_agree_on_logical_error_rate() {
         let graph = Arc::new(CodeCapacityRotatedCode::new(3, 0.06).decoding_graph());
-        let mut parity = ParityBlossomDecoder::new(Arc::clone(&graph));
-        let mut micro = MicroBlossomDecoder::full(Arc::clone(&graph), Some(3));
         let shots = 600;
-        let a = evaluate_decoder(&mut parity, &graph, shots, 123);
-        let b = evaluate_decoder(&mut micro, &graph, shots, 123);
+        let a = evaluate_decoder(&BackendSpec::Parity, &graph, shots, 123);
+        let b = evaluate_decoder(&BackendSpec::micro_full(Some(3)), &graph, shots, 123);
         // identical seeds, both exact MWPM: identical logical behaviour up to
         // tie-breaking between equal-weight corrections
         let diff = (a.logical_error_rate() - b.logical_error_rate()).abs();
@@ -222,11 +223,9 @@ mod tests {
     #[test]
     fn union_find_is_less_accurate_than_mwpm() {
         let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.08).decoding_graph());
-        let mut uf = UnionFindDecoderAdapter::new(Arc::clone(&graph));
-        let mut mwpm = ParityBlossomDecoder::new(Arc::clone(&graph));
         let shots = 1500;
-        let uf_result = evaluate_decoder(&mut uf, &graph, shots, 9);
-        let mwpm_result = evaluate_decoder(&mut mwpm, &graph, shots, 9);
+        let uf_result = evaluate_decoder(&BackendSpec::union_find(), &graph, shots, 9);
+        let mwpm_result = evaluate_decoder(&BackendSpec::Parity, &graph, shots, 9);
         assert!(
             uf_result.logical_error_rate() >= mwpm_result.logical_error_rate(),
             "UF {} should not beat MWPM {}",
@@ -241,7 +240,11 @@ mod tests {
         // time, and increasingly so at larger distances
         let graph = Arc::new(PhenomenologicalCode::rotated(5, 5, 0.005).decoding_graph());
         let profile = phase_profile(&graph, 40, 7);
-        assert!(profile.dual_fraction > 0.5, "dual fraction {}", profile.dual_fraction);
+        assert!(
+            profile.dual_fraction > 0.5,
+            "dual fraction {}",
+            profile.dual_fraction
+        );
         assert!(profile.potential_speedup > 1.5);
         assert!((profile.dual_fraction + profile.primal_fraction - 1.0).abs() < 1e-9);
     }
@@ -251,12 +254,22 @@ mod tests {
         // the headline claim scaled down to a simulation-friendly size:
         // d = 5, p = 0.1% circuit-level-like (phenomenological) noise
         let graph = Arc::new(PhenomenologicalCode::rotated(5, 5, 0.001).decoding_graph());
-        let mut micro = MicroBlossomDecoder::full(Arc::clone(&graph), Some(5));
-        let result = evaluate_decoder(&mut micro, &graph, 300, 2024);
+        let result = evaluate_decoder(&BackendSpec::micro_full(Some(5)), &graph, 300, 2024);
         let mean_us = result.mean_latency_ns() / 1000.0;
         assert!(
             mean_us < 1.0,
             "average Micro Blossom latency should be sub-microsecond, got {mean_us} us"
         );
+    }
+
+    #[test]
+    fn sharded_evaluation_is_shard_count_invariant() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(3, 0.05).decoding_graph());
+        let spec = BackendSpec::micro_full(Some(3));
+        let reference = evaluate_decoder_sharded(&spec, &graph, 120, 55, 1);
+        for shards in [2usize, 4, 8] {
+            let result = evaluate_decoder_sharded(&spec, &graph, 120, 55, shards);
+            assert_eq!(result, reference, "shards={shards}");
+        }
     }
 }

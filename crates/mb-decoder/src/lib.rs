@@ -3,6 +3,9 @@
 //!
 //! This crate ties the workspace together:
 //!
+//! * [`DecoderBackend`] — the unified, object-safe backend abstraction every
+//!   decoder implements, with [`BackendSpec`] as its thread-shareable
+//!   construction recipe;
 //! * [`MicroBlossomDecoder`] — the heterogeneous decoder of the paper:
 //!   software primal phase + simulated hardware accelerator, with batch or
 //!   stream (round-wise fusion) decoding and the ablation knobs of
@@ -10,14 +13,17 @@
 //! * [`ParityBlossomDecoder`] — the all-software exact MWPM baseline;
 //! * [`UnionFindDecoderAdapter`] — the Helios-style Union-Find baseline of
 //!   Figure 11;
+//! * [`pipeline`] — the sharded multi-threaded batch decoder: one backend
+//!   per worker thread, per-shot seeded RNG, deterministic merge — results
+//!   are bit-identical for any shard count;
 //! * [`evaluation`] — Monte-Carlo harness producing logical error rates,
 //!   latency distributions, cutoff latencies and effective logical error
-//!   rates (§8.2–§8.3).
+//!   rates (§8.2–§8.3), running on top of the pipeline.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use mb_decoder::{Decoder, MicroBlossomDecoder};
+//! use mb_decoder::{DecoderBackend, MicroBlossomDecoder};
 //! use mb_graph::codes::PhenomenologicalCode;
 //! use mb_graph::syndrome::ErrorSampler;
 //! use rand::SeedableRng;
@@ -30,15 +36,39 @@
 //! let outcome = decoder.decode(&shot.syndrome);
 //! assert!(outcome.latency_ns >= 0.0);
 //! ```
+//!
+//! # Sharded batch decoding
+//!
+//! ```
+//! use mb_decoder::pipeline::ShardedPipeline;
+//! use mb_decoder::BackendSpec;
+//! use mb_graph::codes::CodeCapacityRotatedCode;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(CodeCapacityRotatedCode::new(3, 0.03).decoding_graph());
+//! let pipeline = ShardedPipeline::new(BackendSpec::Parity, Arc::clone(&graph));
+//! let result = pipeline.with_shards(4).evaluate(100, 42);
+//! assert_eq!(result.shots, 100);
+//! ```
 
+pub mod backend;
 pub mod evaluation;
 pub mod micro;
 pub mod outcome;
 pub mod parity;
+pub mod pipeline;
 pub mod uf;
 
-pub use evaluation::{evaluate_decoder, phase_profile, EvaluationResult, PhaseProfile};
+pub use backend::{BackendSpec, DecoderBackend};
+pub use evaluation::{
+    evaluate_decoder, evaluate_decoder_sharded, phase_profile, EvaluationResult, PhaseProfile,
+};
 pub use micro::{MicroBlossomConfig, MicroBlossomDecoder};
-pub use outcome::{DecodeOutcome, Decoder, LatencyBreakdown};
+pub use outcome::{DecodeOutcome, LatencyBreakdown};
 pub use parity::ParityBlossomDecoder;
+pub use pipeline::{ShardedPipeline, ShotOutcome};
 pub use uf::{HeliosLatencyModel, UnionFindDecoderAdapter};
+
+/// Backwards-compatible alias: the decoder interface was renamed to
+/// [`DecoderBackend`] when construction/reset/stats moved into the trait.
+pub use backend::DecoderBackend as Decoder;

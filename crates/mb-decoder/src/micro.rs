@@ -11,7 +11,8 @@
 //!   (`materialize_all_defects = false`);
 //! * **round-wise fusion** — [`MicroBlossomConfig::stream_decoding`].
 
-use crate::outcome::{DecodeOutcome, Decoder, LatencyBreakdown};
+use crate::backend::DecoderBackend;
+use crate::outcome::{DecodeOutcome, LatencyBreakdown};
 use mb_accel::{
     AcceleratedDual, AcceleratorConfig, MicroBlossomAccelerator, PollEvent, PrematchPartner,
     TimingModel,
@@ -114,12 +115,25 @@ impl MicroBlossomDecoder {
         &self.config
     }
 
+    /// The backend name a decoder with `config` reports (used by
+    /// [`crate::BackendSpec`] to name results without building a backend).
+    pub fn name_of(config: &MicroBlossomConfig) -> &'static str {
+        if config.stream_decoding {
+            "micro-blossom-stream"
+        } else if config.prematch_enabled {
+            "micro-blossom-batch"
+        } else {
+            "micro-blossom-dual-only"
+        }
+    }
+
     /// Decodes a syndrome and returns the perfect matching together with the
     /// latency breakdown.
-    pub fn decode_matching(&mut self, syndrome: &SyndromePattern) -> (PerfectMatching, LatencyBreakdown) {
-        use mb_blossom::DualModule;
-        self.driver.reset();
-        self.primal.clear();
+    pub fn decode_matching(
+        &mut self,
+        syndrome: &SyndromePattern,
+    ) -> (PerfectMatching, LatencyBreakdown) {
+        DecoderBackend::reset(self);
         let layers = syndrome.split_by_layer(&self.graph);
         let last_layer = layers.len() - 1;
         let mut snapshot = self.counters();
@@ -233,36 +247,41 @@ impl MicroBlossomDecoder {
                 }
             }
         }
-        assert!(self.primal.is_solved(), "CPU trees left after the dual phase finished");
+        assert!(
+            self.primal.is_solved(),
+            "CPU trees left after the dual phase finished"
+        );
     }
 }
 
-impl Decoder for MicroBlossomDecoder {
+impl DecoderBackend for MicroBlossomDecoder {
     fn name(&self) -> &'static str {
-        if self.config.stream_decoding {
-            "micro-blossom-stream"
-        } else if self.config.prematch_enabled {
-            "micro-blossom-batch"
-        } else {
-            "micro-blossom-dual-only"
-        }
+        Self::name_of(&self.config)
+    }
+
+    fn graph(&self) -> &Arc<DecodingGraph> {
+        &self.graph
     }
 
     fn decode(&mut self, syndrome: &SyndromePattern) -> DecodeOutcome {
         let (matching, breakdown) = self.decode_matching(syndrome);
-        let observable = matching.correction_observable(&self.graph);
         let latency_ns = self.config.timing.latency_ns(
             breakdown.hardware_cycles,
             breakdown.bus_reads,
             breakdown.bus_writes,
             breakdown.cpu_obstacles,
         );
-        DecodeOutcome {
-            observable,
-            latency_ns,
-            matching: Some(matching),
-            breakdown,
-        }
+        DecodeOutcome::from_matching(&self.graph, matching, latency_ns, breakdown)
+    }
+
+    fn reset(&mut self) {
+        use mb_blossom::DualModule;
+        self.driver.reset();
+        self.primal.clear();
+    }
+
+    fn deterministic_latency(&self) -> bool {
+        true
     }
 }
 
@@ -376,7 +395,11 @@ mod tests {
             let shot = sampler.sample(&mut rng);
             let (m1, b1) = stream.decode_matching(&shot.syndrome);
             let (m2, b2) = batch.decode_matching(&shot.syndrome);
-            assert_eq!(m1.weight(&graph), m2.weight(&graph), "stream must stay exact");
+            assert_eq!(
+                m1.weight(&graph),
+                m2.weight(&graph),
+                "stream must stay exact"
+            );
             stream_cycles += b1.hardware_cycles;
             batch_cycles += b2.hardware_cycles;
         }

@@ -1,11 +1,15 @@
-//! Common decoder interface and decode outcomes.
+//! Decode outcomes and the bookkeeping shared by every backend.
+//!
+//! The pieces that used to be duplicated across the three decoders —
+//! extracting the flipped observables from a perfect matching and assembling
+//! the final [`DecodeOutcome`] — live here; the common *interface* the
+//! backends implement is [`crate::backend::DecoderBackend`].
 
 use mb_blossom::PerfectMatching;
-use mb_graph::{ObservableMask, SyndromePattern};
-use serde::{Deserialize, Serialize};
+use mb_graph::{DecodingGraph, ObservableMask};
 
 /// Latency breakdown of one decode, in the units the latency model consumes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyBreakdown {
     /// Accelerator busy cycles (0 for pure-software decoders).
     pub hardware_cycles: u64,
@@ -31,12 +35,46 @@ pub struct DecodeOutcome {
     pub breakdown: LatencyBreakdown,
 }
 
-/// A decoder that can be evaluated by the Monte-Carlo harness.
-pub trait Decoder {
-    /// Human-readable name used in benchmark output.
-    fn name(&self) -> &'static str;
-    /// Decodes one syndrome.
-    fn decode(&mut self, syndrome: &SyndromePattern) -> DecodeOutcome;
+impl DecodeOutcome {
+    /// Assembles the outcome of an MWPM decode: extracts the correction
+    /// observable from `matching` and keeps the matching for inspection.
+    ///
+    /// This is the correction-extraction path shared by every matching-based
+    /// backend (Micro Blossom and Parity Blossom).
+    pub fn from_matching(
+        graph: &DecodingGraph,
+        matching: PerfectMatching,
+        latency_ns: f64,
+        breakdown: LatencyBreakdown,
+    ) -> Self {
+        let observable = matching.correction_observable(graph);
+        Self {
+            observable,
+            latency_ns,
+            matching: Some(matching),
+            breakdown,
+        }
+    }
+
+    /// Assembles the outcome of a decoder that reports a correction
+    /// observable directly, without a perfect matching (Union-Find).
+    pub fn from_observable(
+        observable: ObservableMask,
+        latency_ns: f64,
+        breakdown: LatencyBreakdown,
+    ) -> Self {
+        Self {
+            observable,
+            latency_ns,
+            matching: None,
+            breakdown,
+        }
+    }
+
+    /// Whether the correction failed to reproduce the sampled logical flips.
+    pub fn is_logical_error(&self, expected: ObservableMask) -> bool {
+        self.observable != expected
+    }
 }
 
 #[cfg(test)]
@@ -46,7 +84,10 @@ mod tests {
     #[test]
     fn latency_breakdown_defaults_to_zero() {
         let b = LatencyBreakdown::default();
-        assert_eq!(b.hardware_cycles + b.bus_reads + b.bus_writes + b.cpu_obstacles, 0);
+        assert_eq!(
+            b.hardware_cycles + b.bus_reads + b.bus_writes + b.cpu_obstacles,
+            0
+        );
     }
 
     #[test]
@@ -58,5 +99,14 @@ mod tests {
             breakdown: LatencyBreakdown::default(),
         };
         assert_eq!(a.clone(), a);
+        assert!(a.is_logical_error(0));
+        assert!(!a.is_logical_error(1));
+    }
+
+    #[test]
+    fn from_observable_has_no_matching() {
+        let outcome = DecodeOutcome::from_observable(3, 250.0, LatencyBreakdown::default());
+        assert_eq!(outcome.observable, 3);
+        assert!(outcome.matching.is_none());
     }
 }

@@ -1,7 +1,8 @@
 //! The software baseline: an exact MWPM decoder running entirely on the CPU
 //! (the role Parity Blossom plays in the paper's evaluation, §8.1).
 
-use crate::outcome::{DecodeOutcome, Decoder, LatencyBreakdown};
+use crate::backend::DecoderBackend;
+use crate::outcome::{DecodeOutcome, LatencyBreakdown};
 use mb_blossom::{SolveStats, SolverSerial};
 use mb_graph::{DecodingGraph, SyndromePattern};
 use std::sync::Arc;
@@ -35,26 +36,32 @@ impl ParityBlossomDecoder {
     }
 }
 
-impl Decoder for ParityBlossomDecoder {
+impl DecoderBackend for ParityBlossomDecoder {
     fn name(&self) -> &'static str {
         "parity-blossom-cpu"
+    }
+
+    fn graph(&self) -> &Arc<DecodingGraph> {
+        &self.graph
     }
 
     fn decode(&mut self, syndrome: &SyndromePattern) -> DecodeOutcome {
         let start = Instant::now();
         let matching = self.solver.solve(syndrome);
         let latency_ns = start.elapsed().as_nanos() as f64;
-        let observable = matching.correction_observable(&self.graph);
-        let stats = self.solver.stats();
-        DecodeOutcome {
-            observable,
-            latency_ns,
-            breakdown: LatencyBreakdown {
-                cpu_obstacles: stats.obstacle_reports as u64,
-                ..LatencyBreakdown::default()
-            },
-            matching: Some(matching),
-        }
+        let breakdown = LatencyBreakdown {
+            cpu_obstacles: self.solver.stats().obstacle_reports as u64,
+            ..LatencyBreakdown::default()
+        };
+        DecodeOutcome::from_matching(&self.graph, matching, latency_ns, breakdown)
+    }
+
+    fn reset(&mut self) {
+        self.solver.reset();
+    }
+
+    fn deterministic_latency(&self) -> bool {
+        false
     }
 }
 
@@ -77,11 +84,18 @@ mod tests {
             let shot = sampler.sample(&mut rng);
             let outcome = decoder.decode(&shot.syndrome);
             assert!(outcome.latency_ns > 0.0);
-            assert!(outcome.matching.as_ref().unwrap().is_valid_for(&shot.syndrome.defects));
+            assert!(outcome
+                .matching
+                .as_ref()
+                .unwrap()
+                .is_valid_for(&shot.syndrome.defects));
             if outcome.observable == shot.observable {
                 correct += 1;
             }
         }
-        assert!(correct > 180, "MWPM should decode most p=5% shots: {correct}/200");
+        assert!(
+            correct > 180,
+            "MWPM should decode most p=5% shots: {correct}/200"
+        );
     }
 }

@@ -1,0 +1,385 @@
+//! Sharded multi-threaded batch decoding.
+//!
+//! The paper's accelerator makes *one* decode fast; scaling a Monte-Carlo
+//! evaluation (or a production stream of measurement blocks) to millions of
+//! shots additionally needs *throughput*. This module partitions a stream of
+//! shots across worker threads:
+//!
+//! * one [`DecoderBackend`](crate::DecoderBackend) instance per worker,
+//!   built from a shared [`BackendSpec`] — backends are stateful and reuse
+//!   their internal allocations across shots, so the steady-state hot path
+//!   (the dual/primal solve) performs no allocations;
+//! * **per-shot seeded RNG**: shot `i` of a run with master seed `s` is
+//!   sampled from `ChaCha8Rng::seed_from_u64(splitmix64(s, i))`, so the
+//!   sampled shots — and therefore every decode outcome — are identical
+//!   regardless of how many shards the work is split into or which worker
+//!   handles which shot;
+//! * a deterministic merge: workers return their contiguous slice of
+//!   outcomes over a channel tagged with the shard index, and the results
+//!   are reassembled in shot order before aggregation.
+//!
+//! ```
+//! use mb_decoder::pipeline::ShardedPipeline;
+//! use mb_decoder::BackendSpec;
+//! use mb_graph::codes::CodeCapacityRotatedCode;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(CodeCapacityRotatedCode::new(3, 0.02).decoding_graph());
+//! let pipeline = ShardedPipeline::new(BackendSpec::micro_full(Some(3)), Arc::clone(&graph));
+//! let result = pipeline.with_shards(2).evaluate(200, 7);
+//! assert_eq!(result.shots, 200);
+//! ```
+
+use crate::backend::{BackendSpec, DecoderBackend};
+use crate::evaluation::EvaluationResult;
+use crate::outcome::LatencyBreakdown;
+use mb_graph::syndrome::{ErrorSampler, Shot};
+use mb_graph::{DecodingGraph, ObservableMask};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// The per-shot record produced by the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotOutcome {
+    /// Index of the shot in the run (also its RNG derivation index).
+    pub shot_index: usize,
+    /// Number of defects in the syndrome.
+    pub defects: usize,
+    /// Observables flipped by the decoder's correction.
+    pub decoded_observable: ObservableMask,
+    /// Ground-truth observables flipped by the sampled error.
+    pub expected_observable: ObservableMask,
+    /// Decoding latency in nanoseconds (modeled or wall clock, depending on
+    /// the backend).
+    pub latency_ns: f64,
+    /// Counter breakdown behind `latency_ns`.
+    pub breakdown: LatencyBreakdown,
+}
+
+impl ShotOutcome {
+    /// Whether this shot ended in a logical error.
+    pub fn is_logical_error(&self) -> bool {
+        self.decoded_observable != self.expected_observable
+    }
+}
+
+/// Derives the per-shot RNG seed from the run's master seed.
+///
+/// SplitMix64 finalizer over the (seed, index) pair: statistically
+/// independent streams per shot, and — crucially — independent of the shard
+/// layout, so pipeline results cannot depend on the thread count.
+pub fn shot_seed(master_seed: u64, shot_index: u64) -> u64 {
+    let mut z = master_seed
+        .wrapping_add(shot_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG that samples shot `shot_index` of a run seeded with
+/// `master_seed`.
+pub fn shot_rng(master_seed: u64, shot_index: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(shot_seed(master_seed, shot_index))
+}
+
+/// A sharded batch decoder: a backend recipe, a decoding graph, and a shard
+/// count.
+#[derive(Debug, Clone)]
+pub struct ShardedPipeline {
+    spec: BackendSpec,
+    graph: Arc<DecodingGraph>,
+    shards: usize,
+}
+
+/// Default shard count: the machine's available parallelism, capped so that
+/// small evaluations do not pay thread-spawn overhead for idle workers.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 16)
+}
+
+impl ShardedPipeline {
+    /// Creates a pipeline with the default shard count.
+    ///
+    /// Backends with wall-clock latency measurement (currently only
+    /// `BackendSpec::Parity`) default to **one** shard: running them
+    /// concurrently would make every worker's `Instant`-measured latency
+    /// include core contention, distorting the latency figures the
+    /// evaluation harness reports. Logical results would still be
+    /// identical; the latencies would not. Use [`Self::with_shards`] to
+    /// override when only logical-error statistics matter.
+    pub fn new(spec: BackendSpec, graph: Arc<DecodingGraph>) -> Self {
+        let shards = if spec.deterministic_latency() {
+            default_shards()
+        } else {
+            1
+        };
+        Self {
+            spec,
+            graph,
+            shards,
+        }
+    }
+
+    /// Overrides the shard count (clamped to at least 1). Logical results
+    /// (sampled shots, corrections, error counts) are independent of this
+    /// value; for deterministic-latency backends the latencies are too.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The backend recipe.
+    pub fn spec(&self) -> &BackendSpec {
+        &self.spec
+    }
+
+    /// The decoding graph.
+    pub fn graph(&self) -> &Arc<DecodingGraph> {
+        &self.graph
+    }
+
+    /// Samples and decodes `shots` shots, returning per-shot outcomes in
+    /// shot order. Sampling happens inside the workers (per-shot RNG), so no
+    /// shot buffer is materialized up front.
+    pub fn run_sampled(&self, shots: usize, seed: u64) -> Vec<ShotOutcome> {
+        self.run_partitioned(shots, |backend, sampler, index| {
+            let mut rng = shot_rng(seed, index as u64);
+            let shot = sampler.sample(&mut rng);
+            decode_one(backend, index, &shot)
+        })
+    }
+
+    /// Decodes an explicit list of shots, returning outcomes in input order.
+    pub fn run_shots(&self, shots: &[Shot]) -> Vec<ShotOutcome> {
+        self.run_partitioned(shots.len(), |backend, _sampler, index| {
+            decode_one(backend, index, &shots[index])
+        })
+    }
+
+    /// Samples, decodes, and aggregates `shots` shots into an
+    /// [`EvaluationResult`]. Bit-identical for any shard count, except the
+    /// `latencies_ns` of wall-clock backends (which vary run to run even
+    /// single-threaded).
+    pub fn evaluate(&self, shots: usize, seed: u64) -> EvaluationResult {
+        let outcomes = self.run_sampled(shots, seed);
+        aggregate(self.spec.name(), &outcomes)
+    }
+
+    /// Partitions indices `0..total` into contiguous chunks, runs `job` on a
+    /// per-worker backend for every index of the chunk, and reassembles the
+    /// outcomes in index order.
+    fn run_partitioned<F>(&self, total: usize, job: F) -> Vec<ShotOutcome>
+    where
+        F: Fn(&mut dyn DecoderBackend, &ErrorSampler<'_>, usize) -> ShotOutcome + Sync,
+    {
+        if total == 0 {
+            return Vec::new();
+        }
+        let shards = self.shards.min(total).max(1);
+        if shards == 1 {
+            // serial fast path: same code path as a worker, no threads
+            let mut backend = self.spec.build(Arc::clone(&self.graph));
+            let sampler = ErrorSampler::new(&self.graph);
+            return (0..total)
+                .map(|i| job(backend.as_mut(), &sampler, i))
+                .collect();
+        }
+        let job = &job;
+        let mut merged: Vec<Vec<ShotOutcome>> = Vec::with_capacity(shards);
+        merged.resize_with(shards, Vec::new);
+        std::thread::scope(|scope| {
+            let (sender, receiver) = mpsc::channel::<(usize, Vec<ShotOutcome>)>();
+            let base = total / shards;
+            let remainder = total % shards;
+            let mut start = 0usize;
+            for shard in 0..shards {
+                let count = base + usize::from(shard < remainder);
+                let range = start..start + count;
+                start += count;
+                let sender = sender.clone();
+                let spec = &self.spec;
+                let graph = &self.graph;
+                scope.spawn(move || {
+                    let mut backend = spec.build(Arc::clone(graph));
+                    let sampler = ErrorSampler::new(graph);
+                    let outcomes: Vec<ShotOutcome> = range
+                        .map(|index| job(backend.as_mut(), &sampler, index))
+                        .collect();
+                    // the receiver only disappears if a sibling panicked;
+                    // propagate by unwinding this worker too
+                    sender
+                        .send((shard, outcomes))
+                        .expect("pipeline result channel closed early");
+                });
+            }
+            drop(sender);
+            for (shard, outcomes) in receiver {
+                merged[shard] = outcomes;
+            }
+        });
+        let mut results = Vec::with_capacity(total);
+        for chunk in merged {
+            results.extend(chunk);
+        }
+        debug_assert_eq!(results.len(), total);
+        debug_assert!(results
+            .windows(2)
+            .all(|w| w[0].shot_index < w[1].shot_index));
+        results
+    }
+}
+
+/// Decodes one shot on a backend, producing the per-shot record.
+fn decode_one(backend: &mut dyn DecoderBackend, index: usize, shot: &Shot) -> ShotOutcome {
+    let outcome = backend.decode(&shot.syndrome);
+    ShotOutcome {
+        shot_index: index,
+        defects: shot.syndrome.len(),
+        decoded_observable: outcome.observable,
+        expected_observable: shot.observable,
+        latency_ns: outcome.latency_ns,
+        breakdown: outcome.breakdown,
+    }
+}
+
+/// Aggregates per-shot outcomes into the harness-facing
+/// [`EvaluationResult`]. Deterministic: latencies are sorted, counters are
+/// integer sums.
+pub fn aggregate(decoder_name: &str, outcomes: &[ShotOutcome]) -> EvaluationResult {
+    let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_ns).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let logical_errors = outcomes.iter().filter(|o| o.is_logical_error()).count();
+    let total_defects: usize = outcomes.iter().map(|o| o.defects).sum();
+    EvaluationResult {
+        decoder: decoder_name.to_string(),
+        shots: outcomes.len(),
+        logical_errors,
+        latencies_ns: latencies,
+        mean_defects: total_defects as f64 / outcomes.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_graph::codes::{CodeCapacityRotatedCode, PhenomenologicalCode};
+
+    fn rotated() -> Arc<DecodingGraph> {
+        Arc::new(CodeCapacityRotatedCode::new(3, 0.04).decoding_graph())
+    }
+
+    #[test]
+    fn shot_seed_depends_on_both_inputs() {
+        assert_ne!(shot_seed(0, 0), shot_seed(0, 1));
+        assert_ne!(shot_seed(0, 0), shot_seed(1, 0));
+        assert_eq!(shot_seed(5, 9), shot_seed(5, 9));
+    }
+
+    #[test]
+    fn wall_clock_backends_default_to_one_shard() {
+        // Parity measures latency with Instant::now(); concurrent workers
+        // would contaminate every figure built on its latencies
+        let parity = ShardedPipeline::new(BackendSpec::Parity, rotated());
+        assert_eq!(parity.shards(), 1);
+        let micro = ShardedPipeline::new(BackendSpec::micro_full(Some(3)), rotated());
+        assert_eq!(micro.shards(), default_shards());
+        // explicit override still wins
+        assert_eq!(
+            ShardedPipeline::new(BackendSpec::Parity, rotated())
+                .with_shards(4)
+                .shards(),
+            4
+        );
+    }
+
+    #[test]
+    fn empty_run_produces_no_outcomes() {
+        let pipeline = ShardedPipeline::new(BackendSpec::Parity, rotated());
+        assert!(pipeline.run_sampled(0, 1).is_empty());
+        let result = pipeline.evaluate(0, 1);
+        assert_eq!(result.shots, 0);
+        assert_eq!(result.logical_error_rate(), 0.0);
+    }
+
+    #[test]
+    fn outcomes_arrive_in_shot_order_for_any_shard_count() {
+        let graph = rotated();
+        for shards in [1usize, 2, 3, 8, 64] {
+            let pipeline = ShardedPipeline::new(BackendSpec::union_find(), Arc::clone(&graph))
+                .with_shards(shards);
+            let outcomes = pipeline.run_sampled(50, 3);
+            assert_eq!(outcomes.len(), 50);
+            for (i, o) in outcomes.iter().enumerate() {
+                assert_eq!(o.shot_index, i, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.01).decoding_graph());
+        let pipeline = ShardedPipeline::new(BackendSpec::micro_full(Some(3)), Arc::clone(&graph));
+        let reference = pipeline.clone().with_shards(1).run_sampled(80, 11);
+        for shards in [2usize, 5] {
+            let outcomes = pipeline.clone().with_shards(shards).run_sampled(80, 11);
+            assert_eq!(outcomes, reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn run_shots_decodes_explicit_inputs() {
+        let graph = rotated();
+        let sampler = ErrorSampler::new(&graph);
+        let shots: Vec<Shot> = (0..20)
+            .map(|i| {
+                let mut rng = shot_rng(99, i);
+                sampler.sample(&mut rng)
+            })
+            .collect();
+        let pipeline = ShardedPipeline::new(BackendSpec::Parity, Arc::clone(&graph)).with_shards(4);
+        let outcomes = pipeline.run_shots(&shots);
+        assert_eq!(outcomes.len(), shots.len());
+        for (o, s) in outcomes.iter().zip(&shots) {
+            assert_eq!(o.defects, s.syndrome.len());
+            assert_eq!(o.expected_observable, s.observable);
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_manual_statistics() {
+        let outcomes = vec![
+            ShotOutcome {
+                shot_index: 0,
+                defects: 2,
+                decoded_observable: 0,
+                expected_observable: 1,
+                latency_ns: 500.0,
+                breakdown: LatencyBreakdown::default(),
+            },
+            ShotOutcome {
+                shot_index: 1,
+                defects: 4,
+                decoded_observable: 1,
+                expected_observable: 1,
+                latency_ns: 100.0,
+                breakdown: LatencyBreakdown::default(),
+            },
+        ];
+        let result = aggregate("test", &outcomes);
+        assert_eq!(result.shots, 2);
+        assert_eq!(result.logical_errors, 1);
+        assert_eq!(result.latencies_ns, vec![100.0, 500.0]);
+        assert!((result.mean_defects - 3.0).abs() < 1e-12);
+    }
+}

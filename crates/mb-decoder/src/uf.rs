@@ -6,7 +6,8 @@
 //! stage cost, essentially independent of the syndrome density. We charge a
 //! configurable cost per growth round on top of a fixed pipeline overhead.
 
-use crate::outcome::{DecodeOutcome, Decoder, LatencyBreakdown};
+use crate::backend::DecoderBackend;
+use crate::outcome::{DecodeOutcome, LatencyBreakdown};
 use mb_graph::{DecodingGraph, SyndromePattern};
 use mb_uf::UnionFindDecoder;
 use std::sync::Arc;
@@ -54,21 +55,32 @@ impl UnionFindDecoderAdapter {
     }
 }
 
-impl Decoder for UnionFindDecoderAdapter {
+impl DecoderBackend for UnionFindDecoderAdapter {
     fn name(&self) -> &'static str {
         "union-find-helios"
+    }
+
+    fn graph(&self) -> &Arc<DecodingGraph> {
+        &self.graph
     }
 
     fn decode(&mut self, syndrome: &SyndromePattern) -> DecodeOutcome {
         let correction = self.decoder.decode(syndrome);
         let observable = self.graph.observable_of(correction);
         let rounds = self.decoder.stats.growth_rounds as f64;
-        DecodeOutcome {
+        DecodeOutcome::from_observable(
             observable,
-            latency_ns: self.latency.base_ns + rounds * self.latency.per_growth_round_ns,
-            matching: None,
-            breakdown: LatencyBreakdown::default(),
-        }
+            self.latency.base_ns + rounds * self.latency.per_growth_round_ns,
+            LatencyBreakdown::default(),
+        )
+    }
+
+    fn reset(&mut self) {
+        self.decoder.stats = Default::default();
+    }
+
+    fn deterministic_latency(&self) -> bool {
+        true
     }
 }
 
@@ -90,7 +102,11 @@ mod tests {
             let shot = sampler.sample(&mut rng);
             let outcome = decoder.decode(&shot.syndrome);
             assert!(outcome.latency_ns >= 200.0);
-            assert!(outcome.latency_ns < 2000.0, "latency {}", outcome.latency_ns);
+            assert!(
+                outcome.latency_ns < 2000.0,
+                "latency {}",
+                outcome.latency_ns
+            );
         }
         assert_eq!(decoder.name(), "union-find-helios");
     }

@@ -254,7 +254,11 @@ impl PhenomenologicalCode {
     /// and measurement error probability and `d` rounds, the configuration
     /// used throughout the paper's evaluation.
     pub fn rotated(d: usize, rounds: usize, p: f64) -> Self {
-        Self::new(CodeCapacityRotatedCode::new(d, p).decoding_graph(), rounds, p)
+        Self::new(
+            CodeCapacityRotatedCode::new(d, p).decoding_graph(),
+            rounds,
+            p,
+        )
     }
 
     /// Builds the 3-D decoding graph.
@@ -300,6 +304,7 @@ impl PhenomenologicalCode {
             layer_map.push(map);
         }
         // space-like edges in every layer
+        #[allow(clippy::needless_range_loop)] // `t` pairs `layer_map` with round indices
         for t in 0..self.rounds {
             for e in base.edges() {
                 let (u, v) = e.vertices;
@@ -314,6 +319,7 @@ impl PhenomenologicalCode {
         }
         // time-like measurement-error edges
         for t in 0..self.rounds.saturating_sub(1) {
+            #[allow(clippy::needless_range_loop)] // `v` indexes both layers of `layer_map`
             for v in 0..base.vertex_count() {
                 if base.vertex(v).is_virtual {
                     continue;
@@ -336,7 +342,6 @@ mod tests {
     use super::*;
     use crate::dijkstra::distance_between;
     use crate::syndrome::ErrorPattern;
-    use proptest::prelude::*;
 
     #[test]
     fn repetition_code_structure() {
@@ -374,7 +379,15 @@ mod tests {
     #[test]
     fn rotated_code_table4_vertex_totals() {
         // Table 4 lists |V| for the d-round graph: 24, 90, 224, 450, 792, 1274, 1920.
-        let expected = [(3, 24), (5, 90), (7, 224), (9, 450), (11, 792), (13, 1274), (15, 1920)];
+        let expected = [
+            (3, 24),
+            (5, 90),
+            (7, 224),
+            (9, 450),
+            (11, 792),
+            (13, 1274),
+            (15, 1920),
+        ];
         for (d, total) in expected {
             let per_round = (d * d - 1) / 2 + d + 1;
             assert_eq!(per_round * d, total, "d={d}");
@@ -389,9 +402,9 @@ mod tests {
         for v in 0..g.vertex_count() {
             let deg = g.incident_edges(v).len();
             if g.is_virtual(v) {
-                assert!(deg >= 1 && deg <= 2, "virtual degree {deg}");
+                assert!((1..=2).contains(&deg), "virtual degree {deg}");
             } else {
-                assert!(deg >= 2 && deg <= 4, "regular degree {deg}");
+                assert!((2..=4).contains(&deg), "regular degree {deg}");
             }
         }
     }
@@ -424,7 +437,11 @@ mod tests {
         let g = CodeCapacityRotatedCode::new(5, 0.01).decoding_graph();
         for e in 0..g.edge_count() {
             let s = ErrorPattern::new(vec![e]).syndrome(&g);
-            assert!(s.len() == 1 || s.len() == 2, "edge {e} gives {} defects", s.len());
+            assert!(
+                s.len() == 1 || s.len() == 2,
+                "edge {e} gives {} defects",
+                s.len()
+            );
         }
     }
 
@@ -452,7 +469,10 @@ mod tests {
         let weights: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
         let space_w = weights[0];
         let time_w = *weights.last().unwrap();
-        assert!(time_w > space_w, "rarer measurement errors should weigh more");
+        assert!(
+            time_w > space_w,
+            "rarer measurement errors should weigh more"
+        );
     }
 
     #[test]
@@ -462,31 +482,38 @@ mod tests {
         assert_eq!(masked, 5); // one per row
     }
 
-    proptest! {
-        #[test]
-        fn defect_parity_matches_boundary_error_parity(
-            d in prop::sample::select(vec![3usize, 5, 7]),
-            seed in any::<u64>(),
-        ) {
-            use rand::SeedableRng;
-            use rand::Rng;
-            let g = CodeCapacityRotatedCode::new(d, 0.1).decoding_graph();
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-            let edges: Vec<usize> = (0..g.edge_count()).filter(|_| rng.gen_bool(0.3)).collect();
-            let boundary_edges = edges.iter().filter(|&&e| {
-                let (u, v) = g.edge(e).vertices;
-                g.is_virtual(u) || g.is_virtual(v)
-            }).count();
-            let syndrome = ErrorPattern::new(edges.clone()).syndrome(&g);
-            prop_assert_eq!(syndrome.len() % 2, boundary_edges % 2);
-        }
+    // randomized property checks (deterministically seeded; these replace the
+    // earlier proptest strategies, which are unavailable offline)
 
-        #[test]
-        fn every_data_qubit_has_two_plaquettes(d in prop::sample::select(vec![3i64, 5, 7, 9, 11])) {
+    #[test]
+    fn defect_parity_matches_boundary_error_parity() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        for d in [3usize, 5, 7] {
+            let g = CodeCapacityRotatedCode::new(d, 0.1).decoding_graph();
+            for seed in 0u64..16 {
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                let edges: Vec<usize> = (0..g.edge_count()).filter(|_| rng.gen_bool(0.3)).collect();
+                let boundary_edges = edges
+                    .iter()
+                    .filter(|&&e| {
+                        let (u, v) = g.edge(e).vertices;
+                        g.is_virtual(u) || g.is_virtual(v)
+                    })
+                    .count();
+                let syndrome = ErrorPattern::new(edges.clone()).syndrome(&g);
+                assert_eq!(syndrome.len() % 2, boundary_edges % 2, "d={d} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_data_qubit_has_two_plaquettes() {
+        for d in [3i64, 5, 7, 9, 11] {
             for r in 0..d {
                 for c in 0..d {
                     let pl = CodeCapacityRotatedCode::plaquettes_of_data(d, r, c);
-                    prop_assert_eq!(pl.len(), 2);
+                    assert_eq!(pl.len(), 2, "d={d} r={r} c={c}");
                 }
             }
         }

@@ -67,7 +67,7 @@ pub fn dijkstra(graph: &DecodingGraph, source: VertexIndex) -> ShortestPaths {
         for &e in graph.incident_edges(v) {
             let u = graph.edge(e).other(v);
             let next = dist + graph.edge(e).weight;
-            if distance[u].map_or(true, |d| next < d) {
+            if distance[u].is_none_or(|d| next < d) {
                 distance[u] = Some(next);
                 predecessor[u] = Some(e);
                 heap.push(Reverse((next, u)));

@@ -7,13 +7,13 @@
 //! from a file.
 
 use crate::graph::{DecodingGraph, DecodingGraphBuilder};
+use crate::json::{self, JsonError, JsonValue};
 use crate::types::{Position, Weight};
-use serde::{Deserialize, Serialize};
 
 /// Serializable description of a decoding graph, mirroring the JSON schema
 /// of the paper's artifact (vertices with virtual flags and positions, edges
 /// with weights).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphDescription {
     /// Number of vertices.
     pub vertex_num: usize,
@@ -82,27 +82,173 @@ impl GraphDescription {
             if u >= self.vertex_num || v >= self.vertex_num {
                 return Err(format!("edge {k} references missing vertex"));
             }
-            builder.add_edge(u, v, w, self.error_probabilities[k], self.observable_masks[k]);
+            builder.add_edge(
+                u,
+                v,
+                w,
+                self.error_probabilities[k],
+                self.observable_masks[k],
+            );
         }
         Ok(builder.build())
     }
 
-    /// Serializes to a JSON string.
+    /// Serializes to a pretty-printed JSON string.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error on failure.
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Infallible in practice; the `Result` is kept for API stability with
+    /// the earlier `serde_json`-backed implementation.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        let mut object = std::collections::BTreeMap::new();
+        object.insert(
+            "vertex_num".to_string(),
+            JsonValue::UInt(self.vertex_num as u64),
+        );
+        object.insert(
+            "virtual_vertices".to_string(),
+            JsonValue::Array(
+                self.virtual_vertices
+                    .iter()
+                    .map(|&v| JsonValue::UInt(v as u64))
+                    .collect(),
+            ),
+        );
+        object.insert(
+            "positions".to_string(),
+            JsonValue::Array(
+                self.positions
+                    .iter()
+                    .map(|&(t, i, j)| {
+                        JsonValue::Array(vec![
+                            JsonValue::Int(t),
+                            JsonValue::Int(i),
+                            JsonValue::Int(j),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        object.insert(
+            "weighted_edges".to_string(),
+            JsonValue::Array(
+                self.weighted_edges
+                    .iter()
+                    .map(|&(u, v, w)| {
+                        JsonValue::Array(vec![
+                            JsonValue::UInt(u as u64),
+                            JsonValue::UInt(v as u64),
+                            JsonValue::Int(w),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        object.insert(
+            "error_probabilities".to_string(),
+            JsonValue::Array(
+                self.error_probabilities
+                    .iter()
+                    .map(|&p| JsonValue::Number(p))
+                    .collect(),
+            ),
+        );
+        object.insert(
+            "observable_masks".to_string(),
+            JsonValue::Array(
+                self.observable_masks
+                    .iter()
+                    .map(|&m| JsonValue::UInt(m))
+                    .collect(),
+            ),
+        );
+        Ok(JsonValue::Object(object).to_pretty_string())
     }
 
     /// Deserializes from a JSON string.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error on failure.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns a [`JsonError`] when the input is not valid JSON or does not
+    /// match the schema.
+    pub fn from_json(input: &str) -> Result<Self, JsonError> {
+        let value = json::parse(input)?;
+        let schema_error = |message: &str| JsonError {
+            offset: 0,
+            message: message.to_string(),
+        };
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| schema_error(&format!("missing field '{key}'")))
+        };
+        let usize_array = |key: &str| -> Result<Vec<usize>, JsonError> {
+            field(key)?
+                .as_array()
+                .ok_or_else(|| schema_error(&format!("'{key}' must be an array")))?
+                .iter()
+                .map(|v| {
+                    v.as_u64().map(|x| x as usize).ok_or_else(|| {
+                        schema_error(&format!("'{key}' entries must be non-negative integers"))
+                    })
+                })
+                .collect()
+        };
+        let triple = |v: &JsonValue, key: &str| -> Result<(i64, i64, i64), JsonError> {
+            let items = v.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
+                schema_error(&format!("'{key}' entries must be 3-element arrays"))
+            })?;
+            let mut parsed = [0i64; 3];
+            for (slot, item) in parsed.iter_mut().zip(items) {
+                *slot = item
+                    .as_i64()
+                    .ok_or_else(|| schema_error(&format!("'{key}' entries must hold integers")))?;
+            }
+            Ok((parsed[0], parsed[1], parsed[2]))
+        };
+        let vertex_num = field("vertex_num")?
+            .as_u64()
+            .ok_or_else(|| schema_error("'vertex_num' must be a non-negative integer"))?
+            as usize;
+        let positions = field("positions")?
+            .as_array()
+            .ok_or_else(|| schema_error("'positions' must be an array"))?
+            .iter()
+            .map(|v| triple(v, "positions"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let weighted_edges = field("weighted_edges")?
+            .as_array()
+            .ok_or_else(|| schema_error("'weighted_edges' must be an array"))?
+            .iter()
+            .map(|v| triple(v, "weighted_edges").map(|(u, v, w)| (u as usize, v as usize, w)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let error_probabilities = field("error_probabilities")?
+            .as_array()
+            .ok_or_else(|| schema_error("'error_probabilities' must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| schema_error("'error_probabilities' entries must be numbers"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let observable_masks = field("observable_masks")?
+            .as_array()
+            .ok_or_else(|| schema_error("'observable_masks' must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_u64().ok_or_else(|| {
+                    schema_error("'observable_masks' entries must be non-negative integers")
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            vertex_num,
+            virtual_vertices: usize_array("virtual_vertices")?,
+            positions,
+            weighted_edges,
+            error_probabilities,
+            observable_masks,
+        })
     }
 }
 
@@ -126,6 +272,26 @@ mod tests {
         let desc = GraphDescription::from_json(&json).unwrap();
         let g2 = desc.to_graph().unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn full_width_observable_masks_survive_json() {
+        // all 64 mask bits must round-trip exactly; an f64-backed number
+        // path would silently drop low bits above 2^53
+        use crate::graph::DecodingGraphBuilder;
+        use crate::types::Position;
+        let mut b = DecodingGraphBuilder::new();
+        let v0 = b.add_virtual_vertex(Position::new(0, 0, -1));
+        let v1 = b.add_vertex(Position::new(0, 0, 0));
+        b.add_edge(v0, v1, 2, 0.01, (1u64 << 63) | (1 << 60) | 1);
+        let g = b.build();
+        let json = GraphDescription::from_graph(&g).to_json().unwrap();
+        let g2 = GraphDescription::from_json(&json)
+            .unwrap()
+            .to_graph()
+            .unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.edge(0).observable_mask, (1u64 << 63) | (1 << 60) | 1);
     }
 
     #[test]

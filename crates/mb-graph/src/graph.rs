@@ -6,10 +6,9 @@
 //! defect may match to any of them at the cost of the connecting path.
 
 use crate::types::{EdgeIndex, ObservableMask, Position, VertexIndex, Weight};
-use serde::{Deserialize, Serialize};
 
 /// Per-vertex metadata of a decoding graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VertexInfo {
     /// Whether this vertex models the open boundary (yellow vertices in
     /// Fig. 1b of the paper). Virtual vertices never hold defects.
@@ -20,7 +19,7 @@ pub struct VertexInfo {
 }
 
 /// Per-edge metadata of a decoding graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeInfo {
     /// The two incident vertices.
     pub vertices: (VertexIndex, VertexIndex),
@@ -43,7 +42,10 @@ impl EdgeInfo {
         if self.vertices.0 == v {
             self.vertices.1
         } else {
-            assert_eq!(self.vertices.1, v, "vertex {v} is not incident to this edge");
+            assert_eq!(
+                self.vertices.1, v,
+                "vertex {v} is not incident to this edge"
+            );
             self.vertices.0
         }
     }
@@ -53,7 +55,7 @@ impl EdgeInfo {
 ///
 /// Construct one through [`DecodingGraphBuilder`] or one of the code
 /// builders in [`crate::codes`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecodingGraph {
     vertices: Vec<VertexInfo>,
     edges: Vec<EdgeInfo>,
@@ -249,7 +251,10 @@ impl DecodingGraphBuilder {
         observable_mask: ObservableMask,
     ) -> EdgeIndex {
         assert!(weight >= 0, "edge weight must be non-negative");
-        assert!(u < self.vertices.len() && v < self.vertices.len(), "unknown endpoint");
+        assert!(
+            u < self.vertices.len() && v < self.vertices.len(),
+            "unknown endpoint"
+        );
         assert_ne!(u, v, "self loops are not allowed");
         let weight = if weight % 2 == 0 { weight } else { weight + 1 };
         self.num_observables = self

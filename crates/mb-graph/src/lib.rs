@@ -37,6 +37,7 @@ pub mod codes;
 pub mod dijkstra;
 pub mod export;
 pub mod graph;
+pub mod json;
 pub mod syndrome;
 pub mod types;
 pub mod weights;

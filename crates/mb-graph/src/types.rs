@@ -1,7 +1,5 @@
 //! Shared index and scalar types used throughout the workspace.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a vertex (stabilizer measurement) in a [`crate::DecodingGraph`].
 pub type VertexIndex = usize;
 
@@ -28,7 +26,7 @@ pub type ObservableMask = u64;
 /// The `t` coordinate doubles as the *layer id* used by round-wise fusion
 /// (§6 of the paper): syndrome data is streamed into the accelerator one
 /// `t`-layer at a time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Position {
     /// Measurement round (0 for purely spatial graphs).
     pub t: i64,

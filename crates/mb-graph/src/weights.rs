@@ -87,7 +87,7 @@ mod tests {
         let scaler = WeightScaler::new(1e-3, 14);
         for &p in &[0.4999, 0.3, 0.1, 0.03, 0.01, 0.003, 0.001, 1e-4, 1e-6] {
             let w = scaler.weight_of(p);
-            assert!(w >= 2 && w <= 14, "p={p} w={w}");
+            assert!((2..=14).contains(&w), "p={p} w={w}");
             assert_eq!(w % 2, 0, "p={p} w={w}");
         }
     }

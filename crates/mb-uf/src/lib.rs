@@ -80,6 +80,7 @@ impl UnionFindDecoder {
                                 occupied: &[bool]|
          -> Vec<VertexIndex> {
             let mut roots = std::collections::BTreeSet::new();
+            #[allow(clippy::needless_range_loop)] // `v` indexes `occupied` and feeds `uf.find`
             for v in 0..parity.len() {
                 if !occupied[v] {
                     continue;
@@ -168,7 +169,9 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn syndrome_of(graph: &DecodingGraph, correction: &[EdgeIndex]) -> Vec<VertexIndex> {
-        ErrorPattern::new(correction.to_vec()).syndrome(graph).defects
+        ErrorPattern::new(correction.to_vec())
+            .syndrome(graph)
+            .defects
     }
 
     #[test]
@@ -252,6 +255,9 @@ mod tests {
         let lonely = decoder.stats.growth_rounds;
         decoder.decode(&SyndromePattern::new(vec![4, 5]));
         let adjacent = decoder.stats.growth_rounds;
-        assert!(lonely >= adjacent, "lonely defect must grow at least as long");
+        assert!(
+            lonely >= adjacent,
+            "lonely defect must grow at least as long"
+        );
     }
 }

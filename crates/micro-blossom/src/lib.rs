@@ -1,0 +1,20 @@
+//! Umbrella crate of the Micro Blossom reproduction workspace.
+//!
+//! Re-exports every library crate so downstream users (and the integration
+//! tests under `tests/`) can depend on a single package:
+//!
+//! * [`graph`](mb_graph) — decoding graphs, code builders, error sampling;
+//! * [`uf`](mb_uf) — the Union-Find baseline decoder;
+//! * [`blossom`](mb_blossom) — the exact MWPM (blossom) algorithmic core;
+//! * [`accel`](mb_accel) — the cycle-level accelerator simulator;
+//! * [`decoder`](mb_decoder) — top-level decoders, the [`DecoderBackend`]
+//!   abstraction, the sharded decoding [`pipeline`](mb_decoder::pipeline),
+//!   and the Monte-Carlo evaluation harness.
+
+pub use mb_accel as accel;
+pub use mb_blossom as blossom;
+pub use mb_decoder as decoder;
+pub use mb_graph as graph;
+pub use mb_uf as uf;
+
+pub use mb_decoder::{BackendSpec, DecoderBackend};

@@ -6,7 +6,7 @@
 //! the accelerator, and prints its resource estimate and a short instruction
 //! trace.
 //!
-//! Run with: `cargo run -r -p mb-decoder --example accelerator_inspection`
+//! Run with: `cargo run -r --example accelerator_inspection`
 
 use mb_accel::{estimate_resources, AcceleratorConfig, Instruction, MicroBlossomAccelerator};
 use mb_graph::codes::PhenomenologicalCode;
@@ -20,7 +20,10 @@ fn main() {
     // export the graph in the artifact's JSON style and round-trip it
     let description = GraphDescription::from_graph(&graph);
     let json = description.to_json().expect("graph serializes to JSON");
-    println!("decoding graph JSON ({} bytes), first 200 chars:", json.len());
+    println!(
+        "decoding graph JSON ({} bytes), first 200 chars:",
+        json.len()
+    );
     println!("{}\n...", &json[..200.min(json.len())]);
     let rebuilt = GraphDescription::from_json(&json)
         .expect("JSON parses")

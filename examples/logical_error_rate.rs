@@ -2,9 +2,14 @@
 //! effective logical error rate (including latency-induced idle errors,
 //! §8.3) of Micro Blossom against the Union-Find decoder.
 //!
-//! Run with: `cargo run -r -p mb-decoder --example logical_error_rate [shots]`
+//! All evaluations run through the sharded multi-threaded pipeline; pass a
+//! shard count as the second argument to control the worker threads (the
+//! numbers are identical for any shard count — only wall clock changes).
+//!
+//! Run with: `cargo run -r --example logical_error_rate [shots] [shards]`
 
-use mb_decoder::{evaluate_decoder, MicroBlossomDecoder, ParityBlossomDecoder, UnionFindDecoderAdapter};
+use mb_decoder::pipeline::ShardedPipeline;
+use mb_decoder::BackendSpec;
 use mb_graph::codes::PhenomenologicalCode;
 use std::sync::Arc;
 
@@ -13,17 +18,25 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2000);
-    println!("logical memory experiment, {shots} shots per point\n");
-    println!("{:>3} {:>7} {:>12} {:>12} {:>12} {:>14}", "d", "p", "p_L (MWPM)", "p_L (UF)", "L_micro (us)", "p_eff (micro)");
+    let shards: Option<usize> = std::env::args().nth(2).and_then(|s| s.parse().ok());
+    println!("logical memory experiment, {shots} shots per point (sharded pipeline)\n");
+    println!(
+        "{:>3} {:>7} {:>12} {:>12} {:>12} {:>14}",
+        "d", "p", "p_L (MWPM)", "p_L (UF)", "L_micro (us)", "p_eff (micro)"
+    );
     for d in [3usize, 5] {
         for p in [0.005, 0.01, 0.02] {
             let graph = Arc::new(PhenomenologicalCode::rotated(d, d, p).decoding_graph());
-            let mut micro = MicroBlossomDecoder::full(Arc::clone(&graph), Some(d));
-            let mut parity = ParityBlossomDecoder::new(Arc::clone(&graph));
-            let mut uf = UnionFindDecoderAdapter::new(Arc::clone(&graph));
-            let mwpm = evaluate_decoder(&mut parity, &graph, shots, 1);
-            let micro_eval = evaluate_decoder(&mut micro, &graph, shots, 1);
-            let uf_eval = evaluate_decoder(&mut uf, &graph, shots, 1);
+            let evaluate = |spec: BackendSpec| {
+                let mut pipeline = ShardedPipeline::new(spec, Arc::clone(&graph));
+                if let Some(shards) = shards {
+                    pipeline = pipeline.with_shards(shards);
+                }
+                pipeline.evaluate(shots, 1)
+            };
+            let mwpm = evaluate(BackendSpec::Parity);
+            let micro_eval = evaluate(BackendSpec::micro_full(Some(d)));
+            let uf_eval = evaluate(BackendSpec::union_find());
             println!(
                 "{d:>3} {p:>7.3} {:>12.4} {:>12.4} {:>12.3} {:>14.4}",
                 mwpm.logical_error_rate(),

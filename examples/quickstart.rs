@@ -1,9 +1,9 @@
 //! Quickstart: decode one shot of a distance-5 surface code with Micro
 //! Blossom and print the matching, the correction, and the modeled latency.
 //!
-//! Run with: `cargo run -r -p mb-decoder --example quickstart`
+//! Run with: `cargo run -r --example quickstart`
 
-use mb_decoder::{Decoder, MicroBlossomDecoder};
+use mb_decoder::{DecoderBackend, MicroBlossomDecoder};
 use mb_graph::codes::PhenomenologicalCode;
 use mb_graph::syndrome::ErrorSampler;
 use rand::SeedableRng;

@@ -3,9 +3,9 @@
 //! measurement round must be folded into the running solution as soon as it
 //! arrives and the latency that matters is the time *after the last round*.
 //!
-//! Run with: `cargo run -r -p mb-decoder --example stream_decoding`
+//! Run with: `cargo run -r --example stream_decoding`
 
-use mb_decoder::{Decoder, MicroBlossomConfig, MicroBlossomDecoder};
+use mb_decoder::{DecoderBackend, MicroBlossomConfig, MicroBlossomDecoder};
 use mb_graph::codes::PhenomenologicalCode;
 use mb_graph::syndrome::ErrorSampler;
 use rand::SeedableRng;

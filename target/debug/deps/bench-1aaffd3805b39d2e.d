@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-1aaffd3805b39d2e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/bench-1aaffd3805b39d2e: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

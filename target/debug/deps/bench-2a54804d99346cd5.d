@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-2a54804d99346cd5.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-2a54804d99346cd5.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-f17840562c0157a6.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libbench-f17840562c0157a6.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libbench-f17840562c0157a6.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/correctness_exactness-bdf2ad1ddec51929.d: crates/micro-blossom/../../tests/correctness_exactness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrectness_exactness-bdf2ad1ddec51929.rmeta: crates/micro-blossom/../../tests/correctness_exactness.rs Cargo.toml
+
+crates/micro-blossom/../../tests/correctness_exactness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness_exactness-c8033aca37f97223.d: tests/correctness_exactness.rs
+
+/root/repo/target/debug/deps/correctness_exactness-c8033aca37f97223: tests/correctness_exactness.rs
+
+tests/correctness_exactness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness_exactness-d44f56ad1e4dfa6d.d: crates/micro-blossom/../../tests/correctness_exactness.rs
+
+/root/repo/target/debug/deps/correctness_exactness-d44f56ad1e4dfa6d: crates/micro-blossom/../../tests/correctness_exactness.rs
+
+crates/micro-blossom/../../tests/correctness_exactness.rs:

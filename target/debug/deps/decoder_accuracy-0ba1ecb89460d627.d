@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decoder_accuracy-0ba1ecb89460d627.d: crates/micro-blossom/../../tests/decoder_accuracy.rs
+
+/root/repo/target/debug/deps/decoder_accuracy-0ba1ecb89460d627: crates/micro-blossom/../../tests/decoder_accuracy.rs
+
+crates/micro-blossom/../../tests/decoder_accuracy.rs:

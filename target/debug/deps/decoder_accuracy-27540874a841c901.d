@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decoder_accuracy-27540874a841c901.d: crates/micro-blossom/../../tests/decoder_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecoder_accuracy-27540874a841c901.rmeta: crates/micro-blossom/../../tests/decoder_accuracy.rs Cargo.toml
+
+crates/micro-blossom/../../tests/decoder_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

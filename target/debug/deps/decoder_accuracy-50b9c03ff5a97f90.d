@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decoder_accuracy-50b9c03ff5a97f90.d: tests/decoder_accuracy.rs
+
+/root/repo/target/debug/deps/decoder_accuracy-50b9c03ff5a97f90: tests/decoder_accuracy.rs
+
+tests/decoder_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_amdahl-0f26a511da0774f7.d: crates/bench/src/bin/fig02_amdahl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_amdahl-0f26a511da0774f7.rmeta: crates/bench/src/bin/fig02_amdahl.rs Cargo.toml
+
+crates/bench/src/bin/fig02_amdahl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_amdahl-b9e6e6feeb9024fd.d: crates/bench/src/bin/fig02_amdahl.rs
+
+/root/repo/target/debug/deps/fig02_amdahl-b9e6e6feeb9024fd: crates/bench/src/bin/fig02_amdahl.rs
+
+crates/bench/src/bin/fig02_amdahl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_amdahl-be9b1b204da50735.d: crates/bench/benches/fig02_amdahl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_amdahl-be9b1b204da50735.rmeta: crates/bench/benches/fig02_amdahl.rs Cargo.toml
+
+crates/bench/benches/fig02_amdahl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_amdahl-d5560caafd149f6d.d: crates/bench/src/bin/fig02_amdahl.rs
+
+/root/repo/target/debug/deps/fig02_amdahl-d5560caafd149f6d: crates/bench/src/bin/fig02_amdahl.rs
+
+crates/bench/src/bin/fig02_amdahl.rs:

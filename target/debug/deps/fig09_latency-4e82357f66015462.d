@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_latency-4e82357f66015462.d: crates/bench/src/bin/fig09_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_latency-4e82357f66015462.rmeta: crates/bench/src/bin/fig09_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig09_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

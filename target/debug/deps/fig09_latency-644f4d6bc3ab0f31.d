@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_latency-644f4d6bc3ab0f31.d: crates/bench/src/bin/fig09_latency.rs
+
+/root/repo/target/debug/deps/fig09_latency-644f4d6bc3ab0f31: crates/bench/src/bin/fig09_latency.rs
+
+crates/bench/src/bin/fig09_latency.rs:

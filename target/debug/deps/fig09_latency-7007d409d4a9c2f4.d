@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_latency-7007d409d4a9c2f4.d: crates/bench/src/bin/fig09_latency.rs
+
+/root/repo/target/debug/deps/fig09_latency-7007d409d4a9c2f4: crates/bench/src/bin/fig09_latency.rs
+
+crates/bench/src/bin/fig09_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_latency-a3d6c11d16a56ef8.d: crates/bench/src/bin/fig09_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_latency-a3d6c11d16a56ef8.rmeta: crates/bench/src/bin/fig09_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig09_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

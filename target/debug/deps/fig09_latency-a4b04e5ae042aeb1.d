@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_latency-a4b04e5ae042aeb1.d: crates/bench/benches/fig09_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_latency-a4b04e5ae042aeb1.rmeta: crates/bench/benches/fig09_latency.rs Cargo.toml
+
+crates/bench/benches/fig09_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_ablation-5618d7589516528e.d: crates/bench/benches/fig10_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_ablation-5618d7589516528e.rmeta: crates/bench/benches/fig10_ablation.rs Cargo.toml
+
+crates/bench/benches/fig10_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

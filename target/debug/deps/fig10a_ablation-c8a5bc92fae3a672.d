@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10a_ablation-c8a5bc92fae3a672.d: crates/bench/src/bin/fig10a_ablation.rs
+
+/root/repo/target/debug/deps/fig10a_ablation-c8a5bc92fae3a672: crates/bench/src/bin/fig10a_ablation.rs
+
+crates/bench/src/bin/fig10a_ablation.rs:

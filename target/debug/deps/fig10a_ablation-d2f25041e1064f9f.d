@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10a_ablation-d2f25041e1064f9f.d: crates/bench/src/bin/fig10a_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10a_ablation-d2f25041e1064f9f.rmeta: crates/bench/src/bin/fig10a_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig10a_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

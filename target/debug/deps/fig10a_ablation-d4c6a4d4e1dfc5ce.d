@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10a_ablation-d4c6a4d4e1dfc5ce.d: crates/bench/src/bin/fig10a_ablation.rs
+
+/root/repo/target/debug/deps/fig10a_ablation-d4c6a4d4e1dfc5ce: crates/bench/src/bin/fig10a_ablation.rs
+
+crates/bench/src/bin/fig10a_ablation.rs:

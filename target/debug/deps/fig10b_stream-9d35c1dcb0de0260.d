@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10b_stream-9d35c1dcb0de0260.d: crates/bench/src/bin/fig10b_stream.rs
+
+/root/repo/target/debug/deps/fig10b_stream-9d35c1dcb0de0260: crates/bench/src/bin/fig10b_stream.rs
+
+crates/bench/src/bin/fig10b_stream.rs:

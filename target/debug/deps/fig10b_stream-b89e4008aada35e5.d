@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10b_stream-b89e4008aada35e5.d: crates/bench/src/bin/fig10b_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10b_stream-b89e4008aada35e5.rmeta: crates/bench/src/bin/fig10b_stream.rs Cargo.toml
+
+crates/bench/src/bin/fig10b_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10b_stream-db96e3d96131495e.d: crates/bench/src/bin/fig10b_stream.rs
+
+/root/repo/target/debug/deps/fig10b_stream-db96e3d96131495e: crates/bench/src/bin/fig10b_stream.rs
+
+crates/bench/src/bin/fig10b_stream.rs:

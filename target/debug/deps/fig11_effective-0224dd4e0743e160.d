@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_effective-0224dd4e0743e160.d: crates/bench/benches/fig11_effective.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_effective-0224dd4e0743e160.rmeta: crates/bench/benches/fig11_effective.rs Cargo.toml
+
+crates/bench/benches/fig11_effective.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_effective-341a62bf115ed81e.d: crates/bench/src/bin/fig11_effective.rs
+
+/root/repo/target/debug/deps/fig11_effective-341a62bf115ed81e: crates/bench/src/bin/fig11_effective.rs
+
+crates/bench/src/bin/fig11_effective.rs:

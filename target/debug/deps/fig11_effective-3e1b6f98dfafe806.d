@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_effective-3e1b6f98dfafe806.d: crates/bench/src/bin/fig11_effective.rs
+
+/root/repo/target/debug/deps/fig11_effective-3e1b6f98dfafe806: crates/bench/src/bin/fig11_effective.rs
+
+crates/bench/src/bin/fig11_effective.rs:

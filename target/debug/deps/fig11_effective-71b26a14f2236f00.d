@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_effective-71b26a14f2236f00.d: crates/bench/src/bin/fig11_effective.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_effective-71b26a14f2236f00.rmeta: crates/bench/src/bin/fig11_effective.rs Cargo.toml
+
+crates/bench/src/bin/fig11_effective.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_effective-97de31d57f6bb29b.d: crates/bench/src/bin/fig11_effective.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_effective-97de31d57f6bb29b.rmeta: crates/bench/src/bin/fig11_effective.rs Cargo.toml
+
+crates/bench/src/bin/fig11_effective.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

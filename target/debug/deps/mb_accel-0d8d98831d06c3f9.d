@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mb_accel-0d8d98831d06c3f9.d: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs
+
+/root/repo/target/debug/deps/libmb_accel-0d8d98831d06c3f9.rlib: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs
+
+/root/repo/target/debug/deps/libmb_accel-0d8d98831d06c3f9.rmeta: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs
+
+crates/mb-accel/src/lib.rs:
+crates/mb-accel/src/accelerator.rs:
+crates/mb-accel/src/driver.rs:
+crates/mb-accel/src/instruction.rs:
+crates/mb-accel/src/resource.rs:
+crates/mb-accel/src/timing.rs:

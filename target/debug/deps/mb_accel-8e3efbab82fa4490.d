@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mb_accel-8e3efbab82fa4490.d: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmb_accel-8e3efbab82fa4490.rmeta: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs Cargo.toml
+
+crates/mb-accel/src/lib.rs:
+crates/mb-accel/src/accelerator.rs:
+crates/mb-accel/src/driver.rs:
+crates/mb-accel/src/instruction.rs:
+crates/mb-accel/src/resource.rs:
+crates/mb-accel/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

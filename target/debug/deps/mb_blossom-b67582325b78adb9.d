@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mb_blossom-b67582325b78adb9.d: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmb_blossom-b67582325b78adb9.rmeta: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs Cargo.toml
+
+crates/mb-blossom/src/lib.rs:
+crates/mb-blossom/src/dual_serial.rs:
+crates/mb-blossom/src/exact.rs:
+crates/mb-blossom/src/interface.rs:
+crates/mb-blossom/src/matching.rs:
+crates/mb-blossom/src/primal.rs:
+crates/mb-blossom/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

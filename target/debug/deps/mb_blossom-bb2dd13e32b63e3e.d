@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mb_blossom-bb2dd13e32b63e3e.d: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs
+
+/root/repo/target/debug/deps/libmb_blossom-bb2dd13e32b63e3e.rlib: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs
+
+/root/repo/target/debug/deps/libmb_blossom-bb2dd13e32b63e3e.rmeta: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs
+
+crates/mb-blossom/src/lib.rs:
+crates/mb-blossom/src/dual_serial.rs:
+crates/mb-blossom/src/exact.rs:
+crates/mb-blossom/src/interface.rs:
+crates/mb-blossom/src/matching.rs:
+crates/mb-blossom/src/primal.rs:
+crates/mb-blossom/src/solver.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mb_decoder-063aeb1e22ff7937.d: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmb_decoder-063aeb1e22ff7937.rmeta: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs Cargo.toml
+
+crates/mb-decoder/src/lib.rs:
+crates/mb-decoder/src/backend.rs:
+crates/mb-decoder/src/evaluation.rs:
+crates/mb-decoder/src/micro.rs:
+crates/mb-decoder/src/outcome.rs:
+crates/mb-decoder/src/parity.rs:
+crates/mb-decoder/src/pipeline.rs:
+crates/mb-decoder/src/uf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

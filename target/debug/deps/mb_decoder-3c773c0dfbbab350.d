@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mb_decoder-3c773c0dfbbab350.d: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs
+
+/root/repo/target/debug/deps/mb_decoder-3c773c0dfbbab350: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs
+
+crates/mb-decoder/src/lib.rs:
+crates/mb-decoder/src/backend.rs:
+crates/mb-decoder/src/evaluation.rs:
+crates/mb-decoder/src/micro.rs:
+crates/mb-decoder/src/outcome.rs:
+crates/mb-decoder/src/parity.rs:
+crates/mb-decoder/src/pipeline.rs:
+crates/mb-decoder/src/uf.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mb_graph-57e71942d9070f8f.d: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs
+
+/root/repo/target/debug/deps/libmb_graph-57e71942d9070f8f.rlib: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs
+
+/root/repo/target/debug/deps/libmb_graph-57e71942d9070f8f.rmeta: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs
+
+crates/mb-graph/src/lib.rs:
+crates/mb-graph/src/codes.rs:
+crates/mb-graph/src/dijkstra.rs:
+crates/mb-graph/src/export.rs:
+crates/mb-graph/src/graph.rs:
+crates/mb-graph/src/json.rs:
+crates/mb-graph/src/syndrome.rs:
+crates/mb-graph/src/types.rs:
+crates/mb-graph/src/weights.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mb_graph-6bd5b9f4d7b3d72a.d: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmb_graph-6bd5b9f4d7b3d72a.rmeta: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs Cargo.toml
+
+crates/mb-graph/src/lib.rs:
+crates/mb-graph/src/codes.rs:
+crates/mb-graph/src/dijkstra.rs:
+crates/mb-graph/src/export.rs:
+crates/mb-graph/src/graph.rs:
+crates/mb-graph/src/json.rs:
+crates/mb-graph/src/syndrome.rs:
+crates/mb-graph/src/types.rs:
+crates/mb-graph/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mb_graph-b64f03f23a83e3b0.d: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs
+
+/root/repo/target/debug/deps/mb_graph-b64f03f23a83e3b0: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs
+
+crates/mb-graph/src/lib.rs:
+crates/mb-graph/src/codes.rs:
+crates/mb-graph/src/dijkstra.rs:
+crates/mb-graph/src/export.rs:
+crates/mb-graph/src/graph.rs:
+crates/mb-graph/src/json.rs:
+crates/mb-graph/src/syndrome.rs:
+crates/mb-graph/src/types.rs:
+crates/mb-graph/src/weights.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mb_uf-0ff31e375a96e620.d: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs
+
+/root/repo/target/debug/deps/libmb_uf-0ff31e375a96e620.rlib: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs
+
+/root/repo/target/debug/deps/libmb_uf-0ff31e375a96e620.rmeta: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs
+
+crates/mb-uf/src/lib.rs:
+crates/mb-uf/src/peeling.rs:
+crates/mb-uf/src/union_find.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mb_uf-8c2ff1dd9ad7b348.d: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs
+
+/root/repo/target/debug/deps/mb_uf-8c2ff1dd9ad7b348: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs
+
+crates/mb-uf/src/lib.rs:
+crates/mb-uf/src/peeling.rs:
+crates/mb-uf/src/union_find.rs:

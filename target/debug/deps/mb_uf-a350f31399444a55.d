@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mb_uf-a350f31399444a55.d: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmb_uf-a350f31399444a55.rmeta: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs Cargo.toml
+
+crates/mb-uf/src/lib.rs:
+crates/mb-uf/src/peeling.rs:
+crates/mb-uf/src/union_find.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/micro_blossom-552e4f35a74a08b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmicro_blossom-552e4f35a74a08b9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmicro_blossom-552e4f35a74a08b9.rmeta: src/lib.rs
+
+src/lib.rs:

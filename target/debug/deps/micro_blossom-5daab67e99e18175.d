@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_blossom-5daab67e99e18175.d: src/lib.rs
+
+/root/repo/target/debug/deps/micro_blossom-5daab67e99e18175: src/lib.rs
+
+src/lib.rs:

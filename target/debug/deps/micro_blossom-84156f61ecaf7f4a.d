@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_blossom-84156f61ecaf7f4a.d: crates/micro-blossom/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_blossom-84156f61ecaf7f4a.rmeta: crates/micro-blossom/src/lib.rs Cargo.toml
+
+crates/micro-blossom/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

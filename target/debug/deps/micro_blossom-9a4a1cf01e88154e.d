@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/micro_blossom-9a4a1cf01e88154e.d: crates/micro-blossom/src/lib.rs
+
+/root/repo/target/debug/deps/libmicro_blossom-9a4a1cf01e88154e.rlib: crates/micro-blossom/src/lib.rs
+
+/root/repo/target/debug/deps/libmicro_blossom-9a4a1cf01e88154e.rmeta: crates/micro-blossom/src/lib.rs
+
+crates/micro-blossom/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_blossom-ea24f95a9d1329ab.d: crates/micro-blossom/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_blossom-ea24f95a9d1329ab.rmeta: crates/micro-blossom/src/lib.rs Cargo.toml
+
+crates/micro-blossom/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

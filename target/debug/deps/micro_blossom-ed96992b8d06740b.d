@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_blossom-ed96992b8d06740b.d: crates/micro-blossom/src/lib.rs
+
+/root/repo/target/debug/deps/micro_blossom-ed96992b8d06740b: crates/micro-blossom/src/lib.rs
+
+crates/micro-blossom/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_equals_serial-c9c530e56c2caa1c.d: crates/micro-blossom/../../tests/pipeline_equals_serial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_equals_serial-c9c530e56c2caa1c.rmeta: crates/micro-blossom/../../tests/pipeline_equals_serial.rs Cargo.toml
+
+crates/micro-blossom/../../tests/pipeline_equals_serial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

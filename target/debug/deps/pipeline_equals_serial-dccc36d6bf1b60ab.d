@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_equals_serial-dccc36d6bf1b60ab.d: tests/pipeline_equals_serial.rs
+
+/root/repo/target/debug/deps/pipeline_equals_serial-dccc36d6bf1b60ab: tests/pipeline_equals_serial.rs
+
+tests/pipeline_equals_serial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_equals_serial-e127dd1f17e8f697.d: crates/micro-blossom/../../tests/pipeline_equals_serial.rs
+
+/root/repo/target/debug/deps/pipeline_equals_serial-e127dd1f17e8f697: crates/micro-blossom/../../tests/pipeline_equals_serial.rs
+
+crates/micro-blossom/../../tests/pipeline_equals_serial.rs:

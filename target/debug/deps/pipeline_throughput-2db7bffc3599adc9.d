@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_throughput-2db7bffc3599adc9.d: crates/bench/src/bin/pipeline_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_throughput-2db7bffc3599adc9.rmeta: crates/bench/src/bin/pipeline_throughput.rs Cargo.toml
+
+crates/bench/src/bin/pipeline_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

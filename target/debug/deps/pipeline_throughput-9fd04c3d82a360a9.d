@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_throughput-9fd04c3d82a360a9.d: crates/bench/src/bin/pipeline_throughput.rs
+
+/root/repo/target/debug/deps/pipeline_throughput-9fd04c3d82a360a9: crates/bench/src/bin/pipeline_throughput.rs
+
+crates/bench/src/bin/pipeline_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_throughput-b6535591d8f9c799.d: crates/bench/src/bin/pipeline_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_throughput-b6535591d8f9c799.rmeta: crates/bench/src/bin/pipeline_throughput.rs Cargo.toml
+
+crates/bench/src/bin/pipeline_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-45842aa3e6e36528.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-45842aa3e6e36528: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-833ec0037236d1d1.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-833ec0037236d1d1.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-833ec0037236d1d1.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

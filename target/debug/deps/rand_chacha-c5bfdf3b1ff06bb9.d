@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-c5bfdf3b1ff06bb9.d: shims/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-c5bfdf3b1ff06bb9.rmeta: shims/rand_chacha/src/lib.rs Cargo.toml
+
+shims/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

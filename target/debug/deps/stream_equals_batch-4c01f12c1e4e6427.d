@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_equals_batch-4c01f12c1e4e6427.d: crates/micro-blossom/../../tests/stream_equals_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_equals_batch-4c01f12c1e4e6427.rmeta: crates/micro-blossom/../../tests/stream_equals_batch.rs Cargo.toml
+
+crates/micro-blossom/../../tests/stream_equals_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

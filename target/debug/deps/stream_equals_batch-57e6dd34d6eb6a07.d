@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_equals_batch-57e6dd34d6eb6a07.d: tests/stream_equals_batch.rs
+
+/root/repo/target/debug/deps/stream_equals_batch-57e6dd34d6eb6a07: tests/stream_equals_batch.rs
+
+tests/stream_equals_batch.rs:

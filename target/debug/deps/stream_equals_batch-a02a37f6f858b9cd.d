@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_equals_batch-a02a37f6f858b9cd.d: crates/micro-blossom/../../tests/stream_equals_batch.rs
+
+/root/repo/target/debug/deps/stream_equals_batch-a02a37f6f858b9cd: crates/micro-blossom/../../tests/stream_equals_batch.rs
+
+crates/micro-blossom/../../tests/stream_equals_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_resources-2637b6e53e6ec81b.d: crates/bench/src/bin/table4_resources.rs
+
+/root/repo/target/debug/deps/table4_resources-2637b6e53e6ec81b: crates/bench/src/bin/table4_resources.rs
+
+crates/bench/src/bin/table4_resources.rs:

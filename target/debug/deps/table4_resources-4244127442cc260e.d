@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_resources-4244127442cc260e.d: crates/bench/src/bin/table4_resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_resources-4244127442cc260e.rmeta: crates/bench/src/bin/table4_resources.rs Cargo.toml
+
+crates/bench/src/bin/table4_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_resources-4af6f8fe158d1ee1.d: crates/bench/src/bin/table4_resources.rs
+
+/root/repo/target/debug/deps/table4_resources-4af6f8fe158d1ee1: crates/bench/src/bin/table4_resources.rs
+
+crates/bench/src/bin/table4_resources.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_resources-c837e2d339dcbbd1.d: crates/bench/benches/table4_resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_resources-c837e2d339dcbbd1.rmeta: crates/bench/benches/table4_resources.rs Cargo.toml
+
+crates/bench/benches/table4_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

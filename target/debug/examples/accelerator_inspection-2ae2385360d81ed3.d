@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accelerator_inspection-2ae2385360d81ed3.d: crates/micro-blossom/../../examples/accelerator_inspection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccelerator_inspection-2ae2385360d81ed3.rmeta: crates/micro-blossom/../../examples/accelerator_inspection.rs Cargo.toml
+
+crates/micro-blossom/../../examples/accelerator_inspection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

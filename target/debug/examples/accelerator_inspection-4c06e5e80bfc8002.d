@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_inspection-4c06e5e80bfc8002.d: examples/accelerator_inspection.rs
+
+/root/repo/target/debug/examples/accelerator_inspection-4c06e5e80bfc8002: examples/accelerator_inspection.rs
+
+examples/accelerator_inspection.rs:

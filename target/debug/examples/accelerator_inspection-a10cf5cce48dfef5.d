@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_inspection-a10cf5cce48dfef5.d: crates/micro-blossom/../../examples/accelerator_inspection.rs
+
+/root/repo/target/debug/examples/accelerator_inspection-a10cf5cce48dfef5: crates/micro-blossom/../../examples/accelerator_inspection.rs
+
+crates/micro-blossom/../../examples/accelerator_inspection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logical_error_rate-13c1320505229a4d.d: crates/micro-blossom/../../examples/logical_error_rate.rs
+
+/root/repo/target/debug/examples/logical_error_rate-13c1320505229a4d: crates/micro-blossom/../../examples/logical_error_rate.rs
+
+crates/micro-blossom/../../examples/logical_error_rate.rs:

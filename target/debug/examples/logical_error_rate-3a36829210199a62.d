@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/logical_error_rate-3a36829210199a62.d: crates/micro-blossom/../../examples/logical_error_rate.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblogical_error_rate-3a36829210199a62.rmeta: crates/micro-blossom/../../examples/logical_error_rate.rs Cargo.toml
+
+crates/micro-blossom/../../examples/logical_error_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logical_error_rate-dc64d43f79797471.d: examples/logical_error_rate.rs
+
+/root/repo/target/debug/examples/logical_error_rate-dc64d43f79797471: examples/logical_error_rate.rs
+
+examples/logical_error_rate.rs:

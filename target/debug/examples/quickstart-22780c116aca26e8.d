@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-22780c116aca26e8.d: crates/micro-blossom/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-22780c116aca26e8.rmeta: crates/micro-blossom/../../examples/quickstart.rs Cargo.toml
+
+crates/micro-blossom/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

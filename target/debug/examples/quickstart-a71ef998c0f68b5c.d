@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a71ef998c0f68b5c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a71ef998c0f68b5c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d8cd6a7fb9412b67.d: crates/micro-blossom/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d8cd6a7fb9412b67: crates/micro-blossom/../../examples/quickstart.rs
+
+crates/micro-blossom/../../examples/quickstart.rs:

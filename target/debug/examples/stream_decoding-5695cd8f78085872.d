@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stream_decoding-5695cd8f78085872.d: crates/micro-blossom/../../examples/stream_decoding.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstream_decoding-5695cd8f78085872.rmeta: crates/micro-blossom/../../examples/stream_decoding.rs Cargo.toml
+
+crates/micro-blossom/../../examples/stream_decoding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

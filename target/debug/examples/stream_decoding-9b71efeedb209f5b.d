@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stream_decoding-9b71efeedb209f5b.d: crates/micro-blossom/../../examples/stream_decoding.rs
+
+/root/repo/target/debug/examples/stream_decoding-9b71efeedb209f5b: crates/micro-blossom/../../examples/stream_decoding.rs
+
+crates/micro-blossom/../../examples/stream_decoding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stream_decoding-ca0639549cfabf0f.d: examples/stream_decoding.rs
+
+/root/repo/target/debug/examples/stream_decoding-ca0639549cfabf0f: examples/stream_decoding.rs
+
+examples/stream_decoding.rs:

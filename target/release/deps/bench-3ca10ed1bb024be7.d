@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/bench-3ca10ed1bb024be7.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/bench-3ca10ed1bb024be7: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/correctness_exactness-0264172fa7319bef.d: crates/micro-blossom/../../tests/correctness_exactness.rs
+
+/root/repo/target/release/deps/correctness_exactness-0264172fa7319bef: crates/micro-blossom/../../tests/correctness_exactness.rs
+
+crates/micro-blossom/../../tests/correctness_exactness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/correctness_exactness-03e77d1526d2ed3f.d: crates/micro-blossom/../../tests/correctness_exactness.rs Cargo.toml
+
+/root/repo/target/release/deps/libcorrectness_exactness-03e77d1526d2ed3f.rmeta: crates/micro-blossom/../../tests/correctness_exactness.rs Cargo.toml
+
+crates/micro-blossom/../../tests/correctness_exactness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

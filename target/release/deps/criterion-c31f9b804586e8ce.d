@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-c31f9b804586e8ce.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-c31f9b804586e8ce.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

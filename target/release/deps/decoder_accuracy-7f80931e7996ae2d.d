@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/decoder_accuracy-7f80931e7996ae2d.d: crates/micro-blossom/../../tests/decoder_accuracy.rs Cargo.toml
+
+/root/repo/target/release/deps/libdecoder_accuracy-7f80931e7996ae2d.rmeta: crates/micro-blossom/../../tests/decoder_accuracy.rs Cargo.toml
+
+crates/micro-blossom/../../tests/decoder_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decoder_accuracy-f4d7676d5c5d70be.d: crates/micro-blossom/../../tests/decoder_accuracy.rs
+
+/root/repo/target/release/deps/decoder_accuracy-f4d7676d5c5d70be: crates/micro-blossom/../../tests/decoder_accuracy.rs
+
+crates/micro-blossom/../../tests/decoder_accuracy.rs:

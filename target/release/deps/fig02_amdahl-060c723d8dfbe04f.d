@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_amdahl-060c723d8dfbe04f.d: crates/bench/src/bin/fig02_amdahl.rs
+
+/root/repo/target/release/deps/fig02_amdahl-060c723d8dfbe04f: crates/bench/src/bin/fig02_amdahl.rs
+
+crates/bench/src/bin/fig02_amdahl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig02_amdahl-d1b6ce38b3ff238b.d: crates/bench/src/bin/fig02_amdahl.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig02_amdahl-d1b6ce38b3ff238b.rmeta: crates/bench/src/bin/fig02_amdahl.rs Cargo.toml
+
+crates/bench/src/bin/fig02_amdahl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

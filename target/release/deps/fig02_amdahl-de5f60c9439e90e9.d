@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_amdahl-de5f60c9439e90e9.d: crates/bench/src/bin/fig02_amdahl.rs
+
+/root/repo/target/release/deps/fig02_amdahl-de5f60c9439e90e9: crates/bench/src/bin/fig02_amdahl.rs
+
+crates/bench/src/bin/fig02_amdahl.rs:

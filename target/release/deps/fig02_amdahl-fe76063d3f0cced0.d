@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig02_amdahl-fe76063d3f0cced0.d: crates/bench/benches/fig02_amdahl.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig02_amdahl-fe76063d3f0cced0.rmeta: crates/bench/benches/fig02_amdahl.rs Cargo.toml
+
+crates/bench/benches/fig02_amdahl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09_latency-32cf25589e9ff653.d: crates/bench/benches/fig09_latency.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09_latency-32cf25589e9ff653.rmeta: crates/bench/benches/fig09_latency.rs Cargo.toml
+
+crates/bench/benches/fig09_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09_latency-6de4a9548487af9f.d: crates/bench/src/bin/fig09_latency.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09_latency-6de4a9548487af9f.rmeta: crates/bench/src/bin/fig09_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig09_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

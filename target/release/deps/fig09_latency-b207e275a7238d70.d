@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_latency-b207e275a7238d70.d: crates/bench/src/bin/fig09_latency.rs
+
+/root/repo/target/release/deps/fig09_latency-b207e275a7238d70: crates/bench/src/bin/fig09_latency.rs
+
+crates/bench/src/bin/fig09_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_latency-c61dcda476c3df1b.d: crates/bench/src/bin/fig09_latency.rs
+
+/root/repo/target/release/deps/fig09_latency-c61dcda476c3df1b: crates/bench/src/bin/fig09_latency.rs
+
+crates/bench/src/bin/fig09_latency.rs:

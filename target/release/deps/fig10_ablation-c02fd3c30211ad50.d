@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_ablation-c02fd3c30211ad50.d: crates/bench/benches/fig10_ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_ablation-c02fd3c30211ad50.rmeta: crates/bench/benches/fig10_ablation.rs Cargo.toml
+
+crates/bench/benches/fig10_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

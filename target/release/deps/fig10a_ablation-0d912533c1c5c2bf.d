@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10a_ablation-0d912533c1c5c2bf.d: crates/bench/src/bin/fig10a_ablation.rs
+
+/root/repo/target/release/deps/fig10a_ablation-0d912533c1c5c2bf: crates/bench/src/bin/fig10a_ablation.rs
+
+crates/bench/src/bin/fig10a_ablation.rs:

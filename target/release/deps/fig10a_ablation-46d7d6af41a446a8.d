@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10a_ablation-46d7d6af41a446a8.d: crates/bench/src/bin/fig10a_ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10a_ablation-46d7d6af41a446a8.rmeta: crates/bench/src/bin/fig10a_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig10a_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10a_ablation-aed5af1d4302d6ba.d: crates/bench/src/bin/fig10a_ablation.rs
+
+/root/repo/target/release/deps/fig10a_ablation-aed5af1d4302d6ba: crates/bench/src/bin/fig10a_ablation.rs
+
+crates/bench/src/bin/fig10a_ablation.rs:

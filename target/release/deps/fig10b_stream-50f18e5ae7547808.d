@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10b_stream-50f18e5ae7547808.d: crates/bench/src/bin/fig10b_stream.rs
+
+/root/repo/target/release/deps/fig10b_stream-50f18e5ae7547808: crates/bench/src/bin/fig10b_stream.rs
+
+crates/bench/src/bin/fig10b_stream.rs:

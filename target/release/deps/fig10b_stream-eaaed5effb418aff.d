@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10b_stream-eaaed5effb418aff.d: crates/bench/src/bin/fig10b_stream.rs
+
+/root/repo/target/release/deps/fig10b_stream-eaaed5effb418aff: crates/bench/src/bin/fig10b_stream.rs
+
+crates/bench/src/bin/fig10b_stream.rs:

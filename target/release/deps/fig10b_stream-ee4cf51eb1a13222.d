@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10b_stream-ee4cf51eb1a13222.d: crates/bench/src/bin/fig10b_stream.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10b_stream-ee4cf51eb1a13222.rmeta: crates/bench/src/bin/fig10b_stream.rs Cargo.toml
+
+crates/bench/src/bin/fig10b_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

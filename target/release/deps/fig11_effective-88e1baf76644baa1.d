@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_effective-88e1baf76644baa1.d: crates/bench/benches/fig11_effective.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_effective-88e1baf76644baa1.rmeta: crates/bench/benches/fig11_effective.rs Cargo.toml
+
+crates/bench/benches/fig11_effective.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_effective-8d8178c5bd4c7e48.d: crates/bench/src/bin/fig11_effective.rs
+
+/root/repo/target/release/deps/fig11_effective-8d8178c5bd4c7e48: crates/bench/src/bin/fig11_effective.rs
+
+crates/bench/src/bin/fig11_effective.rs:

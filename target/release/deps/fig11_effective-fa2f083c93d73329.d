@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_effective-fa2f083c93d73329.d: crates/bench/src/bin/fig11_effective.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_effective-fa2f083c93d73329.rmeta: crates/bench/src/bin/fig11_effective.rs Cargo.toml
+
+crates/bench/src/bin/fig11_effective.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

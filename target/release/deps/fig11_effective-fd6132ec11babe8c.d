@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_effective-fd6132ec11babe8c.d: crates/bench/src/bin/fig11_effective.rs
+
+/root/repo/target/release/deps/fig11_effective-fd6132ec11babe8c: crates/bench/src/bin/fig11_effective.rs
+
+crates/bench/src/bin/fig11_effective.rs:

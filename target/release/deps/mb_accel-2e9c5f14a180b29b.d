@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mb_accel-2e9c5f14a180b29b.d: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs
+
+/root/repo/target/release/deps/mb_accel-2e9c5f14a180b29b: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs
+
+crates/mb-accel/src/lib.rs:
+crates/mb-accel/src/accelerator.rs:
+crates/mb-accel/src/driver.rs:
+crates/mb-accel/src/instruction.rs:
+crates/mb-accel/src/resource.rs:
+crates/mb-accel/src/timing.rs:

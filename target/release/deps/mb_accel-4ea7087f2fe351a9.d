@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mb_accel-4ea7087f2fe351a9.d: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs Cargo.toml
+
+/root/repo/target/release/deps/libmb_accel-4ea7087f2fe351a9.rmeta: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs Cargo.toml
+
+crates/mb-accel/src/lib.rs:
+crates/mb-accel/src/accelerator.rs:
+crates/mb-accel/src/driver.rs:
+crates/mb-accel/src/instruction.rs:
+crates/mb-accel/src/resource.rs:
+crates/mb-accel/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

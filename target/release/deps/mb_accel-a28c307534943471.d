@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mb_accel-a28c307534943471.d: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs
+
+/root/repo/target/release/deps/libmb_accel-a28c307534943471.rlib: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs
+
+/root/repo/target/release/deps/libmb_accel-a28c307534943471.rmeta: crates/mb-accel/src/lib.rs crates/mb-accel/src/accelerator.rs crates/mb-accel/src/driver.rs crates/mb-accel/src/instruction.rs crates/mb-accel/src/resource.rs crates/mb-accel/src/timing.rs
+
+crates/mb-accel/src/lib.rs:
+crates/mb-accel/src/accelerator.rs:
+crates/mb-accel/src/driver.rs:
+crates/mb-accel/src/instruction.rs:
+crates/mb-accel/src/resource.rs:
+crates/mb-accel/src/timing.rs:

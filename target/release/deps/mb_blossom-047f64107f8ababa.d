@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mb_blossom-047f64107f8ababa.d: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs
+
+/root/repo/target/release/deps/libmb_blossom-047f64107f8ababa.rlib: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs
+
+/root/repo/target/release/deps/libmb_blossom-047f64107f8ababa.rmeta: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs
+
+crates/mb-blossom/src/lib.rs:
+crates/mb-blossom/src/dual_serial.rs:
+crates/mb-blossom/src/exact.rs:
+crates/mb-blossom/src/interface.rs:
+crates/mb-blossom/src/matching.rs:
+crates/mb-blossom/src/primal.rs:
+crates/mb-blossom/src/solver.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mb_blossom-08673254ffd0d52e.d: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs Cargo.toml
+
+/root/repo/target/release/deps/libmb_blossom-08673254ffd0d52e.rmeta: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs Cargo.toml
+
+crates/mb-blossom/src/lib.rs:
+crates/mb-blossom/src/dual_serial.rs:
+crates/mb-blossom/src/exact.rs:
+crates/mb-blossom/src/interface.rs:
+crates/mb-blossom/src/matching.rs:
+crates/mb-blossom/src/primal.rs:
+crates/mb-blossom/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mb_blossom-767141792832c208.d: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs
+
+/root/repo/target/release/deps/mb_blossom-767141792832c208: crates/mb-blossom/src/lib.rs crates/mb-blossom/src/dual_serial.rs crates/mb-blossom/src/exact.rs crates/mb-blossom/src/interface.rs crates/mb-blossom/src/matching.rs crates/mb-blossom/src/primal.rs crates/mb-blossom/src/solver.rs
+
+crates/mb-blossom/src/lib.rs:
+crates/mb-blossom/src/dual_serial.rs:
+crates/mb-blossom/src/exact.rs:
+crates/mb-blossom/src/interface.rs:
+crates/mb-blossom/src/matching.rs:
+crates/mb-blossom/src/primal.rs:
+crates/mb-blossom/src/solver.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mb_decoder-5dffe1cd6d11d43b.d: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs
+
+/root/repo/target/release/deps/mb_decoder-5dffe1cd6d11d43b: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs
+
+crates/mb-decoder/src/lib.rs:
+crates/mb-decoder/src/backend.rs:
+crates/mb-decoder/src/evaluation.rs:
+crates/mb-decoder/src/micro.rs:
+crates/mb-decoder/src/outcome.rs:
+crates/mb-decoder/src/parity.rs:
+crates/mb-decoder/src/pipeline.rs:
+crates/mb-decoder/src/uf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mb_decoder-83248fafb2a96694.d: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs
+
+/root/repo/target/release/deps/libmb_decoder-83248fafb2a96694.rlib: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs
+
+/root/repo/target/release/deps/libmb_decoder-83248fafb2a96694.rmeta: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs
+
+crates/mb-decoder/src/lib.rs:
+crates/mb-decoder/src/backend.rs:
+crates/mb-decoder/src/evaluation.rs:
+crates/mb-decoder/src/micro.rs:
+crates/mb-decoder/src/outcome.rs:
+crates/mb-decoder/src/parity.rs:
+crates/mb-decoder/src/pipeline.rs:
+crates/mb-decoder/src/uf.rs:

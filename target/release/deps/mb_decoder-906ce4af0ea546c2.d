@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mb_decoder-906ce4af0ea546c2.d: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs Cargo.toml
+
+/root/repo/target/release/deps/libmb_decoder-906ce4af0ea546c2.rmeta: crates/mb-decoder/src/lib.rs crates/mb-decoder/src/backend.rs crates/mb-decoder/src/evaluation.rs crates/mb-decoder/src/micro.rs crates/mb-decoder/src/outcome.rs crates/mb-decoder/src/parity.rs crates/mb-decoder/src/pipeline.rs crates/mb-decoder/src/uf.rs Cargo.toml
+
+crates/mb-decoder/src/lib.rs:
+crates/mb-decoder/src/backend.rs:
+crates/mb-decoder/src/evaluation.rs:
+crates/mb-decoder/src/micro.rs:
+crates/mb-decoder/src/outcome.rs:
+crates/mb-decoder/src/parity.rs:
+crates/mb-decoder/src/pipeline.rs:
+crates/mb-decoder/src/uf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mb_graph-38ff033ffba6e534.d: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs
+
+/root/repo/target/release/deps/mb_graph-38ff033ffba6e534: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs
+
+crates/mb-graph/src/lib.rs:
+crates/mb-graph/src/codes.rs:
+crates/mb-graph/src/dijkstra.rs:
+crates/mb-graph/src/export.rs:
+crates/mb-graph/src/graph.rs:
+crates/mb-graph/src/json.rs:
+crates/mb-graph/src/syndrome.rs:
+crates/mb-graph/src/types.rs:
+crates/mb-graph/src/weights.rs:

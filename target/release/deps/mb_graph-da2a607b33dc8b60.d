@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mb_graph-da2a607b33dc8b60.d: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs Cargo.toml
+
+/root/repo/target/release/deps/libmb_graph-da2a607b33dc8b60.rmeta: crates/mb-graph/src/lib.rs crates/mb-graph/src/codes.rs crates/mb-graph/src/dijkstra.rs crates/mb-graph/src/export.rs crates/mb-graph/src/graph.rs crates/mb-graph/src/json.rs crates/mb-graph/src/syndrome.rs crates/mb-graph/src/types.rs crates/mb-graph/src/weights.rs Cargo.toml
+
+crates/mb-graph/src/lib.rs:
+crates/mb-graph/src/codes.rs:
+crates/mb-graph/src/dijkstra.rs:
+crates/mb-graph/src/export.rs:
+crates/mb-graph/src/graph.rs:
+crates/mb-graph/src/json.rs:
+crates/mb-graph/src/syndrome.rs:
+crates/mb-graph/src/types.rs:
+crates/mb-graph/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mb_uf-3ff7381c26d029a7.d: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs Cargo.toml
+
+/root/repo/target/release/deps/libmb_uf-3ff7381c26d029a7.rmeta: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs Cargo.toml
+
+crates/mb-uf/src/lib.rs:
+crates/mb-uf/src/peeling.rs:
+crates/mb-uf/src/union_find.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

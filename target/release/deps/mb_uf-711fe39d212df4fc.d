@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mb_uf-711fe39d212df4fc.d: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs
+
+/root/repo/target/release/deps/libmb_uf-711fe39d212df4fc.rlib: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs
+
+/root/repo/target/release/deps/libmb_uf-711fe39d212df4fc.rmeta: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs
+
+crates/mb-uf/src/lib.rs:
+crates/mb-uf/src/peeling.rs:
+crates/mb-uf/src/union_find.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mb_uf-d1a25ebdbc4a0601.d: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs
+
+/root/repo/target/release/deps/mb_uf-d1a25ebdbc4a0601: crates/mb-uf/src/lib.rs crates/mb-uf/src/peeling.rs crates/mb-uf/src/union_find.rs
+
+crates/mb-uf/src/lib.rs:
+crates/mb-uf/src/peeling.rs:
+crates/mb-uf/src/union_find.rs:

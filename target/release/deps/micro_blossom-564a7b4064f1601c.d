@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/micro_blossom-564a7b4064f1601c.d: src/lib.rs
+
+/root/repo/target/release/deps/libmicro_blossom-564a7b4064f1601c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmicro_blossom-564a7b4064f1601c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/micro_blossom-8ace88c0225407c9.d: crates/micro-blossom/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libmicro_blossom-8ace88c0225407c9.rmeta: crates/micro-blossom/src/lib.rs Cargo.toml
+
+crates/micro-blossom/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/micro_blossom-aaddc5f50572359d.d: crates/micro-blossom/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libmicro_blossom-aaddc5f50572359d.rmeta: crates/micro-blossom/src/lib.rs Cargo.toml
+
+crates/micro-blossom/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

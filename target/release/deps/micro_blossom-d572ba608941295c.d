@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/micro_blossom-d572ba608941295c.d: crates/micro-blossom/src/lib.rs
+
+/root/repo/target/release/deps/libmicro_blossom-d572ba608941295c.rlib: crates/micro-blossom/src/lib.rs
+
+/root/repo/target/release/deps/libmicro_blossom-d572ba608941295c.rmeta: crates/micro-blossom/src/lib.rs
+
+crates/micro-blossom/src/lib.rs:

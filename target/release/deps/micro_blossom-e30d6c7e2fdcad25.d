@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_blossom-e30d6c7e2fdcad25.d: crates/micro-blossom/src/lib.rs
+
+/root/repo/target/release/deps/micro_blossom-e30d6c7e2fdcad25: crates/micro-blossom/src/lib.rs
+
+crates/micro-blossom/src/lib.rs:

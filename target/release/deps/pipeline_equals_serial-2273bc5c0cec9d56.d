@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline_equals_serial-2273bc5c0cec9d56.d: crates/micro-blossom/../../tests/pipeline_equals_serial.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline_equals_serial-2273bc5c0cec9d56.rmeta: crates/micro-blossom/../../tests/pipeline_equals_serial.rs Cargo.toml
+
+crates/micro-blossom/../../tests/pipeline_equals_serial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_equals_serial-8e51d5191830a12e.d: crates/micro-blossom/../../tests/pipeline_equals_serial.rs
+
+/root/repo/target/release/deps/pipeline_equals_serial-8e51d5191830a12e: crates/micro-blossom/../../tests/pipeline_equals_serial.rs
+
+crates/micro-blossom/../../tests/pipeline_equals_serial.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline_throughput-0947a361598660a3.d: crates/bench/src/bin/pipeline_throughput.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline_throughput-0947a361598660a3.rmeta: crates/bench/src/bin/pipeline_throughput.rs Cargo.toml
+
+crates/bench/src/bin/pipeline_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_throughput-40a8031cfd07e034.d: crates/bench/src/bin/pipeline_throughput.rs
+
+/root/repo/target/release/deps/pipeline_throughput-40a8031cfd07e034: crates/bench/src/bin/pipeline_throughput.rs
+
+crates/bench/src/bin/pipeline_throughput.rs:

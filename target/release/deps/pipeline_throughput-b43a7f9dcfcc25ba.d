@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_throughput-b43a7f9dcfcc25ba.d: crates/bench/src/bin/pipeline_throughput.rs
+
+/root/repo/target/release/deps/pipeline_throughput-b43a7f9dcfcc25ba: crates/bench/src/bin/pipeline_throughput.rs
+
+crates/bench/src/bin/pipeline_throughput.rs:

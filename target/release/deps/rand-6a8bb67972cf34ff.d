@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-6a8bb67972cf34ff.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-6a8bb67972cf34ff.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

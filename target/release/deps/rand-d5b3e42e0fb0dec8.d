@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-d5b3e42e0fb0dec8.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-d5b3e42e0fb0dec8.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-20aabf03799d2aea.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-20aabf03799d2aea: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

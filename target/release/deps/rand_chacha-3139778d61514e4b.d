@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-3139778d61514e4b.d: shims/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-3139778d61514e4b.rmeta: shims/rand_chacha/src/lib.rs Cargo.toml
+
+shims/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-5aa38effa6b0dd3d.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-5aa38effa6b0dd3d.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-5aa38effa6b0dd3d.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

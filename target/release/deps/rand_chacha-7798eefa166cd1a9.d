@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-7798eefa166cd1a9.d: shims/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-7798eefa166cd1a9.rmeta: shims/rand_chacha/src/lib.rs Cargo.toml
+
+shims/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

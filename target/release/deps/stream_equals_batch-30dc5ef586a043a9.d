@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stream_equals_batch-30dc5ef586a043a9.d: crates/micro-blossom/../../tests/stream_equals_batch.rs Cargo.toml
+
+/root/repo/target/release/deps/libstream_equals_batch-30dc5ef586a043a9.rmeta: crates/micro-blossom/../../tests/stream_equals_batch.rs Cargo.toml
+
+crates/micro-blossom/../../tests/stream_equals_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

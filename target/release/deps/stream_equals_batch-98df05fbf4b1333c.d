@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream_equals_batch-98df05fbf4b1333c.d: crates/micro-blossom/../../tests/stream_equals_batch.rs
+
+/root/repo/target/release/deps/stream_equals_batch-98df05fbf4b1333c: crates/micro-blossom/../../tests/stream_equals_batch.rs
+
+crates/micro-blossom/../../tests/stream_equals_batch.rs:

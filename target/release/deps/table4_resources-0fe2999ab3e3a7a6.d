@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_resources-0fe2999ab3e3a7a6.d: crates/bench/src/bin/table4_resources.rs
+
+/root/repo/target/release/deps/table4_resources-0fe2999ab3e3a7a6: crates/bench/src/bin/table4_resources.rs
+
+crates/bench/src/bin/table4_resources.rs:

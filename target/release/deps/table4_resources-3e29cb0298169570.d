@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_resources-3e29cb0298169570.d: crates/bench/src/bin/table4_resources.rs
+
+/root/repo/target/release/deps/table4_resources-3e29cb0298169570: crates/bench/src/bin/table4_resources.rs
+
+crates/bench/src/bin/table4_resources.rs:

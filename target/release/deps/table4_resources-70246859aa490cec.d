@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_resources-70246859aa490cec.d: crates/bench/benches/table4_resources.rs
+
+/root/repo/target/release/deps/table4_resources-70246859aa490cec: crates/bench/benches/table4_resources.rs
+
+crates/bench/benches/table4_resources.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table4_resources-86aa9e7704b7389c.d: crates/bench/src/bin/table4_resources.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable4_resources-86aa9e7704b7389c.rmeta: crates/bench/src/bin/table4_resources.rs Cargo.toml
+
+crates/bench/src/bin/table4_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table4_resources-a1913b3006f12793.d: crates/bench/benches/table4_resources.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable4_resources-a1913b3006f12793.rmeta: crates/bench/benches/table4_resources.rs Cargo.toml
+
+crates/bench/benches/table4_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table4_resources-f78740d4d28de133.d: crates/bench/src/bin/table4_resources.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable4_resources-f78740d4d28de133.rmeta: crates/bench/src/bin/table4_resources.rs Cargo.toml
+
+crates/bench/src/bin/table4_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/accelerator_inspection-48dc6262401664c2.d: crates/micro-blossom/../../examples/accelerator_inspection.rs
+
+/root/repo/target/release/examples/accelerator_inspection-48dc6262401664c2: crates/micro-blossom/../../examples/accelerator_inspection.rs
+
+crates/micro-blossom/../../examples/accelerator_inspection.rs:

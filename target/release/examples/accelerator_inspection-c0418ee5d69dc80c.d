@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/accelerator_inspection-c0418ee5d69dc80c.d: crates/micro-blossom/../../examples/accelerator_inspection.rs Cargo.toml
+
+/root/repo/target/release/examples/libaccelerator_inspection-c0418ee5d69dc80c.rmeta: crates/micro-blossom/../../examples/accelerator_inspection.rs Cargo.toml
+
+crates/micro-blossom/../../examples/accelerator_inspection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/logical_error_rate-2ace62af1769fbd0.d: crates/micro-blossom/../../examples/logical_error_rate.rs Cargo.toml
+
+/root/repo/target/release/examples/liblogical_error_rate-2ace62af1769fbd0.rmeta: crates/micro-blossom/../../examples/logical_error_rate.rs Cargo.toml
+
+crates/micro-blossom/../../examples/logical_error_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/logical_error_rate-3d91122fa685b7f1.d: crates/micro-blossom/../../examples/logical_error_rate.rs
+
+/root/repo/target/release/examples/logical_error_rate-3d91122fa685b7f1: crates/micro-blossom/../../examples/logical_error_rate.rs
+
+crates/micro-blossom/../../examples/logical_error_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a32e249e2faffc6f.d: crates/micro-blossom/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a32e249e2faffc6f: crates/micro-blossom/../../examples/quickstart.rs
+
+crates/micro-blossom/../../examples/quickstart.rs:

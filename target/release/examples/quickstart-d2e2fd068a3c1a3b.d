@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-d2e2fd068a3c1a3b.d: crates/micro-blossom/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-d2e2fd068a3c1a3b.rmeta: crates/micro-blossom/../../examples/quickstart.rs Cargo.toml
+
+crates/micro-blossom/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

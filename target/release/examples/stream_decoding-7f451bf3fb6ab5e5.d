@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/stream_decoding-7f451bf3fb6ab5e5.d: crates/micro-blossom/../../examples/stream_decoding.rs
+
+/root/repo/target/release/examples/stream_decoding-7f451bf3fb6ab5e5: crates/micro-blossom/../../examples/stream_decoding.rs
+
+crates/micro-blossom/../../examples/stream_decoding.rs:

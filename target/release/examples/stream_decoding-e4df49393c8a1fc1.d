@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/stream_decoding-e4df49393c8a1fc1.d: crates/micro-blossom/../../examples/stream_decoding.rs Cargo.toml
+
+/root/repo/target/release/examples/libstream_decoding-e4df49393c8a1fc1.rmeta: crates/micro-blossom/../../examples/stream_decoding.rs Cargo.toml
+
+crates/micro-blossom/../../examples/stream_decoding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

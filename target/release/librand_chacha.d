@@ -1,0 +1,1 @@
+/root/repo/target/release/librand_chacha.rlib: /root/repo/shims/rand/src/lib.rs /root/repo/shims/rand_chacha/src/lib.rs

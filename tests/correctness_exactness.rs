@@ -108,8 +108,14 @@ fn micro_blossom_ablation_configurations_are_exact() {
     // the latency profile
     for (name, graph) in configurations().into_iter().step_by(3) {
         for (cname, config) in [
-            ("dual-only", MicroBlossomConfig::parallel_dual_only(&graph, None)),
-            ("prematch", MicroBlossomConfig::with_parallel_primal(&graph, None)),
+            (
+                "dual-only",
+                MicroBlossomConfig::parallel_dual_only(&graph, None),
+            ),
+            (
+                "prematch",
+                MicroBlossomConfig::with_parallel_primal(&graph, None),
+            ),
         ] {
             let mut decoder = MicroBlossomDecoder::new(Arc::clone(&graph), config);
             check_decoder_exactness(

@@ -3,9 +3,7 @@
 //! approximation never beats them while all decoders suppress errors as the
 //! code distance grows.
 
-use mb_decoder::{
-    evaluate_decoder, MicroBlossomDecoder, ParityBlossomDecoder, UnionFindDecoderAdapter,
-};
+use mb_decoder::{evaluate_decoder, BackendSpec};
 use mb_graph::codes::CodeCapacityRotatedCode;
 use std::sync::Arc;
 
@@ -13,10 +11,8 @@ use std::sync::Arc;
 fn exact_decoders_have_identical_weight_behaviour() {
     let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.06).decoding_graph());
     let shots = 400;
-    let mut parity = ParityBlossomDecoder::new(Arc::clone(&graph));
-    let mut micro = MicroBlossomDecoder::full(Arc::clone(&graph), Some(5));
-    let parity_eval = evaluate_decoder(&mut parity, &graph, shots, 31);
-    let micro_eval = evaluate_decoder(&mut micro, &graph, shots, 31);
+    let parity_eval = evaluate_decoder(&BackendSpec::Parity, &graph, shots, 31);
+    let micro_eval = evaluate_decoder(&BackendSpec::micro_full(Some(5)), &graph, shots, 31);
     let delta = (parity_eval.logical_error_rate() - micro_eval.logical_error_rate()).abs();
     assert!(
         delta <= 0.02,
@@ -31,10 +27,8 @@ fn union_find_never_beats_exact_mwpm() {
     for (d, p) in [(3usize, 0.08), (5, 0.08)] {
         let graph = Arc::new(CodeCapacityRotatedCode::new(d, p).decoding_graph());
         let shots = 1000;
-        let mut mwpm = ParityBlossomDecoder::new(Arc::clone(&graph));
-        let mut uf = UnionFindDecoderAdapter::new(Arc::clone(&graph));
-        let mwpm_eval = evaluate_decoder(&mut mwpm, &graph, shots, 5);
-        let uf_eval = evaluate_decoder(&mut uf, &graph, shots, 5);
+        let mwpm_eval = evaluate_decoder(&BackendSpec::Parity, &graph, shots, 5);
+        let uf_eval = evaluate_decoder(&BackendSpec::union_find(), &graph, shots, 5);
         assert!(
             uf_eval.logical_error_rate() + 0.01 >= mwpm_eval.logical_error_rate(),
             "d={d}: UF {} unexpectedly beats MWPM {}",
@@ -51,8 +45,7 @@ fn larger_distance_suppresses_logical_errors_below_threshold() {
     let mut rates = Vec::new();
     for d in [3usize, 5] {
         let graph = Arc::new(CodeCapacityRotatedCode::new(d, p).decoding_graph());
-        let mut micro = MicroBlossomDecoder::full(Arc::clone(&graph), Some(d));
-        let eval = evaluate_decoder(&mut micro, &graph, shots, 13);
+        let eval = evaluate_decoder(&BackendSpec::micro_full(Some(d)), &graph, shots, 13);
         rates.push(eval.logical_error_rate());
     }
     assert!(
