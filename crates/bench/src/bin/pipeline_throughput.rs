@@ -1,15 +1,48 @@
-//! Sharded-pipeline throughput sweep: shots/second of each decoder backend
-//! as the shard (worker thread) count grows, plus a determinism audit that
-//! the aggregate results are bit-identical across shard counts.
+//! Decode-pool throughput sweep: shots/second of each decoder backend as
+//! the worker budget grows, a skewed-difficulty workload exercising the
+//! work-stealing scheduler, and a multi-`(d, p)` evaluation sweep showing
+//! the backend-pooling win — plus a determinism audit that the aggregate
+//! results are bit-identical across worker counts.
+//!
+//! Every measurement is also emitted as one machine-readable JSON line
+//! (prefix `{"bench":"pipeline_throughput",...}`) so the benchmark
+//! trajectory can be tracked across PRs.
 //!
 //! Usage: `cargo run -r -p bench --bin pipeline_throughput [shots] [d] [p]`
 
 use bench::render_table;
-use mb_decoder::pipeline::ShardedPipeline;
+use mb_decoder::pipeline::{skewed_workload, DecodePool, ShardedPipeline};
 use mb_decoder::BackendSpec;
 use mb_graph::codes::PhenomenologicalCode;
+use mb_graph::syndrome::Shot;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One emitted JSON measurement line. `shards` is the requested worker
+/// budget; `workers` is how many pool workers actually participated (the
+/// pool caps the budget at its size), so trend data stays truthful on
+/// small machines or under `MB_SHARDS`.
+fn emit_json(
+    workload: &str,
+    backend: &str,
+    shards: usize,
+    workers: usize,
+    shots: usize,
+    seconds: f64,
+) {
+    println!(
+        "{{\"bench\":\"pipeline_throughput\",\"workload\":\"{workload}\",\"backend\":\"{backend}\",\
+         \"shards\":{shards},\"workers\":{workers},\"shots\":{shots},\"seconds\":{seconds:.6},\
+         \"shots_per_sec\":{:.1}}}",
+        shots as f64 / seconds.max(1e-9)
+    );
+}
+
+/// How many pool workers a requested budget actually engages (the pool's
+/// own participant clamp, so the reported number cannot drift from it).
+fn effective_workers(shards: usize, shots: usize) -> usize {
+    DecodePool::global().effective_workers(shards, shots)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,8 +52,9 @@ fn main() {
 
     let graph = Arc::new(PhenomenologicalCode::rotated(d, d, p).decoding_graph());
     println!(
-        "sharded pipeline throughput: d = {d}, p = {p}, {shots} shots, graph {} vertices\n",
-        graph.vertex_count()
+        "decode-pool throughput: d = {d}, p = {p}, {shots} shots, graph {} vertices, pool of {} workers\n",
+        graph.vertex_count(),
+        DecodePool::global().workers(),
     );
 
     let specs = [
@@ -30,6 +64,7 @@ fn main() {
     ];
     let shard_counts = [1usize, 2, 4, 8];
 
+    // uniform workload: sampled shots, per-backend worker-budget sweep
     let mut rows = Vec::new();
     for spec in &specs {
         let mut reference = None;
@@ -48,8 +83,16 @@ fn main() {
             };
             assert!(
                 identical,
-                "{}: results changed with shard count",
+                "{}: results changed with worker count",
                 spec.name()
+            );
+            emit_json(
+                "uniform",
+                spec.name(),
+                shards,
+                effective_workers(shards, shots),
+                shots,
+                elapsed,
             );
             rows.push(vec![
                 spec.name().to_string(),
@@ -64,5 +107,77 @@ fn main() {
         "{}",
         render_table(&["backend", "shards", "seconds", "shots/s", "p_L"], &rows)
     );
-    println!("p_L is identical across shard counts by construction (per-shot seeded RNG).");
+    println!("p_L is identical across worker counts by construction (per-shot seeded RNG).\n");
+
+    // skewed workload: explicit shot list with a dense tail; the stealing
+    // scheduler keeps the tail from pinning one worker. The Arc is shared
+    // across runs so repeat submissions do not copy the shot list.
+    let skewed: Arc<[Shot]> =
+        skewed_workload(&graph, shots.saturating_sub(shots / 5).max(1), shots / 5).into();
+    let mut rows = Vec::new();
+    for &shards in &shard_counts {
+        let pipeline = ShardedPipeline::new(BackendSpec::micro_full(Some(d)), Arc::clone(&graph))
+            .with_shards(shards);
+        let start = Instant::now();
+        let outcomes = pipeline.run_shots_arc(Arc::clone(&skewed));
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(outcomes.len(), skewed.len());
+        emit_json(
+            "skewed",
+            "micro-blossom-stream",
+            shards,
+            effective_workers(shards, skewed.len()),
+            skewed.len(),
+            elapsed,
+        );
+        rows.push(vec![
+            shards.to_string(),
+            format!("{:.2}", elapsed),
+            format!("{:.0}", skewed.len() as f64 / elapsed.max(1e-9)),
+        ]);
+    }
+    println!(
+        "skewed workload ({} easy + {} dense shots):\n{}",
+        skewed.len() - shots / 5,
+        shots / 5,
+        render_table(&["shards", "seconds", "shots/s"], &rows)
+    );
+
+    // multi-(d, p) sweep: repeated evaluations per point; the first visit
+    // builds each worker's backend, later visits hit the per-worker cache
+    let sweep_shots = (shots / 4).max(50);
+    let reps = 3usize;
+    let p_list = [p, p * 2.0, p * 5.0];
+    let mut rows = Vec::new();
+    for &point_p in &p_list {
+        let point_graph = Arc::new(PhenomenologicalCode::rotated(d, d, point_p).decoding_graph());
+        let pipeline =
+            ShardedPipeline::new(BackendSpec::micro_full(Some(d)), Arc::clone(&point_graph));
+        let built_before = pipeline.pool().backends_built();
+        let mut rep_seconds = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = Instant::now();
+            pipeline.evaluate(sweep_shots, 0xF19);
+            rep_seconds.push(start.elapsed().as_secs_f64());
+        }
+        let built = pipeline.pool().backends_built() - built_before;
+        let warm = rep_seconds[1..].iter().sum::<f64>() / (reps - 1) as f64;
+        println!(
+            "{{\"bench\":\"pipeline_throughput\",\"workload\":\"sweep\",\"d\":{d},\"p\":{point_p},\
+             \"shots\":{sweep_shots},\"reps\":{reps},\"workers\":{},\"cold_seconds\":{:.6},\
+             \"warm_seconds\":{warm:.6},\"backends_built\":{built}}}",
+            effective_workers(pipeline.shards(), sweep_shots),
+            rep_seconds[0]
+        );
+        rows.push(vec![
+            format!("{point_p}"),
+            format!("{:.3}", rep_seconds[0]),
+            format!("{warm:.3}"),
+            built.to_string(),
+        ]);
+    }
+    println!(
+        "\n(d, p) sweep, {sweep_shots} shots x {reps} reps per point (backend built on first rep only):\n{}",
+        render_table(&["p", "cold_s", "warm_s", "built"], &rows)
+    );
 }

@@ -155,6 +155,14 @@ pub struct AcceleratorStats {
 }
 
 /// The accelerator simulator.
+///
+/// Steady-state decoding is **allocation-free**: all per-decode working
+/// memory (the propagation frontier and best-cover table of the Update
+/// stage, the tightness/pre-match tables of the Pre-Match stage, the staged
+/// syndrome) lives in reusable scratch buffers that are cleared — capacity
+/// retained — on [`Instruction::Reset`] and refilled in place, honoring the
+/// `DecoderBackend` contract that a reused backend performs no heap
+/// allocation once warmed up (verified by `tests/alloc_steady_state.rs`).
 #[derive(Debug, Clone)]
 pub struct MicroBlossomAccelerator {
     graph: Arc<DecodingGraph>,
@@ -169,6 +177,46 @@ pub struct MicroBlossomAccelerator {
     convergecast_cycles: u64,
     /// Counters.
     pub stats: AcceleratorStats,
+    /// Update-stage scratch: best `(residual, speed, touch)` per vertex.
+    scratch_best: Vec<Option<(Weight, i8, VertexIndex)>>,
+    /// Update-stage scratch: the propagation frontier.
+    scratch_heap: BinaryHeap<(Weight, i8, Reverse<VertexIndex>, VertexIndex)>,
+    /// Pre-Match-stage scratch: per-edge tightness `t_e`.
+    scratch_tight: Vec<bool>,
+    /// Pre-Match-stage scratch: number of tight edges at each vertex.
+    scratch_tight_degree: Vec<usize>,
+    /// Pre-Match-stage scratch: edges whose `m_e` condition held this pass.
+    scratch_prematch_edges: Vec<EdgeIndex>,
+    /// Load-stage scratch: per-vertex defect flag of the layer being loaded.
+    scratch_defect_mark: Vec<bool>,
+}
+
+/// Whether a vertex behaves as a boundary (true virtual or not loaded),
+/// expressed over the PU array so scratch-filling loops can borrow the
+/// fields they need individually.
+fn virtualish(vertices: &[VertexPu], v: VertexIndex) -> bool {
+    vertices[v].is_virtual || vertices[v].is_boundary
+}
+
+/// Whether edge `e` is currently tight (`t_e` in §5.2).
+fn edge_is_tight(
+    graph: &DecodingGraph,
+    vertices: &[VertexPu],
+    edges: &[EdgePu],
+    e: EdgeIndex,
+) -> bool {
+    let (u, v) = graph.edge(e).vertices;
+    let covered = |x: VertexIndex| vertices[x].node.is_some();
+    match (virtualish(vertices, u), virtualish(vertices, v)) {
+        (true, true) => false,
+        (true, false) => covered(v) && vertices[v].residual >= edges[e].weight,
+        (false, true) => covered(u) && vertices[u].residual >= edges[e].weight,
+        (false, false) => {
+            covered(u)
+                && covered(v)
+                && vertices[u].residual + vertices[v].residual >= edges[e].weight
+        }
+    }
 }
 
 impl MicroBlossomAccelerator {
@@ -205,6 +253,12 @@ impl MicroBlossomAccelerator {
             dirty: true,
             convergecast_cycles,
             stats: AcceleratorStats::default(),
+            scratch_best: Vec::new(),
+            scratch_heap: BinaryHeap::new(),
+            scratch_tight: Vec::new(),
+            scratch_tight_degree: Vec::new(),
+            scratch_prematch_edges: Vec::new(),
+            scratch_defect_mark: Vec::new(),
         }
     }
 
@@ -248,7 +302,9 @@ impl MicroBlossomAccelerator {
                 "virtual vertices cannot be defects"
             );
         }
-        self.staged_syndrome[layer] = defects.to_vec();
+        let slot = &mut self.staged_syndrome[layer];
+        slot.clear();
+        slot.extend_from_slice(defects);
     }
 
     /// Marks a vertex's singleton node as CPU-owned (first CPU instruction
@@ -266,7 +322,7 @@ impl MicroBlossomAccelerator {
 
     /// Whether a vertex behaves as a boundary (true virtual or not loaded).
     fn is_virtualish(&self, v: VertexIndex) -> bool {
-        self.vertices[v].is_virtual || self.vertices[v].is_boundary
+        virtualish(&self.vertices, v)
     }
 
     /// Effective growth speed of the cover stored at vertex `v` (zero when
@@ -312,6 +368,15 @@ impl MicroBlossomAccelerator {
                 for layer in &mut self.staged_syndrome {
                     layer.clear();
                 }
+                // scratch buffers hold no decode state; clear them so a
+                // reset accelerator carries nothing over (capacity is
+                // retained, keeping steady-state decoding allocation-free)
+                self.scratch_best.clear();
+                self.scratch_heap.clear();
+                self.scratch_tight.clear();
+                self.scratch_tight_degree.clear();
+                self.scratch_prematch_edges.clear();
+                self.scratch_defect_mark.clear();
                 self.dirty = true;
                 None
             }
@@ -366,20 +431,30 @@ impl MicroBlossomAccelerator {
             }
             Instruction::LoadDefects { layer } => {
                 let layer = layer as usize;
-                let defects: std::collections::HashSet<VertexIndex> =
-                    self.staged_syndrome[layer].iter().copied().collect();
-                for v in 0..self.vertices.len() {
-                    if self.vertices[v].layer != layer || self.vertices[v].is_virtual {
-                        continue;
+                {
+                    let Self {
+                        vertices,
+                        staged_syndrome,
+                        scratch_defect_mark,
+                        ..
+                    } = self;
+                    scratch_defect_mark.clear();
+                    scratch_defect_mark.resize(vertices.len(), false);
+                    for &d in &staged_syndrome[layer] {
+                        scratch_defect_mark[d] = true;
                     }
-                    let pu = &mut self.vertices[v];
-                    pu.is_boundary = false;
-                    if defects.contains(&v) {
-                        pu.is_defect = true;
-                        pu.node = Some(v as HwNodeId);
-                        pu.touch = Some(v);
-                        pu.residual = 0;
-                        pu.speed = 1;
+                    for (v, pu) in vertices.iter_mut().enumerate() {
+                        if pu.layer != layer || pu.is_virtual {
+                            continue;
+                        }
+                        pu.is_boundary = false;
+                        if scratch_defect_mark[v] {
+                            pu.is_defect = true;
+                            pu.node = Some(v as HwNodeId);
+                            pu.touch = Some(v);
+                            pu.residual = 0;
+                            pu.speed = 1;
+                        }
                     }
                 }
                 self.update_fusion_weights();
@@ -421,11 +496,20 @@ impl MicroBlossomAccelerator {
     }
 
     /// Recomputes the stabilized compact state of every non-defect vertex
-    /// from the authoritative defect radii.
+    /// from the authoritative defect radii. Allocation-free in steady state:
+    /// the best-cover table and the propagation frontier are reusable
+    /// scratch buffers.
     fn stabilize(&mut self) {
+        let Self {
+            graph,
+            vertices,
+            edges,
+            scratch_best: best,
+            scratch_heap: heap,
+            ..
+        } = self;
         // clear derived state
-        for v in 0..self.vertices.len() {
-            let pu = &mut self.vertices[v];
+        for pu in vertices.iter_mut() {
             if pu.is_defect && !pu.is_boundary {
                 continue; // defect vertices always store themselves
             }
@@ -436,11 +520,10 @@ impl MicroBlossomAccelerator {
         }
         // max-residual propagation from defect circles
         // key: (residual, speed, Reverse(touch)) so ties prefer faster nodes
-        let mut best: Vec<Option<(Weight, i8, VertexIndex)>> = vec![None; self.vertices.len()];
-        let mut heap: BinaryHeap<(Weight, i8, Reverse<VertexIndex>, VertexIndex)> =
-            BinaryHeap::new();
-        for v in 0..self.vertices.len() {
-            let pu = &self.vertices[v];
+        best.clear();
+        best.resize(vertices.len(), None);
+        heap.clear();
+        for (v, pu) in vertices.iter().enumerate() {
             if pu.is_defect && !pu.is_boundary && !pu.is_virtual {
                 heap.push((pu.residual, pu.speed, Reverse(v), v));
             }
@@ -454,34 +537,33 @@ impl MicroBlossomAccelerator {
                 continue;
             }
             best[vertex] = Some((residual, speed, touch));
-            if self.is_virtualish(vertex) {
+            if virtualish(vertices, vertex) {
                 continue; // boundary vertices do not propagate covers
             }
-            for &e in self.graph.incident_edges(vertex) {
-                let next = self.graph.edge(e).other(vertex);
-                let next_residual = residual - self.edges[e].weight;
+            for &e in graph.incident_edges(vertex) {
+                let next = graph.edge(e).other(vertex);
+                let next_residual = residual - edges[e].weight;
                 if next_residual < 0 {
                     continue;
                 }
                 // defect vertices keep their own circle; do not overwrite
-                if self.vertices[next].is_defect && !self.vertices[next].is_boundary {
+                if vertices[next].is_defect && !vertices[next].is_boundary {
                     continue;
                 }
                 heap.push((next_residual, speed, Reverse(touch), next));
             }
         }
-        #[allow(clippy::needless_range_loop)] // `v` indexes two parallel arrays
-        for v in 0..self.vertices.len() {
-            if self.vertices[v].is_defect && !self.vertices[v].is_boundary {
+        for v in 0..vertices.len() {
+            if vertices[v].is_defect && !vertices[v].is_boundary {
                 continue;
             }
-            if self.is_virtualish(v) {
+            if virtualish(vertices, v) {
                 continue; // virtual vertices never hold covers
             }
             if let Some((residual, _speed, touch)) = best[v] {
-                let node = self.vertices[touch].node;
-                let speed = self.vertices[touch].speed;
-                let pu = &mut self.vertices[v];
+                let node = vertices[touch].node;
+                let speed = vertices[touch].speed;
+                let pu = &mut vertices[v];
                 pu.residual = residual;
                 pu.touch = Some(touch);
                 pu.node = node;
@@ -490,24 +572,10 @@ impl MicroBlossomAccelerator {
         }
     }
 
-    /// Whether edge `e` is currently tight (`t_e` in §5.2).
-    fn is_tight(&self, e: EdgeIndex) -> bool {
-        let (u, v) = self.graph.edge(e).vertices;
-        let covered = |x: VertexIndex| self.vertices[x].node.is_some();
-        match (self.is_virtualish(u), self.is_virtualish(v)) {
-            (true, true) => false,
-            (true, false) => covered(v) && self.vertices[v].residual >= self.edges[e].weight,
-            (false, true) => covered(u) && self.vertices[u].residual >= self.edges[e].weight,
-            (false, false) => {
-                covered(u)
-                    && covered(v)
-                    && self.vertices[u].residual + self.vertices[v].residual >= self.edges[e].weight
-            }
-        }
-    }
-
     /// Re-evaluates the pre-match flags `m_e` (Equations 1–3) and the
-    /// resulting per-vertex freezes.
+    /// resulting per-vertex freezes. Allocation-free in steady state: the
+    /// tightness, tight-degree, and candidate-edge tables are reusable
+    /// scratch buffers.
     fn update_prematch(&mut self) {
         for pu in self.vertices.iter_mut() {
             pu.frozen = false;
@@ -518,55 +586,68 @@ impl MicroBlossomAccelerator {
         if !self.config.prematch_enabled {
             return;
         }
-        let tight: Vec<bool> = (0..self.edges.len()).map(|e| self.is_tight(e)).collect();
-        let tight_degree: Vec<usize> = (0..self.vertices.len())
-            .map(|v| {
-                self.graph
-                    .incident_edges(v)
-                    .iter()
-                    .filter(|&&e| tight[e])
-                    .count()
-            })
-            .collect();
+        let Self {
+            graph,
+            vertices,
+            edges,
+            scratch_tight: tight,
+            scratch_tight_degree: tight_degree,
+            scratch_prematch_edges: prematch_edges,
+            ..
+        } = self;
+        tight.clear();
+        for e in 0..edges.len() {
+            let t = edge_is_tight(graph, vertices, edges, e);
+            tight.push(t);
+        }
+        tight_degree.clear();
+        for v in 0..vertices.len() {
+            let degree = graph
+                .incident_edges(v)
+                .iter()
+                .filter(|&&e| tight[e])
+                .count();
+            tight_degree.push(degree);
+        }
         let q = |v: VertexIndex| tight_degree[v] == 1;
-        let mut prematch_edges = Vec::new();
-        for e in 0..self.edges.len() {
+        prematch_edges.clear();
+        for e in 0..edges.len() {
             if !tight[e] {
                 continue;
             }
-            let (a, b) = self.graph.edge(e).vertices;
+            let (a, b) = graph.edge(e).vertices;
             let eligible_defect = |x: VertexIndex| {
-                let pu = &self.vertices[x];
+                let pu = &vertices[x];
                 pu.is_defect && !pu.is_boundary && pu.speed > 0 && !pu.cpu_owned
             };
-            let m = if !self.is_virtualish(a) && !self.is_virtualish(b) {
+            let m = if !virtualish(vertices, a) && !virtualish(vertices, b) {
                 // Equation 1: regular edge between two isolated defects
                 eligible_defect(a) && q(a) && eligible_defect(b) && q(b)
             } else {
                 // one side is a boundary (virtual or unloaded)
-                let (boundary, defect) = if self.is_virtualish(a) {
+                let (boundary, defect) = if virtualish(vertices, a) {
                     (a, b)
                 } else {
                     (b, a)
                 };
-                if self.is_virtualish(defect) || !eligible_defect(defect) {
+                if virtualish(vertices, defect) || !eligible_defect(defect) {
                     false
-                } else if self.vertices[boundary].is_virtual {
+                } else if vertices[boundary].is_virtual {
                     // Equation 2: true boundary edge
-                    self.graph.incident_edges(defect).iter().all(|&e2| {
+                    graph.incident_edges(defect).iter().all(|&e2| {
                         if e2 == e {
                             return true;
                         }
-                        let other = self.graph.edge(e2).other(defect);
-                        !tight[e2] || (!self.vertices[other].is_defect && q(other))
+                        let other = graph.edge(e2).other(defect);
+                        !tight[e2] || (!vertices[other].is_defect && q(other))
                     })
                 } else {
                     // Equation 3: fusion-boundary edge; require no
                     // non-volatile tight edge around the defect
-                    self.graph.incident_edges(defect).iter().all(|&e2| {
-                        let other = self.graph.edge(e2).other(defect);
+                    graph.incident_edges(defect).iter().all(|&e2| {
+                        let other = graph.edge(e2).other(defect);
                         let non_volatile =
-                            !self.vertices[other].is_boundary || self.vertices[other].is_virtual;
+                            !vertices[other].is_boundary || vertices[other].is_virtual;
                         !(tight[e2] && non_volatile)
                     })
                 }
@@ -577,16 +658,17 @@ impl MicroBlossomAccelerator {
         }
         // apply freezes; if two pre-matches would claim the same defect keep
         // only the first (the hardware convergecast picks one arbitrarily)
-        for e in prematch_edges {
-            let (a, b) = self.graph.edge(e).vertices;
-            let claimed = |x: VertexIndex| !self.is_virtualish(x) && self.vertices[x].frozen;
-            if claimed(a) || claimed(b) {
+        for &e in prematch_edges.iter() {
+            let (a, b) = graph.edge(e).vertices;
+            let claimed_a = !virtualish(vertices, a) && vertices[a].frozen;
+            let claimed_b = !virtualish(vertices, b) && vertices[b].frozen;
+            if claimed_a || claimed_b {
                 continue;
             }
-            self.edges[e].prematch = true;
+            edges[e].prematch = true;
             for x in [a, b] {
-                if !self.is_virtualish(x) {
-                    self.vertices[x].frozen = true;
+                if !virtualish(vertices, x) {
+                    vertices[x].frozen = true;
                 }
             }
         }
@@ -708,6 +790,14 @@ impl MicroBlossomAccelerator {
     /// by the controller at the end of decoding to complete the MWPM.
     pub fn prematched_pairs(&self) -> Vec<(VertexIndex, PrematchPartner)> {
         let mut pairs = Vec::new();
+        self.prematched_pairs_into(&mut pairs);
+        pairs
+    }
+
+    /// Appends the currently pre-matched pairs to `pairs` without
+    /// allocating; the hot-path variant of [`Self::prematched_pairs`] used
+    /// by the host driver's reusable read-out buffer.
+    pub fn prematched_pairs_into(&self, pairs: &mut Vec<(VertexIndex, PrematchPartner)>) {
         for e in 0..self.edges.len() {
             if !self.edges[e].prematch {
                 continue;
@@ -720,7 +810,6 @@ impl MicroBlossomAccelerator {
                 (true, true) => unreachable!("pre-match between two boundary vertices"),
             }
         }
-        pairs
     }
 
     /// The pre-match partner of a specific defect vertex, if any.

@@ -66,6 +66,9 @@ pub struct AcceleratedDual {
     nodes: Vec<HostNode>,
     node_of_hw: HashMap<HwNodeId, NodeIndex>,
     next_blossom_hw: HwNodeId,
+    /// Reusable buffer for the end-of-decode pre-match read-out, so the
+    /// steady-state decode path does not allocate for it.
+    prematch_scratch: Vec<(VertexIndex, PrematchPartner)>,
     /// Bus counters.
     pub io: IoStats,
 }
@@ -79,6 +82,7 @@ impl AcceleratedDual {
             nodes: Vec::new(),
             node_of_hw: HashMap::new(),
             next_blossom_hw,
+            prematch_scratch: Vec::new(),
             io: IoStats::default(),
         }
     }
@@ -132,6 +136,14 @@ impl AcceleratedDual {
     /// materialized yet.
     pub fn unknown_vertices(&self, response: &HwResponse) -> Vec<VertexIndex> {
         let mut unknown = Vec::new();
+        self.unknown_vertices_into(response, &mut unknown);
+        unknown
+    }
+
+    /// Appends the not-yet-materialized defect vertices of `response` to
+    /// `unknown` without allocating; the hot-path variant of
+    /// [`Self::unknown_vertices`] for callers with a reusable buffer.
+    pub fn unknown_vertices_into(&self, response: &HwResponse, unknown: &mut Vec<VertexIndex>) {
         let mut check = |hw: HwNodeId, touch: VertexIndex| {
             if !self.node_of_hw.contains_key(&hw) {
                 debug_assert!(
@@ -155,7 +167,6 @@ impl AcceleratedDual {
             HwResponse::ConflictVirtual { node, touch, .. } => check(*node, *touch),
             _ => {}
         }
-        unknown
     }
 
     /// Translates a hardware response into a primal-facing obstacle; returns
@@ -235,13 +246,17 @@ impl AcceleratedDual {
     /// Reads the pre-matched pairs left in the accelerator at the end of
     /// decoding; these complete the perfect matching without the CPU having
     /// seen the corresponding defects (§5.2).
-    pub fn remaining_prematches(&mut self) -> Vec<(VertexIndex, PrematchPartner)> {
+    ///
+    /// The result borrows a reusable internal buffer, so the steady-state
+    /// decode path performs no allocation here.
+    pub fn remaining_prematches(&mut self) -> &[(VertexIndex, PrematchPartner)] {
         self.io.reads += 1;
-        self.accel
-            .prematched_pairs()
-            .into_iter()
-            .filter(|(v, _)| !self.node_of_hw.contains_key(&(*v as HwNodeId)))
-            .collect()
+        self.prematch_scratch.clear();
+        self.accel.prematched_pairs_into(&mut self.prematch_scratch);
+        let node_of_hw = &self.node_of_hw;
+        self.prematch_scratch
+            .retain(|(v, _)| !node_of_hw.contains_key(&(*v as HwNodeId)));
+        &self.prematch_scratch
     }
 }
 

@@ -67,6 +67,35 @@ pub enum BackendSpec {
     Parity,
     /// The Union-Find decoder with a Helios-style latency model.
     UnionFind(HeliosLatencyModel),
+    /// Test-only: builds a backend that panics on every decode, so the
+    /// pipeline's worker-panic propagation path can be driven end to end.
+    #[cfg(test)]
+    PanicOnDecode,
+}
+
+/// Test-only backend behind [`BackendSpec::PanicOnDecode`].
+#[cfg(test)]
+struct PanickingBackend(Arc<DecodingGraph>);
+
+#[cfg(test)]
+impl DecoderBackend for PanickingBackend {
+    fn name(&self) -> &'static str {
+        "panic-on-decode"
+    }
+
+    fn graph(&self) -> &Arc<DecodingGraph> {
+        &self.0
+    }
+
+    fn decode(&mut self, _syndrome: &SyndromePattern) -> DecodeOutcome {
+        panic!("backend exploded");
+    }
+
+    fn reset(&mut self) {}
+
+    fn deterministic_latency(&self) -> bool {
+        true
+    }
 }
 
 impl BackendSpec {
@@ -87,7 +116,19 @@ impl BackendSpec {
             Self::MicroFull { .. } => "micro-blossom-stream",
             Self::Parity => "parity-blossom-cpu",
             Self::UnionFind(_) => "union-find-helios",
+            #[cfg(test)]
+            Self::PanicOnDecode => "panic-on-decode",
         }
+    }
+
+    /// A stable textual identity of the backend this spec builds, used
+    /// (together with the graph address) as the pipeline's backend-pool key.
+    ///
+    /// Derived from the full `Debug` representation, which covers every
+    /// configuration field of every variant — two specs with equal keys
+    /// build behaviourally identical backends for the same graph.
+    pub fn cache_key(&self) -> String {
+        format!("{self:?}")
     }
 
     /// Whether the built backend's latencies come from a deterministic
@@ -112,6 +153,8 @@ impl BackendSpec {
             Self::UnionFind(latency) => {
                 Box::new(UnionFindDecoderAdapter::new(graph).with_latency_model(*latency))
             }
+            #[cfg(test)]
+            Self::PanicOnDecode => Box::new(PanickingBackend(graph)),
         }
     }
 }

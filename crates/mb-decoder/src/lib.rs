@@ -13,9 +13,10 @@
 //! * [`ParityBlossomDecoder`] — the all-software exact MWPM baseline;
 //! * [`UnionFindDecoderAdapter`] — the Helios-style Union-Find baseline of
 //!   Figure 11;
-//! * [`pipeline`] — the sharded multi-threaded batch decoder: one backend
-//!   per worker thread, per-shot seeded RNG, deterministic merge — results
-//!   are bit-identical for any shard count;
+//! * [`pipeline`] — the persistent work-stealing batch decoder
+//!   ([`DecodePool`]): long-lived workers claim shot chunks from a shared
+//!   cursor, cache built backends per `(spec, graph)`, and sample with a
+//!   per-shot seeded RNG — results are bit-identical for any worker count;
 //! * [`evaluation`] — Monte-Carlo harness producing logical error rates,
 //!   latency distributions, cutoff latencies and effective logical error
 //!   rates (§8.2–§8.3), running on top of the pipeline.
@@ -66,7 +67,7 @@ pub use evaluation::{
 pub use micro::{MicroBlossomConfig, MicroBlossomDecoder};
 pub use outcome::{DecodeOutcome, LatencyBreakdown};
 pub use parity::ParityBlossomDecoder;
-pub use pipeline::{ShardedPipeline, ShotOutcome};
+pub use pipeline::{DecodePool, ShardedPipeline, ShotOutcome};
 pub use uf::{HeliosLatencyModel, UnionFindDecoderAdapter};
 
 /// Backwards-compatible alias: the decoder interface was renamed to

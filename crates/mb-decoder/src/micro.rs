@@ -80,6 +80,10 @@ pub struct MicroBlossomDecoder {
     config: MicroBlossomConfig,
     driver: AcceleratedDual,
     primal: PrimalModule,
+    /// Reusable per-decode buffer for the layer-split syndrome.
+    layers_scratch: Vec<Vec<VertexIndex>>,
+    /// Reusable per-conflict buffer for not-yet-materialized defects.
+    unknown_scratch: Vec<VertexIndex>,
 }
 
 impl MicroBlossomDecoder {
@@ -96,6 +100,8 @@ impl MicroBlossomDecoder {
             primal: PrimalModule::new(),
             graph,
             config,
+            layers_scratch: Vec::new(),
+            unknown_scratch: Vec::new(),
         }
     }
 
@@ -134,7 +140,9 @@ impl MicroBlossomDecoder {
         syndrome: &SyndromePattern,
     ) -> (PerfectMatching, LatencyBreakdown) {
         DecoderBackend::reset(self);
-        let layers = syndrome.split_by_layer(&self.graph);
+        // reuse the layer buffer across decodes (no steady-state allocation)
+        let mut layers = std::mem::take(&mut self.layers_scratch);
+        syndrome.split_by_layer_into(&self.graph, &mut layers);
         let last_layer = layers.len() - 1;
         let mut snapshot = self.counters();
         if self.config.stream_decoding {
@@ -157,10 +165,11 @@ impl MicroBlossomDecoder {
             snapshot = self.counters();
             self.run_to_completion();
         }
+        self.layers_scratch = layers;
         // complete the matching with the pairs the hardware pre-matched and
         // the CPU never saw
         let mut matching = self.primal.perfect_matching();
-        for (vertex, partner) in self.driver.remaining_prematches() {
+        for &(vertex, partner) in self.driver.remaining_prematches() {
             match partner {
                 PrematchPartner::Defect(other) => matching.pairs.push((vertex, other)),
                 PrematchPartner::Boundary(boundary) => matching.boundary.push((vertex, boundary)),
@@ -218,7 +227,11 @@ impl MicroBlossomDecoder {
                     self.primal.resolve(obstacle, &mut self.driver);
                 }
                 PollEvent::UnknownNodes(response) => {
-                    for vertex in self.driver.unknown_vertices(&response) {
+                    // reuse the unknown-vertex buffer across conflicts
+                    let mut unknown = std::mem::take(&mut self.unknown_scratch);
+                    unknown.clear();
+                    self.driver.unknown_vertices_into(&response, &mut unknown);
+                    for &vertex in &unknown {
                         if self.primal.singleton_of(vertex).is_some() {
                             continue;
                         }
@@ -239,6 +252,7 @@ impl MicroBlossomDecoder {
                             }
                         }
                     }
+                    self.unknown_scratch = unknown;
                     let obstacle = self
                         .driver
                         .translate(&response)

@@ -1,22 +1,32 @@
-//! Sharded multi-threaded batch decoding.
+//! Persistent work-stealing batch decoding.
 //!
 //! The paper's accelerator makes *one* decode fast; scaling a Monte-Carlo
 //! evaluation (or a production stream of measurement blocks) to millions of
-//! shots additionally needs *throughput*. This module partitions a stream of
-//! shots across worker threads:
+//! shots additionally needs *throughput*. This module provides that through
+//! a long-lived [`DecodePool`]:
 //!
-//! * one [`DecoderBackend`](crate::DecoderBackend) instance per worker,
-//!   built from a shared [`BackendSpec`] — backends are stateful and reuse
-//!   their internal allocations across shots, so the steady-state hot path
-//!   (the dual/primal solve) performs no allocations;
+//! * **persistent workers**: the pool's threads are spawned once and reused
+//!   across every `evaluate`/`run_sampled`/`run_shots` call, so repeated
+//!   evaluations (parameter sweeps, iterative shot accumulation) pay no
+//!   per-call thread-spawn cost;
+//! * **work stealing**: workers claim chunks of shot indices from a shared
+//!   atomic cursor instead of being assigned contiguous ranges up front, so
+//!   a skewed workload (a few expensive shots) cannot leave the tail of the
+//!   batch on a single straggler thread;
+//! * **backend pooling**: each worker caches the backends it has built,
+//!   keyed by `(BackendSpec identity, graph address)` with a small LRU cap
+//!   ([`BACKEND_CACHE_CAPACITY`]), so back-to-back evaluations on the same
+//!   graph — and sweeps that revisit a `(d, p)` point — stop reconstructing
+//!   PU arrays from scratch. Backends are stateful and reuse their internal
+//!   allocations across shots, so the steady-state hot path performs no
+//!   allocations;
 //! * **per-shot seeded RNG**: shot `i` of a run with master seed `s` is
 //!   sampled from `ChaCha8Rng::seed_from_u64(splitmix64(s, i))`, so the
 //!   sampled shots — and therefore every decode outcome — are identical
-//!   regardless of how many shards the work is split into or which worker
-//!   handles which shot;
-//! * a deterministic merge: workers return their contiguous slice of
-//!   outcomes over a channel tagged with the shard index, and the results
-//!   are reassembled in shot order before aggregation.
+//!   regardless of how many workers participate or which worker happens to
+//!   claim which chunk;
+//! * **in-place merge**: every worker writes each outcome directly into its
+//!   slot of a pre-sized output buffer; no channels, no re-ordering pass.
 //!
 //! ```
 //! use mb_decoder::pipeline::ShardedPipeline;
@@ -37,8 +47,12 @@ use mb_graph::syndrome::{ErrorSampler, Shot};
 use mb_graph::{DecodingGraph, ObservableMask};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// The per-shot record produced by the pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,7 +82,7 @@ impl ShotOutcome {
 /// Derives the per-shot RNG seed from the run's master seed.
 ///
 /// SplitMix64 finalizer over the (seed, index) pair: statistically
-/// independent streams per shot, and — crucially — independent of the shard
+/// independent streams per shot, and — crucially — independent of the worker
 /// layout, so pipeline results cannot depend on the thread count.
 pub fn shot_seed(master_seed: u64, shot_index: u64) -> u64 {
     let mut z = master_seed
@@ -85,26 +99,424 @@ pub fn shot_rng(master_seed: u64, shot_index: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(shot_seed(master_seed, shot_index))
 }
 
-/// A sharded batch decoder: a backend recipe, a decoding graph, and a shard
-/// count.
-#[derive(Debug, Clone)]
-pub struct ShardedPipeline {
-    spec: BackendSpec,
-    graph: Arc<DecodingGraph>,
-    shards: usize,
+/// Upper bound on the work-stealing chunk size (shot indices claimed per
+/// cursor increment). Large enough to keep cursor contention negligible,
+/// small enough that a skewed batch still spreads across workers.
+pub const MAX_STEAL_CHUNK: usize = 64;
+
+/// Per-worker backend cache capacity: backends built for the
+/// `(spec, graph)` pairs seen most recently are kept alive; beyond this many
+/// distinct pairs the least recently used one is dropped, so long sweeps
+/// over many decoding graphs do not hoard PU-array memory.
+pub const BACKEND_CACHE_CAPACITY: usize = 8;
+
+/// Parses an `MB_SHARDS`-style override; `None` when absent or invalid.
+fn shards_from_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
 }
 
-/// Default shard count: the machine's available parallelism, capped so that
-/// small evaluations do not pay thread-spawn overhead for idle workers.
+/// Default shard (worker) count: the `MB_SHARDS` environment variable when
+/// set to a positive integer (invalid values fall back), otherwise the
+/// machine's available parallelism capped at 16 so that small evaluations do
+/// not pay scheduling overhead for idle workers.
+///
+/// The global [`DecodePool`] is sized with this value the first time it is
+/// used, so `MB_SHARDS` must be set before the first pipeline run to take
+/// effect on the shared pool.
 pub fn default_shards() -> usize {
+    if let Some(n) = shards_from_env(std::env::var("MB_SHARDS").ok().as_deref()) {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .clamp(1, 16)
 }
 
+/// Builds a deliberately skewed benchmark workload on `graph`: `easy`
+/// cheap sampled shots followed by `hard` dense shots assembled from the
+/// union of four sampled error patterns each (a mixed effective `p`).
+///
+/// Contiguous chunking would pin the expensive tail on the last worker;
+/// the work-stealing scheduler spreads it. Shared by the
+/// `pipeline_throughput` bench and the pipeline equivalence tests so both
+/// exercise the same workload shape.
+pub fn skewed_workload(graph: &DecodingGraph, easy: usize, hard: usize) -> Vec<Shot> {
+    let sampler = ErrorSampler::new(graph);
+    let mut shots: Vec<Shot> = (0..easy)
+        .map(|i| {
+            let mut rng = shot_rng(0x5EED, i as u64);
+            sampler.sample(&mut rng)
+        })
+        .collect();
+    for i in 0..hard {
+        let mut edges = Vec::new();
+        for sub in 0..4u64 {
+            let mut rng = shot_rng(0xD1FF, (i as u64) * 4 + sub);
+            edges.extend(sampler.sample(&mut rng).error.edges);
+        }
+        shots.push(sampler.shot_from_edges(edges));
+    }
+    shots
+}
+
+/// How the shots of a job are produced.
+enum JobInput {
+    /// Sample shot `i` from `shot_rng(seed, i)` inside the worker.
+    Sampled { seed: u64 },
+    /// Decode an explicit, pre-materialized shot list.
+    Explicit { shots: Arc<[Shot]> },
+}
+
+/// One output slot, written by exactly one worker.
+struct Slot(UnsafeCell<MaybeUninit<ShotOutcome>>);
+
+// SAFETY: workers write disjoint slots (each index is claimed by exactly one
+// worker through the atomic cursor), and the main thread only reads after
+// every participant has signalled completion through the job mutex.
+unsafe impl Sync for Slot {}
+
+/// Completion state of a job, updated under the mutex.
+struct JobDone {
+    /// Participating workers that have not finished yet.
+    remaining: usize,
+    /// Panic message of the first worker that panicked, if any.
+    panic: Option<String>,
+}
+
+/// A batch decode in flight: shared between the submitting thread and the
+/// participating workers.
+struct JobState {
+    input: JobInput,
+    spec: BackendSpec,
+    graph: Arc<DecodingGraph>,
+    /// Next unclaimed shot index.
+    cursor: AtomicUsize,
+    total: usize,
+    /// Shot indices claimed per cursor increment.
+    chunk: usize,
+    /// Output buffer, one slot per shot.
+    slots: Box<[Slot]>,
+    done: Mutex<JobDone>,
+    finished: Condvar,
+}
+
+impl JobState {
+    /// Decodes one shot index on `backend`, writing the outcome into its
+    /// slot.
+    fn decode_index(
+        &self,
+        backend: &mut dyn DecoderBackend,
+        sampler: &ErrorSampler<'_>,
+        index: usize,
+    ) {
+        let outcome = match &self.input {
+            JobInput::Sampled { seed } => {
+                let mut rng = shot_rng(*seed, index as u64);
+                let shot = sampler.sample(&mut rng);
+                decode_one(backend, index, &shot)
+            }
+            JobInput::Explicit { shots } => decode_one(backend, index, &shots[index]),
+        };
+        // SAFETY: `index` was claimed from the cursor by this worker only,
+        // and the submitting thread does not read until we signal completion.
+        unsafe { (*self.slots[index].0.get()).write(outcome) };
+    }
+}
+
+/// Identity of a pooled backend: the spec's full configuration plus the
+/// address of the decoding graph.
+///
+/// Pointer identity is sound as an equality proxy because every cached
+/// backend holds an `Arc` of its graph: as long as an entry lives, its graph
+/// allocation cannot be freed, so a matching address always means the same
+/// graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BackendKey {
+    spec: String,
+    graph: usize,
+}
+
+struct CacheEntry {
+    key: BackendKey,
+    backend: Box<dyn DecoderBackend>,
+    last_used: u64,
+}
+
+/// Per-worker LRU cache of built backends.
+struct BackendCache {
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    capacity: usize,
+    /// Shared counter of cache misses (backend constructions), for
+    /// observability and tests.
+    builds: Arc<AtomicU64>,
+}
+
+impl BackendCache {
+    fn new(capacity: usize, builds: Arc<AtomicU64>) -> Self {
+        Self {
+            entries: Vec::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+            builds,
+        }
+    }
+
+    /// Returns the cached backend for `(spec, graph)`, building (and caching)
+    /// it on a miss; evicts the least recently used entry at capacity.
+    fn get_or_build(
+        &mut self,
+        spec: &BackendSpec,
+        graph: &Arc<DecodingGraph>,
+    ) -> &mut dyn DecoderBackend {
+        self.tick += 1;
+        let key = BackendKey {
+            spec: spec.cache_key(),
+            graph: Arc::as_ptr(graph) as usize,
+        };
+        let pos = match self.entries.iter().position(|e| e.key == key) {
+            Some(pos) => pos,
+            None => {
+                if self.entries.len() >= self.capacity {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("cache at capacity is non-empty");
+                    self.entries.swap_remove(lru);
+                }
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                self.entries.push(CacheEntry {
+                    key,
+                    backend: spec.build(Arc::clone(graph)),
+                    last_used: 0,
+                });
+                self.entries.len() - 1
+            }
+        };
+        self.entries[pos].last_used = self.tick;
+        self.entries[pos].backend.as_mut()
+    }
+}
+
+/// A persistent pool of decode workers.
+///
+/// Created once (or taken from [`DecodePool::global`]) and reused across
+/// every batch: submitting a job wakes the participating workers, which
+/// claim chunks of shot indices from a shared cursor, decode them on their
+/// cached backends, and write the outcomes straight into the output buffer.
+/// Results are bit-identical regardless of the pool size or the stealing
+/// order (per-shot seeded RNG).
+pub struct DecodePool {
+    senders: Vec<mpsc::Sender<Arc<JobState>>>,
+    handles: Vec<JoinHandle<()>>,
+    builds: Arc<AtomicU64>,
+    /// Rotates the first participant of partial-width jobs so concurrent
+    /// submitters do not all queue behind worker 0.
+    next_base: AtomicUsize,
+    /// Jobs currently submitted and not yet completed.
+    in_flight: AtomicUsize,
+}
+
+impl std::fmt::Debug for DecodePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodePool")
+            .field("workers", &self.senders.len())
+            .field("backends_built", &self.backends_built())
+            .finish()
+    }
+}
+
+impl DecodePool {
+    /// Spawns a pool with `workers` persistent worker threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let builds = Arc::new(AtomicU64::new(0));
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        for index in 0..workers.max(1) {
+            let (sender, receiver) = mpsc::channel::<Arc<JobState>>();
+            let builds = Arc::clone(&builds);
+            let handle = std::thread::Builder::new()
+                .name(format!("mb-decode-{index}"))
+                .spawn(move || worker_main(receiver, builds))
+                .expect("failed to spawn decode worker");
+            senders.push(sender);
+            handles.push(handle);
+        }
+        Self {
+            senders,
+            handles,
+            builds,
+            next_base: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide shared pool, created on first use with
+    /// [`default_shards`] workers. All pipelines use it unless given an
+    /// explicit pool, so backend caches warm up across independent
+    /// `evaluate` calls (e.g. the points of a parameter sweep).
+    pub fn global() -> &'static DecodePool {
+        static GLOBAL: OnceLock<DecodePool> = OnceLock::new();
+        GLOBAL.get_or_init(|| DecodePool::new(default_shards()))
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Total number of backend constructions performed by this pool's
+    /// workers (cache misses). A second evaluation of the same
+    /// `(spec, graph)` leaves this unchanged — that is the pooling win.
+    pub fn backends_built(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// How many of this pool's workers a job with the given worker budget
+    /// and shot count actually engages — the single source of truth for the
+    /// participant clamp [`Self::run`] applies.
+    pub fn effective_workers(&self, shards: usize, shots: usize) -> usize {
+        shards.clamp(1, self.senders.len()).min(shots.max(1))
+    }
+
+    /// Runs a batch job on up to `participants` workers and returns the
+    /// outcomes in shot order.
+    fn run(
+        &self,
+        spec: &BackendSpec,
+        graph: &Arc<DecodingGraph>,
+        input: JobInput,
+        total: usize,
+        participants: usize,
+    ) -> Vec<ShotOutcome> {
+        if total == 0 {
+            return Vec::new();
+        }
+        let participants = self.effective_workers(participants, total);
+        // small chunks spread short batches across workers; the cap keeps
+        // cursor traffic negligible for large ones
+        let chunk = (total / (participants * 4)).clamp(1, MAX_STEAL_CHUNK);
+        let mut slots = Vec::with_capacity(total);
+        slots.resize_with(total, || Slot(UnsafeCell::new(MaybeUninit::uninit())));
+        let job = Arc::new(JobState {
+            input,
+            spec: spec.clone(),
+            graph: Arc::clone(graph),
+            cursor: AtomicUsize::new(0),
+            total,
+            chunk,
+            slots: slots.into_boxed_slice(),
+            done: Mutex::new(JobDone {
+                remaining: participants,
+                panic: None,
+            }),
+            finished: Condvar::new(),
+        });
+        // a lone submitter always starts at worker 0, keeping a stable
+        // participant set whose backend caches stay warm across repeated
+        // calls; only when another job is already in flight do partial-width
+        // jobs rotate their starting worker, so concurrent submitters spread
+        // across the pool instead of all queueing behind worker 0
+        let workers = self.senders.len();
+        let contended = self.in_flight.fetch_add(1, Ordering::Relaxed) > 0;
+        let base = if participants < workers && contended {
+            self.next_base.fetch_add(1, Ordering::Relaxed) % workers
+        } else {
+            0
+        };
+        for offset in 0..participants {
+            self.senders[(base + offset) % workers]
+                .send(Arc::clone(&job))
+                .expect("decode pool worker exited unexpectedly");
+        }
+        let mut done = job.done.lock().expect("decode pool mutex poisoned");
+        while done.remaining > 0 {
+            done = job.finished.wait(done).expect("decode pool mutex poisoned");
+        }
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(message) = done.panic.take() {
+            panic!("decode pool worker panicked: {message}");
+        }
+        drop(done);
+        // SAFETY: every index in 0..total was claimed by exactly one worker
+        // and written before that worker decremented `remaining`; the mutex
+        // handoff above makes those writes visible here. Each slot is read
+        // exactly once and `MaybeUninit` suppresses the redundant drop.
+        (0..total)
+            .map(|i| unsafe { (*job.slots[i].0.get()).assume_init_read() })
+            .collect()
+    }
+}
+
+impl Drop for DecodePool {
+    fn drop(&mut self) {
+        // disconnect the channels so workers fall out of their recv loop
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker loop: block on the job channel, claim and decode chunks, then
+/// signal completion. Panics inside a job are caught and propagated to the
+/// submitting thread so the pool survives a failing backend.
+fn worker_main(receiver: mpsc::Receiver<Arc<JobState>>, builds: Arc<AtomicU64>) {
+    let mut cache = BackendCache::new(BACKEND_CACHE_CAPACITY, builds);
+    while let Ok(job) = receiver.recv() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let backend = cache.get_or_build(&job.spec, &job.graph);
+            let sampler = ErrorSampler::new(&job.graph);
+            loop {
+                let start = job.cursor.fetch_add(job.chunk, Ordering::Relaxed);
+                if start >= job.total {
+                    break;
+                }
+                let end = (start + job.chunk).min(job.total);
+                for index in start..end {
+                    job.decode_index(backend, &sampler, index);
+                }
+            }
+        }));
+        let mut done = job.done.lock().expect("decode pool mutex poisoned");
+        if let Err(payload) = result {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            done.panic.get_or_insert(message);
+        }
+        done.remaining -= 1;
+        if done.remaining == 0 {
+            job.finished.notify_all();
+        }
+    }
+}
+
+/// A batch decoder: a backend recipe, a decoding graph, a worker budget, and
+/// the pool that runs it.
+///
+/// `shards` bounds how many pool workers participate in each batch (capped
+/// by the pool size). Logical results are independent of it; see
+/// [`Self::with_shards`].
+#[derive(Debug, Clone)]
+pub struct ShardedPipeline {
+    spec: BackendSpec,
+    graph: Arc<DecodingGraph>,
+    shards: usize,
+    pool: Option<Arc<DecodePool>>,
+}
+
 impl ShardedPipeline {
-    /// Creates a pipeline with the default shard count.
+    /// Creates a pipeline with the default shard count, running on the
+    /// global [`DecodePool`].
     ///
     /// Backends with wall-clock latency measurement (currently only
     /// `BackendSpec::Parity`) default to **one** shard: running them
@@ -123,18 +535,27 @@ impl ShardedPipeline {
             spec,
             graph,
             shards,
+            pool: None,
         }
     }
 
-    /// Overrides the shard count (clamped to at least 1). Logical results
-    /// (sampled shots, corrections, error counts) are independent of this
-    /// value; for deterministic-latency backends the latencies are too.
+    /// Overrides the worker budget (clamped to at least 1; capped by the
+    /// pool's worker count at run time). Logical results (sampled shots,
+    /// corrections, error counts) are independent of this value; for
+    /// deterministic-latency backends the latencies are too.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
     }
 
-    /// The configured shard count.
+    /// Runs this pipeline on an explicit pool instead of the global one
+    /// (independent worker set and backend caches).
+    pub fn with_pool(mut self, pool: Arc<DecodePool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The configured shard (worker budget) count.
     pub fn shards(&self) -> usize {
         self.shards
     }
@@ -149,94 +570,56 @@ impl ShardedPipeline {
         &self.graph
     }
 
+    /// The pool this pipeline submits to.
+    pub fn pool(&self) -> &DecodePool {
+        match &self.pool {
+            Some(pool) => pool,
+            None => DecodePool::global(),
+        }
+    }
+
     /// Samples and decodes `shots` shots, returning per-shot outcomes in
     /// shot order. Sampling happens inside the workers (per-shot RNG), so no
     /// shot buffer is materialized up front.
     pub fn run_sampled(&self, shots: usize, seed: u64) -> Vec<ShotOutcome> {
-        self.run_partitioned(shots, |backend, sampler, index| {
-            let mut rng = shot_rng(seed, index as u64);
-            let shot = sampler.sample(&mut rng);
-            decode_one(backend, index, &shot)
-        })
+        self.pool().run(
+            &self.spec,
+            &self.graph,
+            JobInput::Sampled { seed },
+            shots,
+            self.shards,
+        )
     }
 
     /// Decodes an explicit list of shots, returning outcomes in input order.
+    ///
+    /// Copies the shot list once so the persistent workers can share it;
+    /// callers decoding the same list repeatedly should hold an
+    /// `Arc<[Shot]>` and use [`Self::run_shots_arc`] to skip the copy.
     pub fn run_shots(&self, shots: &[Shot]) -> Vec<ShotOutcome> {
-        self.run_partitioned(shots.len(), |backend, _sampler, index| {
-            decode_one(backend, index, &shots[index])
-        })
+        self.run_shots_arc(shots.to_vec().into())
+    }
+
+    /// Decodes an explicit, shared shot list without copying it, returning
+    /// outcomes in input order.
+    pub fn run_shots_arc(&self, shots: Arc<[Shot]>) -> Vec<ShotOutcome> {
+        let total = shots.len();
+        self.pool().run(
+            &self.spec,
+            &self.graph,
+            JobInput::Explicit { shots },
+            total,
+            self.shards,
+        )
     }
 
     /// Samples, decodes, and aggregates `shots` shots into an
-    /// [`EvaluationResult`]. Bit-identical for any shard count, except the
+    /// [`EvaluationResult`]. Bit-identical for any worker count, except the
     /// `latencies_ns` of wall-clock backends (which vary run to run even
     /// single-threaded).
     pub fn evaluate(&self, shots: usize, seed: u64) -> EvaluationResult {
         let outcomes = self.run_sampled(shots, seed);
         aggregate(self.spec.name(), &outcomes)
-    }
-
-    /// Partitions indices `0..total` into contiguous chunks, runs `job` on a
-    /// per-worker backend for every index of the chunk, and reassembles the
-    /// outcomes in index order.
-    fn run_partitioned<F>(&self, total: usize, job: F) -> Vec<ShotOutcome>
-    where
-        F: Fn(&mut dyn DecoderBackend, &ErrorSampler<'_>, usize) -> ShotOutcome + Sync,
-    {
-        if total == 0 {
-            return Vec::new();
-        }
-        let shards = self.shards.min(total).max(1);
-        if shards == 1 {
-            // serial fast path: same code path as a worker, no threads
-            let mut backend = self.spec.build(Arc::clone(&self.graph));
-            let sampler = ErrorSampler::new(&self.graph);
-            return (0..total)
-                .map(|i| job(backend.as_mut(), &sampler, i))
-                .collect();
-        }
-        let job = &job;
-        let mut merged: Vec<Vec<ShotOutcome>> = Vec::with_capacity(shards);
-        merged.resize_with(shards, Vec::new);
-        std::thread::scope(|scope| {
-            let (sender, receiver) = mpsc::channel::<(usize, Vec<ShotOutcome>)>();
-            let base = total / shards;
-            let remainder = total % shards;
-            let mut start = 0usize;
-            for shard in 0..shards {
-                let count = base + usize::from(shard < remainder);
-                let range = start..start + count;
-                start += count;
-                let sender = sender.clone();
-                let spec = &self.spec;
-                let graph = &self.graph;
-                scope.spawn(move || {
-                    let mut backend = spec.build(Arc::clone(graph));
-                    let sampler = ErrorSampler::new(graph);
-                    let outcomes: Vec<ShotOutcome> = range
-                        .map(|index| job(backend.as_mut(), &sampler, index))
-                        .collect();
-                    // the receiver only disappears if a sibling panicked;
-                    // propagate by unwinding this worker too
-                    sender
-                        .send((shard, outcomes))
-                        .expect("pipeline result channel closed early");
-                });
-            }
-            drop(sender);
-            for (shard, outcomes) in receiver {
-                merged[shard] = outcomes;
-            }
-        });
-        let mut results = Vec::with_capacity(total);
-        for chunk in merged {
-            results.extend(chunk);
-        }
-        debug_assert_eq!(results.len(), total);
-        debug_assert!(results
-            .windows(2)
-            .all(|w| w[0].shot_index < w[1].shot_index));
-        results
     }
 }
 
@@ -254,11 +637,11 @@ fn decode_one(backend: &mut dyn DecoderBackend, index: usize, shot: &Shot) -> Sh
 }
 
 /// Aggregates per-shot outcomes into the harness-facing
-/// [`EvaluationResult`]. Deterministic: latencies are sorted, counters are
-/// integer sums.
+/// [`EvaluationResult`]. Deterministic: latencies are sorted with a total
+/// order (NaN-safe), counters are integer sums.
 pub fn aggregate(decoder_name: &str, outcomes: &[ShotOutcome]) -> EvaluationResult {
     let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_ns).collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies.sort_by(f64::total_cmp);
     let logical_errors = outcomes.iter().filter(|o| o.is_logical_error()).count();
     let total_defects: usize = outcomes.iter().map(|o| o.defects).sum();
     EvaluationResult {
@@ -284,6 +667,17 @@ mod tests {
         assert_ne!(shot_seed(0, 0), shot_seed(0, 1));
         assert_ne!(shot_seed(0, 0), shot_seed(1, 0));
         assert_eq!(shot_seed(5, 9), shot_seed(5, 9));
+    }
+
+    #[test]
+    fn env_shard_override_parses_strictly() {
+        assert_eq!(shards_from_env(None), None);
+        assert_eq!(shards_from_env(Some("")), None);
+        assert_eq!(shards_from_env(Some("zero")), None);
+        assert_eq!(shards_from_env(Some("0")), None);
+        assert_eq!(shards_from_env(Some("-3")), None);
+        assert_eq!(shards_from_env(Some("4")), Some(4));
+        assert_eq!(shards_from_env(Some(" 12 ")), Some(12));
     }
 
     #[test]
@@ -338,6 +732,100 @@ mod tests {
     }
 
     #[test]
+    fn dedicated_pools_of_any_size_agree_with_the_global_pool() {
+        let graph = rotated();
+        let pipeline = ShardedPipeline::new(BackendSpec::micro_full(Some(3)), Arc::clone(&graph));
+        let reference = pipeline.run_sampled(60, 5);
+        for workers in [1usize, 2, 4] {
+            let pool = Arc::new(DecodePool::new(workers));
+            let outcomes = pipeline
+                .clone()
+                .with_pool(Arc::clone(&pool))
+                .with_shards(workers)
+                .run_sampled(60, 5);
+            assert_eq!(outcomes, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn backend_pooling_skips_rebuilds_on_repeat_evaluations() {
+        let graph = rotated();
+        let pool = Arc::new(DecodePool::new(2));
+        let pipeline = ShardedPipeline::new(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .with_pool(Arc::clone(&pool))
+            .with_shards(2);
+        let first = pipeline.evaluate(40, 9);
+        let built_after_first = pool.backends_built();
+        assert!(built_after_first >= 1);
+        let second = pipeline.evaluate(40, 9);
+        assert_eq!(first, second);
+        assert_eq!(
+            pool.backends_built(),
+            built_after_first,
+            "second evaluation on the same (spec, graph) must reuse cached backends"
+        );
+        // a different spec on the same pool does build fresh backends
+        let parity = ShardedPipeline::new(BackendSpec::Parity, Arc::clone(&graph))
+            .with_pool(Arc::clone(&pool));
+        parity.evaluate(10, 9);
+        assert!(pool.backends_built() > built_after_first);
+    }
+
+    #[test]
+    fn backend_cache_evicts_least_recently_used() {
+        let builds = Arc::new(AtomicU64::new(0));
+        let mut cache = BackendCache::new(2, Arc::clone(&builds));
+        let g1 = rotated();
+        let g2 = rotated();
+        let g3 = rotated();
+        let spec = BackendSpec::union_find();
+        cache.get_or_build(&spec, &g1);
+        cache.get_or_build(&spec, &g2);
+        assert_eq!(builds.load(Ordering::Relaxed), 2);
+        // hit: no new build
+        cache.get_or_build(&spec, &g1);
+        assert_eq!(builds.load(Ordering::Relaxed), 2);
+        // capacity 2: g3 evicts g2 (least recently used)
+        cache.get_or_build(&spec, &g3);
+        assert_eq!(builds.load(Ordering::Relaxed), 3);
+        cache.get_or_build(&spec, &g1);
+        assert_eq!(builds.load(Ordering::Relaxed), 3, "g1 must still be cached");
+        cache.get_or_build(&spec, &g2);
+        assert_eq!(
+            builds.load(Ordering::Relaxed),
+            4,
+            "g2 must have been evicted"
+        );
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_submitter() {
+        // drive the real path: worker_main catches the backend panic,
+        // records it in JobDone, still decrements `remaining` (no deadlock),
+        // and the submitter re-panics with the message. Uses a dedicated
+        // pool so the global pool stays healthy for sibling tests.
+        let graph = rotated();
+        let pool = Arc::new(DecodePool::new(2));
+        let pipeline = ShardedPipeline::new(BackendSpec::PanicOnDecode, Arc::clone(&graph))
+            .with_pool(Arc::clone(&pool))
+            .with_shards(2);
+        let result = catch_unwind(AssertUnwindSafe(|| pipeline.run_sampled(8, 1)));
+        let payload = result.expect_err("the worker panic must reach the submitter");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert!(
+            message.contains("decode pool worker panicked") && message.contains("backend exploded"),
+            "unexpected panic message: {message}"
+        );
+        // the surviving workers still decode fine afterwards
+        let pipeline = ShardedPipeline::new(BackendSpec::union_find(), graph)
+            .with_pool(pool)
+            .with_shards(2);
+        assert_eq!(pipeline.run_sampled(5, 1).len(), 5);
+    }
+
+    #[test]
     fn run_shots_decodes_explicit_inputs() {
         let graph = rotated();
         let sampler = ErrorSampler::new(&graph);
@@ -381,5 +869,32 @@ mod tests {
         assert_eq!(result.logical_errors, 1);
         assert_eq!(result.latencies_ns, vec![100.0, 500.0]);
         assert!((result.mean_defects - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_tolerates_nan_latencies() {
+        // f64::total_cmp: NaN sorts after every finite value instead of
+        // panicking inside sort_by
+        let outcomes = vec![
+            ShotOutcome {
+                shot_index: 0,
+                defects: 0,
+                decoded_observable: 0,
+                expected_observable: 0,
+                latency_ns: f64::NAN,
+                breakdown: LatencyBreakdown::default(),
+            },
+            ShotOutcome {
+                shot_index: 1,
+                defects: 0,
+                decoded_observable: 0,
+                expected_observable: 0,
+                latency_ns: 1.0,
+                breakdown: LatencyBreakdown::default(),
+            },
+        ];
+        let result = aggregate("test", &outcomes);
+        assert_eq!(result.latencies_ns[0], 1.0);
+        assert!(result.latencies_ns[1].is_nan());
     }
 }

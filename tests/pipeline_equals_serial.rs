@@ -8,7 +8,7 @@
 //! sampled from an RNG derived from `(seed, i)`, so the shard layout cannot
 //! influence which shots are drawn or how they decode.
 
-use mb_decoder::pipeline::{shot_rng, ShardedPipeline, ShotOutcome};
+use mb_decoder::pipeline::{shot_rng, skewed_workload, DecodePool, ShardedPipeline, ShotOutcome};
 use mb_decoder::{evaluate_decoder_sharded, BackendSpec};
 use mb_graph::codes::{CodeCapacityRepetitionCode, CodeCapacityRotatedCode, PhenomenologicalCode};
 use mb_graph::syndrome::ErrorSampler;
@@ -148,6 +148,70 @@ fn pipeline_equals_a_hand_rolled_serial_loop() {
                 .map(|o| (o.decoded_observable, o.is_logical_error()))
                 .collect();
             assert_eq!(piped, serial, "{}: shards={shards}", spec.name());
+        }
+    }
+}
+
+#[test]
+fn work_stealing_pools_are_bit_identical_across_worker_counts() {
+    // dedicated pools with 1/2/8 workers × all three backends × a skewed
+    // explicit workload (cheap shots + a dense mixed-p tail): the stealing
+    // order must never leak into the results
+    let shots_per_graph = 60;
+    for (name, graph) in graphs() {
+        let shots: Arc<[_]> = skewed_workload(&graph, shots_per_graph, 12).into();
+        for spec in specs(&graph) {
+            let reference = ShardedPipeline::new(spec.clone(), Arc::clone(&graph))
+                .with_pool(Arc::new(DecodePool::new(1)))
+                .with_shards(1)
+                .run_shots_arc(Arc::clone(&shots));
+            assert_eq!(reference.len(), shots.len());
+            for workers in [2usize, 8] {
+                let pool = Arc::new(DecodePool::new(workers));
+                let outcomes = ShardedPipeline::new(spec.clone(), Arc::clone(&graph))
+                    .with_pool(pool)
+                    .with_shards(workers)
+                    .run_shots_arc(Arc::clone(&shots));
+                let got: Vec<_> = outcomes.iter().map(logical_view).collect();
+                let want: Vec<_> = reference.iter().map(logical_view).collect();
+                assert_eq!(got, want, "{name} / {}: workers={workers}", spec.name());
+                if spec.deterministic_latency() {
+                    assert_eq!(
+                        outcomes,
+                        reference,
+                        "{name} / {}: workers={workers}",
+                        spec.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn back_to_back_evaluations_reuse_pooled_backends() {
+    // repeated evaluate calls on one pool: identical results, and the second
+    // round must not rebuild any backend (the pooling key is (spec, graph))
+    let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.02).decoding_graph());
+    let pool = Arc::new(DecodePool::new(2));
+    for spec in specs(&graph) {
+        let pipeline = ShardedPipeline::new(spec.clone(), Arc::clone(&graph))
+            .with_pool(Arc::clone(&pool))
+            .with_shards(2);
+        let first = pipeline.evaluate(80, 21);
+        let built = pool.backends_built();
+        let second = pipeline.evaluate(80, 21);
+        assert_eq!(
+            pool.backends_built(),
+            built,
+            "{}: second evaluation must hit the backend cache",
+            spec.name()
+        );
+        assert_eq!(first.logical_errors, second.logical_errors);
+        assert_eq!(first.mean_defects, second.mean_defects);
+        assert_eq!(first.shots, second.shots);
+        if spec.deterministic_latency() {
+            assert_eq!(first, second, "{}", spec.name());
         }
     }
 }
