@@ -69,6 +69,9 @@ pub struct AcceleratedDual {
     /// Reusable buffer for the end-of-decode pre-match read-out, so the
     /// steady-state decode path does not allocate for it.
     prematch_scratch: Vec<(VertexIndex, PrematchPartner)>,
+    /// Rounds loaded since the last reset (the next implicit round index of
+    /// [`Self::load_round`]).
+    rounds_loaded: usize,
     /// Bus counters.
     pub io: IoStats,
 }
@@ -83,6 +86,7 @@ impl AcceleratedDual {
             node_of_hw: HashMap::new(),
             next_blossom_hw,
             prematch_scratch: Vec::new(),
+            rounds_loaded: 0,
             io: IoStats::default(),
         }
     }
@@ -113,6 +117,25 @@ impl AcceleratedDual {
         self.write(Instruction::LoadDefects {
             layer: layer as u32,
         });
+        self.rounds_loaded = self.rounds_loaded.max(layer + 1);
+    }
+
+    /// Round-wise syndrome ingestion for streaming front-ends: loads
+    /// `defects` as the next measurement round (the driver tracks the round
+    /// index itself) and returns the layer index it was loaded at.
+    ///
+    /// Identical to calling [`Self::load_layer`] with sequential indices, so
+    /// a streamed shot fed round by round produces bit-identical state to a
+    /// batch load of the same syndrome.
+    pub fn load_round(&mut self, defects: &[VertexIndex]) -> usize {
+        let layer = self.rounds_loaded;
+        self.load_layer(layer, defects);
+        layer
+    }
+
+    /// Number of measurement rounds loaded since the last reset.
+    pub fn rounds_loaded(&self) -> usize {
+        self.rounds_loaded
     }
 
     /// Whether the primal module already knows about this hardware node.
@@ -266,6 +289,7 @@ impl DualModule for AcceleratedDual {
         self.nodes.clear();
         self.node_of_hw.clear();
         self.next_blossom_hw = self.accel.graph().vertex_count() as HwNodeId;
+        self.rounds_loaded = 0;
         self.io = IoStats::default();
     }
 
@@ -416,7 +440,9 @@ mod tests {
     use super::*;
     use crate::accelerator::AcceleratorConfig;
     use mb_blossom::{DualModuleSerial, PrimalModule};
-    use mb_graph::codes::{CodeCapacityRepetitionCode, CodeCapacityRotatedCode};
+    use mb_graph::codes::{
+        CodeCapacityRepetitionCode, CodeCapacityRotatedCode, PhenomenologicalCode,
+    };
     use mb_graph::syndrome::ErrorSampler;
     use mb_graph::{DecodingGraph, SyndromePattern};
     use rand::SeedableRng;
@@ -536,6 +562,28 @@ mod tests {
         assert_eq!(driver.dual_objective(), 2);
         assert_eq!(driver.remaining_prematches().len(), 1);
         assert_eq!(driver.io.obstacles, 0, "no CPU obstacle handling needed");
+    }
+
+    #[test]
+    fn load_round_tracks_sequential_layers() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.01).decoding_graph());
+        assert!(graph.num_layers() >= 2);
+        let defect_in = |layer: usize| {
+            (0..graph.vertex_count())
+                .find(|&v| graph.layer_of(v) == layer && !graph.is_virtual(v))
+                .expect("every layer has a regular vertex")
+        };
+        let (d0, d1) = (defect_in(0), defect_in(1));
+        let mut driver = driver_without_prematch(&graph);
+        assert_eq!(driver.rounds_loaded(), 0);
+        assert_eq!(driver.load_round(&[d0]), 0);
+        assert_eq!(driver.load_round(&[d1]), 1);
+        assert_eq!(driver.rounds_loaded(), 2);
+        driver.reset();
+        assert_eq!(driver.rounds_loaded(), 0);
+        // explicit load_layer keeps the implicit index consistent
+        driver.load_layer(0, &[d0]);
+        assert_eq!(driver.load_round(&[d1]), 1);
     }
 
     #[test]

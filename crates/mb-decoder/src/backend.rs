@@ -13,7 +13,7 @@ use crate::micro::{MicroBlossomConfig, MicroBlossomDecoder};
 use crate::outcome::DecodeOutcome;
 use crate::parity::ParityBlossomDecoder;
 use crate::uf::{HeliosLatencyModel, UnionFindDecoderAdapter};
-use mb_graph::{DecodingGraph, SyndromePattern};
+use mb_graph::{DecodingGraph, SyndromePattern, VertexIndex};
 use std::sync::Arc;
 
 /// A decoder that can be driven shot-by-shot by the evaluation harness and
@@ -45,6 +45,39 @@ pub trait DecoderBackend: Send {
     /// pipeline equivalence tests only compare latencies of deterministic
     /// backends.
     fn deterministic_latency(&self) -> bool;
+
+    /// Whether this backend can fold measurement rounds into a running
+    /// solution as they arrive (round-wise fusion, §6). When `false`, the
+    /// streaming front-end buffers the rounds and decodes the assembled
+    /// syndrome once the shot is complete, so every backend can be driven
+    /// round by round — a `true` backend merely starts its dual-phase work
+    /// before the last round has arrived.
+    fn supports_round_ingestion(&self) -> bool {
+        false
+    }
+
+    /// Begins a round-wise decode: clears per-shot state so the subsequent
+    /// [`DecoderBackend::ingest_round`] calls start from a fresh solution.
+    ///
+    /// Only meaningful when [`DecoderBackend::supports_round_ingestion`]
+    /// returns `true`.
+    fn begin_rounds(&mut self) {
+        self.reset();
+    }
+
+    /// Ingests one non-final measurement round (layer `layer` of the
+    /// decoding graph) and folds it into the running solution.
+    fn ingest_round(&mut self, _layer: usize, _defects: &[VertexIndex]) {
+        panic!("{} does not support round-wise ingestion", self.name());
+    }
+
+    /// Ingests the final round and completes the decode. Latency is
+    /// measured from the arrival of this round, matching the batch
+    /// stream-decoding semantics: the outcome is bit-identical to
+    /// [`DecoderBackend::decode`] on the full syndrome.
+    fn finish_rounds(&mut self, _layer: usize, _defects: &[VertexIndex]) -> DecodeOutcome {
+        panic!("{} does not support round-wise ingestion", self.name());
+    }
 }
 
 /// Construction recipe for a [`DecoderBackend`].

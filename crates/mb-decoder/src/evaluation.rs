@@ -197,6 +197,62 @@ mod tests {
     }
 
     #[test]
+    fn latency_percentile_handles_empty_and_extreme_quantiles() {
+        let empty = EvaluationResult {
+            decoder: "test".into(),
+            shots: 0,
+            logical_errors: 0,
+            latencies_ns: vec![],
+            mean_defects: 0.0,
+        };
+        // an empty outcome set must not index or divide by zero
+        assert_eq!(empty.latency_percentile_ns(0.0), 0.0);
+        assert_eq!(empty.latency_percentile_ns(0.5), 0.0);
+        assert_eq!(empty.latency_percentile_ns(1.0), 0.0);
+        assert_eq!(empty.mean_latency_ns(), 0.0);
+        assert_eq!(empty.cutoff_latency_ns(1.0), None);
+
+        let single = EvaluationResult {
+            decoder: "test".into(),
+            shots: 1,
+            logical_errors: 1,
+            latencies_ns: vec![42.0],
+            mean_defects: 2.0,
+        };
+        // a single-shot batch answers every quantile with its one sample
+        assert_eq!(single.latency_percentile_ns(0.0), 42.0);
+        assert_eq!(single.latency_percentile_ns(0.5), 42.0);
+        assert_eq!(single.latency_percentile_ns(1.0), 42.0);
+        // out-of-range quantiles are clamped instead of indexing out of
+        // bounds
+        assert_eq!(single.latency_percentile_ns(-0.5), 42.0);
+        assert_eq!(single.latency_percentile_ns(7.0), 42.0);
+        // p_L = 1: the tail count equals the sample count, unresolvable
+        assert_eq!(single.cutoff_latency_ns(1.0), None);
+    }
+
+    #[test]
+    fn cutoff_latency_edge_quantiles() {
+        let result = EvaluationResult {
+            decoder: "test".into(),
+            shots: 10,
+            logical_errors: 2,
+            latencies_ns: sorted(vec![
+                100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0,
+            ]),
+            mean_defects: 3.0,
+        };
+        // k = 0: tail probability zero is never resolvable
+        assert_eq!(result.cutoff_latency_ns(0.0), None);
+        // negative k behaves like an empty tail too
+        assert_eq!(result.cutoff_latency_ns(-1.0), None);
+        // k large enough that the tail covers every sample: unresolvable
+        assert_eq!(result.cutoff_latency_ns(5.0), None);
+        // a barely-resolvable tail of one sample returns the maximum
+        assert_eq!(result.cutoff_latency_ns(0.5), Some(1000.0));
+    }
+
+    #[test]
     fn cutoff_latency_requires_resolvable_tail() {
         let result = EvaluationResult {
             decoder: "test".into(),

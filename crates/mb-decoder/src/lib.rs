@@ -17,6 +17,10 @@
 //!   ([`DecodePool`]): long-lived workers claim shot chunks from a shared
 //!   cursor, cache built backends per `(spec, graph)`, and sample with a
 //!   per-shot seeded RNG — results are bit-identical for any worker count;
+//! * [`stream`] — the real-time front-end on the same pool
+//!   ([`StreamDecoder`]): producers submit shots (or measurement rounds)
+//!   into a bounded queue with backpressure and receive outcomes through
+//!   per-shot tickets, bit-identical to batch decoding;
 //! * [`evaluation`] — Monte-Carlo harness producing logical error rates,
 //!   latency distributions, cutoff latencies and effective logical error
 //!   rates (§8.2–§8.3), running on top of the pipeline.
@@ -58,6 +62,7 @@ pub mod micro;
 pub mod outcome;
 pub mod parity;
 pub mod pipeline;
+pub mod stream;
 pub mod uf;
 
 pub use backend::{BackendSpec, DecoderBackend};
@@ -68,6 +73,7 @@ pub use micro::{MicroBlossomConfig, MicroBlossomDecoder};
 pub use outcome::{DecodeOutcome, LatencyBreakdown};
 pub use parity::ParityBlossomDecoder;
 pub use pipeline::{DecodePool, ShardedPipeline, ShotOutcome};
+pub use stream::{RoundFeeder, StreamDecoder, StreamStats, Ticket};
 pub use uf::{HeliosLatencyModel, UnionFindDecoderAdapter};
 
 /// Backwards-compatible alias: the decoder interface was renamed to

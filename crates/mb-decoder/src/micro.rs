@@ -135,6 +135,12 @@ impl MicroBlossomDecoder {
 
     /// Decodes a syndrome and returns the perfect matching together with the
     /// latency breakdown.
+    ///
+    /// In the stream configuration this is expressed through the same
+    /// round-wise session primitives ([`Self::ingest_one_round`] /
+    /// [`Self::finish_session`]) the incremental
+    /// [`DecoderBackend::ingest_round`] path uses, so feeding rounds as they
+    /// arrive is bit-identical to decoding the assembled syndrome.
     pub fn decode_matching(
         &mut self,
         syndrome: &SyndromePattern,
@@ -144,28 +150,58 @@ impl MicroBlossomDecoder {
         let mut layers = std::mem::take(&mut self.layers_scratch);
         syndrome.split_by_layer_into(&self.graph, &mut layers);
         let last_layer = layers.len() - 1;
-        let mut snapshot = self.counters();
-        if self.config.stream_decoding {
-            for (t, defects) in layers.iter().enumerate() {
-                self.driver.load_layer(t, defects);
-                self.materialize_if_configured(defects);
-                if t == last_layer {
-                    // latency is measured from the arrival of the last round
-                    snapshot = self.counters();
-                    // re-charge the final load instruction to the measured window
-                    snapshot.bus_writes -= 1;
-                }
-                self.run_to_completion();
+        let result = if self.config.stream_decoding {
+            for (t, defects) in layers[..last_layer].iter().enumerate() {
+                self.ingest_one_round(t, defects);
             }
+            self.finish_session(last_layer, &layers[last_layer])
         } else {
             for (t, defects) in layers.iter().enumerate() {
                 self.driver.load_layer(t, defects);
             }
             self.materialize_if_configured(&syndrome.defects);
-            snapshot = self.counters();
+            let snapshot = self.counters();
             self.run_to_completion();
-        }
+            self.complete_matching(snapshot)
+        };
         self.layers_scratch = layers;
+        result
+    }
+
+    /// One non-final round of a stream decode: load the round, fold it into
+    /// the running solution (§6 fusion). The driver tracks the round index
+    /// itself ([`AcceleratedDual::load_round`]); `layer` only asserts the
+    /// caller is feeding rounds in layer order.
+    fn ingest_one_round(&mut self, layer: usize, defects: &[VertexIndex]) {
+        let loaded = self.driver.load_round(defects);
+        assert_eq!(loaded, layer, "rounds must be ingested in layer order");
+        self.materialize_if_configured(defects);
+        self.run_to_completion();
+    }
+
+    /// The final round of a stream decode: latency is measured from the
+    /// arrival of this round.
+    fn finish_session(
+        &mut self,
+        layer: usize,
+        defects: &[VertexIndex],
+    ) -> (PerfectMatching, LatencyBreakdown) {
+        let loaded = self.driver.load_round(defects);
+        assert_eq!(loaded, layer, "rounds must be ingested in layer order");
+        self.materialize_if_configured(defects);
+        let mut snapshot = self.counters();
+        // re-charge the final load instruction to the measured window
+        snapshot.bus_writes -= 1;
+        self.run_to_completion();
+        self.complete_matching(snapshot)
+    }
+
+    /// Completes the perfect matching with the hardware-only pre-matched
+    /// pairs and charges everything since `snapshot` to the breakdown.
+    fn complete_matching(
+        &mut self,
+        snapshot: LatencyBreakdown,
+    ) -> (PerfectMatching, LatencyBreakdown) {
         // complete the matching with the pairs the hardware pre-matched and
         // the CPU never saw
         let mut matching = self.primal.perfect_matching();
@@ -183,6 +219,23 @@ impl MicroBlossomDecoder {
             cpu_obstacles: end.cpu_obstacles - snapshot.cpu_obstacles,
         };
         (matching, breakdown)
+    }
+
+    /// Assembles the [`DecodeOutcome`] of a finished decode from its
+    /// matching and counter breakdown (shared by the batch and round-wise
+    /// paths).
+    fn outcome_from(
+        &self,
+        matching: PerfectMatching,
+        breakdown: LatencyBreakdown,
+    ) -> DecodeOutcome {
+        let latency_ns = self.config.timing.latency_ns(
+            breakdown.hardware_cycles,
+            breakdown.bus_reads,
+            breakdown.bus_writes,
+            breakdown.cpu_obstacles,
+        );
+        DecodeOutcome::from_matching(&self.graph, matching, latency_ns, breakdown)
     }
 
     fn counters(&self) -> LatencyBreakdown {
@@ -279,13 +332,7 @@ impl DecoderBackend for MicroBlossomDecoder {
 
     fn decode(&mut self, syndrome: &SyndromePattern) -> DecodeOutcome {
         let (matching, breakdown) = self.decode_matching(syndrome);
-        let latency_ns = self.config.timing.latency_ns(
-            breakdown.hardware_cycles,
-            breakdown.bus_reads,
-            breakdown.bus_writes,
-            breakdown.cpu_obstacles,
-        );
-        DecodeOutcome::from_matching(&self.graph, matching, latency_ns, breakdown)
+        self.outcome_from(matching, breakdown)
     }
 
     fn reset(&mut self) {
@@ -296,6 +343,22 @@ impl DecoderBackend for MicroBlossomDecoder {
 
     fn deterministic_latency(&self) -> bool {
         true
+    }
+
+    /// Round-wise fusion is what the stream configuration *is*: the decoder
+    /// folds each round into the running solution on arrival, so only the
+    /// post-last-round work sits on the latency path.
+    fn supports_round_ingestion(&self) -> bool {
+        self.config.stream_decoding
+    }
+
+    fn ingest_round(&mut self, layer: usize, defects: &[VertexIndex]) {
+        self.ingest_one_round(layer, defects);
+    }
+
+    fn finish_rounds(&mut self, layer: usize, defects: &[VertexIndex]) -> DecodeOutcome {
+        let (matching, breakdown) = self.finish_session(layer, defects);
+        self.outcome_from(matching, breakdown)
     }
 }
 
@@ -421,6 +484,40 @@ mod tests {
             stream_cycles < batch_cycles,
             "work counted after the last round ({stream_cycles}) should be below batch ({batch_cycles})"
         );
+    }
+
+    #[test]
+    fn round_wise_ingestion_is_bit_identical_to_batch_decode() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 5, 0.02).decoding_graph());
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut reference = MicroBlossomDecoder::full(Arc::clone(&graph), Some(3));
+        let mut incremental = MicroBlossomDecoder::full(Arc::clone(&graph), Some(3));
+        assert!(DecoderBackend::supports_round_ingestion(&incremental));
+        for _ in 0..40 {
+            let shot = sampler.sample(&mut rng);
+            let want = reference.decode(&shot.syndrome);
+            let layers = shot.syndrome.split_by_layer(&graph);
+            let last = layers.len() - 1;
+            incremental.begin_rounds();
+            for (t, defects) in layers[..last].iter().enumerate() {
+                incremental.ingest_round(t, defects);
+            }
+            let got = incremental.finish_rounds(last, &layers[last]);
+            assert_eq!(got, want, "incremental session diverged from decode()");
+        }
+    }
+
+    #[test]
+    fn batch_configurations_do_not_claim_round_ingestion() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.02).decoding_graph());
+        let batch = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::with_parallel_primal(&graph, Some(3)),
+        );
+        assert!(!DecoderBackend::supports_round_ingestion(&batch));
+        let stream = MicroBlossomDecoder::full(graph, Some(3));
+        assert!(DecoderBackend::supports_round_ingestion(&stream));
     }
 
     #[test]

@@ -50,7 +50,7 @@ use rand_chacha::ChaCha8Rng;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -186,12 +186,21 @@ struct JobDone {
     panic: Option<String>,
 }
 
-/// A batch decode in flight: shared between the submitting thread and the
-/// participating workers.
-struct JobState {
+/// Where the participating workers of a job pull their work from.
+///
+/// This is the continuous work-source abstraction the streaming front-end
+/// sits on: a *batch* source is a pre-sized slot buffer walked by an atomic
+/// cursor (one-shot, exhausted when the cursor passes the end), a *stream*
+/// source is a live bounded queue ([`crate::stream`]) that keeps the workers
+/// pulling until it is closed and drained.
+enum WorkSource {
+    Batch(BatchSource),
+    Stream(Arc<crate::stream::StreamShared>),
+}
+
+/// A pre-sized batch of shots, claimed chunk-wise through an atomic cursor.
+struct BatchSource {
     input: JobInput,
-    spec: BackendSpec,
-    graph: Arc<DecodingGraph>,
     /// Next unclaimed shot index.
     cursor: AtomicUsize,
     total: usize,
@@ -199,11 +208,9 @@ struct JobState {
     chunk: usize,
     /// Output buffer, one slot per shot.
     slots: Box<[Slot]>,
-    done: Mutex<JobDone>,
-    finished: Condvar,
 }
 
-impl JobState {
+impl BatchSource {
     /// Decodes one shot index on `backend`, writing the outcome into its
     /// slot.
     fn decode_index(
@@ -223,6 +230,67 @@ impl JobState {
         // SAFETY: `index` was claimed from the cursor by this worker only,
         // and the submitting thread does not read until we signal completion.
         unsafe { (*self.slots[index].0.get()).write(outcome) };
+    }
+
+    /// One worker's share of the batch: claim and decode chunks until the
+    /// cursor runs off the end.
+    fn decode_all(&self, backend: &mut dyn DecoderBackend, sampler: &ErrorSampler<'_>) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.total {
+                break;
+            }
+            let end = (start + self.chunk).min(self.total);
+            for index in start..end {
+                self.decode_index(backend, sampler, index);
+            }
+        }
+    }
+}
+
+/// A decode job in flight: shared between the submitting thread and the
+/// participating workers. Batch jobs live for one `run` call; stream jobs
+/// live until the [`crate::stream::StreamDecoder`] that owns them closes.
+pub(crate) struct JobState {
+    spec: BackendSpec,
+    graph: Arc<DecodingGraph>,
+    source: WorkSource,
+    done: Mutex<JobDone>,
+    finished: Condvar,
+    /// Worker indices a stream job pinned at submit time; emptied (and the
+    /// pins released) by [`DecodePool::wait_job`]. Always empty for batch
+    /// jobs.
+    pinned_workers: Mutex<Vec<usize>>,
+}
+
+impl JobState {
+    fn new(
+        spec: BackendSpec,
+        graph: Arc<DecodingGraph>,
+        source: WorkSource,
+        participants: usize,
+    ) -> Self {
+        Self {
+            spec,
+            graph,
+            source,
+            done: Mutex::new(JobDone {
+                remaining: participants,
+                panic: None,
+            }),
+            finished: Condvar::new(),
+            pinned_workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Builds a long-lived streaming job over a live bounded queue.
+    pub(crate) fn new_stream(
+        spec: BackendSpec,
+        graph: Arc<DecodingGraph>,
+        shared: Arc<crate::stream::StreamShared>,
+        participants: usize,
+    ) -> Self {
+        Self::new(spec, graph, WorkSource::Stream(shared), participants)
     }
 }
 
@@ -321,6 +389,11 @@ pub struct DecodePool {
     next_base: AtomicUsize,
     /// Jobs currently submitted and not yet completed.
     in_flight: AtomicUsize,
+    /// Per-worker flag: pinned by a live stream job until its
+    /// [`crate::stream::StreamDecoder`] closes. [`Self::submit_job`] steers
+    /// other jobs away from pinned workers — a batch routed onto one would
+    /// stall until the stream closes while free workers sit idle.
+    stream_pinned: Box<[AtomicBool]>,
 }
 
 impl std::fmt::Debug for DecodePool {
@@ -348,12 +421,17 @@ impl DecodePool {
             senders.push(sender);
             handles.push(handle);
         }
+        let stream_pinned = (0..senders.len())
+            .map(|_| AtomicBool::new(false))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Self {
             senders,
             handles,
             builds,
             next_base: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
+            stream_pinned,
         }
     }
 
@@ -385,8 +463,74 @@ impl DecodePool {
         shards.clamp(1, self.senders.len()).min(shots.max(1))
     }
 
+    /// Hands `job` to `participants` workers. The caller must later call
+    /// [`Self::wait_job`] exactly once to observe completion (and to keep the
+    /// in-flight accounting balanced).
+    ///
+    /// Placement avoids workers pinned by a live stream whenever enough
+    /// unpinned workers exist — a job routed behind a stream would wait for
+    /// its close. Among the candidates, a lone submitter always starts at
+    /// the first one, keeping a stable participant set whose backend caches
+    /// stay warm across repeated calls; only when another job is already in
+    /// flight do partial-width jobs rotate their starting worker, so
+    /// concurrent submitters spread across the pool instead of all queueing
+    /// behind worker 0. A stream job additionally pins its chosen workers
+    /// until [`Self::wait_job`] releases them.
+    pub(crate) fn submit_job(&self, job: &Arc<JobState>, participants: usize) {
+        let workers = self.senders.len();
+        let contended = self.in_flight.fetch_add(1, Ordering::Relaxed) > 0;
+        let unpinned: Vec<usize> = (0..workers)
+            .filter(|&index| !self.stream_pinned[index].load(Ordering::Relaxed))
+            .collect();
+        // fall back to blind placement when streams pin too much of the
+        // pool: the job then queues behind a stream until it closes
+        let candidates: Vec<usize> = if unpinned.len() >= participants {
+            unpinned
+        } else {
+            (0..workers).collect()
+        };
+        let base = if participants < candidates.len() && contended {
+            self.next_base.fetch_add(1, Ordering::Relaxed) % candidates.len()
+        } else {
+            0
+        };
+        let targets: Vec<usize> = (0..participants)
+            .map(|offset| candidates[(base + offset) % candidates.len()])
+            .collect();
+        if matches!(job.source, WorkSource::Stream(_)) {
+            for &index in &targets {
+                self.stream_pinned[index].store(true, Ordering::Relaxed);
+            }
+            *job.pinned_workers.lock().expect("job mutex poisoned") = targets.clone();
+        }
+        for &index in &targets {
+            self.senders[index]
+                .send(Arc::clone(job))
+                .expect("decode pool worker exited unexpectedly");
+        }
+    }
+
+    /// Blocks until every participant of `job` has finished and releases any
+    /// workers the job pinned. Returns the first worker panic message, if
+    /// any — the caller decides whether to propagate it (a `Drop` in
+    /// mid-unwind must not).
+    pub(crate) fn wait_job(&self, job: &JobState) -> Option<String> {
+        let mut done = job.done.lock().expect("decode pool mutex poisoned");
+        while done.remaining > 0 {
+            done = job.finished.wait(done).expect("decode pool mutex poisoned");
+        }
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let panic = done.panic.take();
+        drop(done);
+        for index in std::mem::take(&mut *job.pinned_workers.lock().expect("job mutex poisoned")) {
+            self.stream_pinned[index].store(false, Ordering::Relaxed);
+        }
+        panic
+    }
+
     /// Runs a batch job on up to `participants` workers and returns the
-    /// outcomes in shot order.
+    /// outcomes in shot order. This is the thin batch adapter over the same
+    /// submit/serve path the streaming front-end uses.
     fn run(
         &self,
         spec: &BackendSpec,
@@ -404,52 +548,31 @@ impl DecodePool {
         let chunk = (total / (participants * 4)).clamp(1, MAX_STEAL_CHUNK);
         let mut slots = Vec::with_capacity(total);
         slots.resize_with(total, || Slot(UnsafeCell::new(MaybeUninit::uninit())));
-        let job = Arc::new(JobState {
-            input,
-            spec: spec.clone(),
-            graph: Arc::clone(graph),
-            cursor: AtomicUsize::new(0),
-            total,
-            chunk,
-            slots: slots.into_boxed_slice(),
-            done: Mutex::new(JobDone {
-                remaining: participants,
-                panic: None,
+        let job = Arc::new(JobState::new(
+            spec.clone(),
+            Arc::clone(graph),
+            WorkSource::Batch(BatchSource {
+                input,
+                cursor: AtomicUsize::new(0),
+                total,
+                chunk,
+                slots: slots.into_boxed_slice(),
             }),
-            finished: Condvar::new(),
-        });
-        // a lone submitter always starts at worker 0, keeping a stable
-        // participant set whose backend caches stay warm across repeated
-        // calls; only when another job is already in flight do partial-width
-        // jobs rotate their starting worker, so concurrent submitters spread
-        // across the pool instead of all queueing behind worker 0
-        let workers = self.senders.len();
-        let contended = self.in_flight.fetch_add(1, Ordering::Relaxed) > 0;
-        let base = if participants < workers && contended {
-            self.next_base.fetch_add(1, Ordering::Relaxed) % workers
-        } else {
-            0
-        };
-        for offset in 0..participants {
-            self.senders[(base + offset) % workers]
-                .send(Arc::clone(&job))
-                .expect("decode pool worker exited unexpectedly");
-        }
-        let mut done = job.done.lock().expect("decode pool mutex poisoned");
-        while done.remaining > 0 {
-            done = job.finished.wait(done).expect("decode pool mutex poisoned");
-        }
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
-        if let Some(message) = done.panic.take() {
+            participants,
+        ));
+        self.submit_job(&job, participants);
+        if let Some(message) = self.wait_job(&job) {
             panic!("decode pool worker panicked: {message}");
         }
-        drop(done);
+        let WorkSource::Batch(batch) = &job.source else {
+            unreachable!("run() always builds a batch source");
+        };
         // SAFETY: every index in 0..total was claimed by exactly one worker
         // and written before that worker decremented `remaining`; the mutex
-        // handoff above makes those writes visible here. Each slot is read
-        // exactly once and `MaybeUninit` suppresses the redundant drop.
+        // handoff in wait_job makes those writes visible here. Each slot is
+        // read exactly once and `MaybeUninit` suppresses the redundant drop.
         (0..total)
-            .map(|i| unsafe { (*job.slots[i].0.get()).assume_init_read() })
+            .map(|i| unsafe { (*batch.slots[i].0.get()).assume_init_read() })
             .collect()
     }
 }
@@ -464,7 +587,8 @@ impl Drop for DecodePool {
     }
 }
 
-/// The worker loop: block on the job channel, claim and decode chunks, then
+/// The worker loop: block on the job channel, pull work from the job's
+/// source (batch chunks or a live stream queue) until it is exhausted, then
 /// signal completion. Panics inside a job are caught and propagated to the
 /// submitting thread so the pool survives a failing backend.
 fn worker_main(receiver: mpsc::Receiver<Arc<JobState>>, builds: Arc<AtomicU64>) {
@@ -473,15 +597,9 @@ fn worker_main(receiver: mpsc::Receiver<Arc<JobState>>, builds: Arc<AtomicU64>) 
         let result = catch_unwind(AssertUnwindSafe(|| {
             let backend = cache.get_or_build(&job.spec, &job.graph);
             let sampler = ErrorSampler::new(&job.graph);
-            loop {
-                let start = job.cursor.fetch_add(job.chunk, Ordering::Relaxed);
-                if start >= job.total {
-                    break;
-                }
-                let end = (start + job.chunk).min(job.total);
-                for index in start..end {
-                    job.decode_index(backend, &sampler, index);
-                }
+            match &job.source {
+                WorkSource::Batch(batch) => batch.decode_all(backend, &sampler),
+                WorkSource::Stream(stream) => stream.serve(backend, &sampler, &job.graph),
             }
         }));
         let mut done = job.done.lock().expect("decode pool mutex poisoned");
@@ -494,8 +612,18 @@ fn worker_main(receiver: mpsc::Receiver<Arc<JobState>>, builds: Arc<AtomicU64>) 
             done.panic.get_or_insert(message);
         }
         done.remaining -= 1;
-        if done.remaining == 0 {
+        let last_participant = done.remaining == 0;
+        if last_participant {
             job.finished.notify_all();
+        }
+        drop(done);
+        if last_participant {
+            if let WorkSource::Stream(stream) = &job.source {
+                // if every participant died on a panic, undecodable shots may
+                // remain queued: drop them so their tickets resolve instead
+                // of blocking a producer forever
+                stream.abandon_pending();
+            }
         }
     }
 }
@@ -624,7 +752,11 @@ impl ShardedPipeline {
 }
 
 /// Decodes one shot on a backend, producing the per-shot record.
-fn decode_one(backend: &mut dyn DecoderBackend, index: usize, shot: &Shot) -> ShotOutcome {
+pub(crate) fn decode_one(
+    backend: &mut dyn DecoderBackend,
+    index: usize,
+    shot: &Shot,
+) -> ShotOutcome {
     let outcome = backend.decode(&shot.syndrome);
     ShotOutcome {
         shot_index: index,
@@ -678,6 +810,23 @@ mod tests {
         assert_eq!(shards_from_env(Some("-3")), None);
         assert_eq!(shards_from_env(Some("4")), Some(4));
         assert_eq!(shards_from_env(Some(" 12 ")), Some(12));
+    }
+
+    #[test]
+    fn zero_worker_configs_clamp_to_one() {
+        // a zero worker budget anywhere in the stack must degrade to serial
+        // decoding, never to a job with no participants
+        let pipeline = ShardedPipeline::new(BackendSpec::union_find(), rotated()).with_shards(0);
+        assert_eq!(pipeline.shards(), 1);
+        assert_eq!(pipeline.run_sampled(10, 3).len(), 10);
+        let pool = DecodePool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.effective_workers(0, 100), 1);
+        assert_eq!(pool.effective_workers(0, 0), 1);
+        // MB_SHARDS=0 is invalid and falls back to the default, which is
+        // itself at least 1
+        assert_eq!(shards_from_env(Some("0")), None);
+        assert!(default_shards() >= 1);
     }
 
     #[test]
@@ -796,6 +945,46 @@ mod tests {
             4,
             "g2 must have been evicted"
         );
+    }
+
+    #[test]
+    fn batch_jobs_avoid_workers_pinned_by_a_live_stream() {
+        use crate::stream::StreamDecoder;
+        use std::sync::atomic::AtomicBool;
+        // a stream pins one of the two workers until close(); concurrent
+        // batch jobs must be routed to the free worker instead of queueing
+        // behind the stream indefinitely
+        let graph = rotated();
+        let pool = Arc::new(DecodePool::new(2));
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::clone(&pool))
+            .workers(1)
+            .start();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let pipeline = ShardedPipeline::new(BackendSpec::union_find(), Arc::clone(&graph))
+                    .with_pool(Arc::clone(&pool))
+                    .with_shards(1);
+                for _ in 0..5 {
+                    assert_eq!(pipeline.run_sampled(20, 7).len(), 20);
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+            // the batch runs must finish while the stream is still open
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+            while !done.load(Ordering::Relaxed) {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "batch jobs stalled behind the open stream"
+                );
+                std::thread::yield_now();
+            }
+        });
+        // the stream still works and drains cleanly afterwards
+        let outcome = stream.submit_seeded(3).recv();
+        assert_eq!(outcome.shot_index, 0);
+        stream.close();
     }
 
     #[test]

@@ -1,0 +1,1045 @@
+//! Streaming decode front-end: a channel-fed [`StreamDecoder`] over the
+//! persistent [`DecodePool`].
+//!
+//! The batch pipeline ([`crate::pipeline::ShardedPipeline`]) needs the whole
+//! shot list up front; a real-time syndrome source produces shots — and
+//! measurement *rounds* within a shot — as the quantum hardware runs. This
+//! module turns the pool into a service for that shape of traffic:
+//!
+//! * **bounded MPSC queue** — producers [`StreamDecoder::submit`] shots into
+//!   a queue of configurable capacity; when it is full, `submit` blocks
+//!   (backpressure) until a worker frees a slot, so an over-driven producer
+//!   cannot grow memory without bound. [`StreamDecoder::try_submit`] is the
+//!   non-blocking variant.
+//! * **per-shot tickets** — every submission returns a [`Ticket`]; its
+//!   [`Ticket::recv`] blocks until that shot's [`ShotOutcome`] is decoded.
+//!   Producers and consumers can live on different threads.
+//! * **round-wise ingestion** — [`StreamDecoder::begin_shot`] opens a
+//!   [`RoundFeeder`]: the producer pushes measurement rounds as they arrive
+//!   and the decoding worker folds each round into its running solution
+//!   (§6 fusion) via [`DecoderBackend::ingest_round`], so dual-phase work
+//!   starts before the last round lands. Backends without native round
+//!   support are fed the assembled syndrome instead — same result, no
+//!   early start.
+//! * **bit-identical to batch** — a shot decodes to exactly the same
+//!   [`ShotOutcome`] the batch pipeline produces for it (backends reset per
+//!   shot and, for deterministic-latency backends, model their latency), and
+//!   [`StreamDecoder::submit_seeded`] reuses the per-shot seeded RNG so a
+//!   stream of `n` seeded submissions equals `run_sampled(n, seed)` bit for
+//!   bit. Verified across worker counts by `tests/stream_equals_pipeline.rs`.
+//!
+//! A stream occupies its worker budget on the pool for its whole lifetime:
+//! the participating workers block on the live queue until
+//! [`StreamDecoder::close`] drains them. Batch jobs submitted to the same
+//! pool while a stream holds all its workers queue up behind it — give a
+//! long-lived stream a dedicated pool, or leave it fewer workers than the
+//! pool has.
+//!
+//! ```
+//! use mb_decoder::stream::StreamDecoder;
+//! use mb_decoder::BackendSpec;
+//! use mb_graph::codes::CodeCapacityRotatedCode;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(CodeCapacityRotatedCode::new(3, 0.02).decoding_graph());
+//! let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), graph)
+//!     .queue_capacity(16)
+//!     .start();
+//! let tickets: Vec<_> = (0..20).map(|_| stream.submit_seeded(7)).collect();
+//! for ticket in tickets {
+//!     let outcome = ticket.recv();
+//!     assert!(outcome.latency_ns >= 0.0);
+//! }
+//! stream.close();
+//! ```
+
+use crate::backend::{BackendSpec, DecoderBackend};
+use crate::pipeline::{decode_one, default_shards, shot_rng, DecodePool, JobState, ShotOutcome};
+use mb_graph::syndrome::{ErrorSampler, Shot, SyndromePattern};
+use mb_graph::{DecodingGraph, ObservableMask, VertexIndex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+/// A measurement-round message from a [`RoundFeeder`] to the worker decoding
+/// its shot.
+enum RoundMsg {
+    /// The defect vertices observed in the next round.
+    Round(Vec<VertexIndex>),
+    /// No more rounds: complete the decode.
+    Finish,
+}
+
+/// How one queued shot is produced.
+enum Request {
+    /// An explicit, fully materialized shot.
+    Shot(Shot),
+    /// Sample the shot inside the worker from `shot_rng(seed, index)`, where
+    /// `index` is the submission index — the same derivation
+    /// [`crate::pipeline::ShardedPipeline::run_sampled`] uses, so seeded
+    /// streams are bit-identical to sampled batches.
+    Seeded { seed: u64 },
+    /// An incrementally fed shot: rounds arrive on the channel while the
+    /// worker decodes.
+    Rounds {
+        expected: ObservableMask,
+        rounds: mpsc::Receiver<RoundMsg>,
+    },
+}
+
+/// One queued submission.
+struct StreamItem {
+    /// Submission index (becomes [`ShotOutcome::shot_index`] and the seeded
+    /// RNG derivation index).
+    index: usize,
+    request: Request,
+    reply: mpsc::Sender<ShotOutcome>,
+}
+
+/// Queue state guarded by the mutex.
+struct StreamState {
+    queue: VecDeque<StreamItem>,
+    closed: bool,
+    next_index: usize,
+    /// Workers parked on the `work` condvar. Tracked so the hot submit path
+    /// can skip the futex-wake syscall `Condvar::notify_one` performs even
+    /// with no waiters — at saturation nobody is parked and the wake would
+    /// be paid on every single shot.
+    waiting_workers: usize,
+    /// Producers parked on the `space` condvar (same reasoning, pop side).
+    waiting_producers: usize,
+    /// Round channels of the still-open [`RoundFeeder`]s, keyed by
+    /// submission index. `close()` force-finishes them so a worker blocked
+    /// on an open feeder's rounds cannot deadlock the closing thread.
+    open_rounds: HashMap<usize, mpsc::Sender<RoundMsg>>,
+}
+
+/// The live work queue shared between producers and the pool workers
+/// serving the stream — the "continuous" variant of the pipeline's work
+/// source.
+pub(crate) struct StreamShared {
+    state: Mutex<StreamState>,
+    /// Signalled when an item is queued or the stream closes (workers wait).
+    work: Condvar,
+    /// Signalled when a slot frees up or the stream closes (producers wait).
+    space: Condvar,
+    capacity: usize,
+    /// Shots submitted so far.
+    submitted: AtomicU64,
+    /// Shots decoded so far.
+    decoded: AtomicU64,
+}
+
+impl StreamShared {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(StreamState {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+                next_index: 0,
+                waiting_workers: 0,
+                waiting_producers: 0,
+                open_rounds: HashMap::new(),
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+            submitted: AtomicU64::new(0),
+            decoded: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a request, blocking while the queue is at capacity.
+    fn push(&self, request: Request) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        let mut state = self.state.lock().expect("stream queue mutex poisoned");
+        while state.queue.len() >= self.capacity && !state.closed {
+            state.waiting_producers += 1;
+            state = self.space.wait(state).expect("stream queue mutex poisoned");
+            state.waiting_producers -= 1;
+        }
+        assert!(
+            !state.closed,
+            "submit on a closed stream (closed by close(), or every serving worker panicked)"
+        );
+        let index = state.next_index;
+        state.next_index += 1;
+        state.queue.push_back(StreamItem {
+            index,
+            request,
+            reply,
+        });
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let wake_worker = state.waiting_workers > 0;
+        drop(state);
+        if wake_worker {
+            self.work.notify_one();
+        }
+        Ticket { index, rx }
+    }
+
+    /// Enqueues a request if a slot is free; hands the request back when the
+    /// queue is full.
+    fn try_push(&self, request: Request) -> Result<Ticket, Request> {
+        let (reply, rx) = mpsc::channel();
+        let mut state = self.state.lock().expect("stream queue mutex poisoned");
+        assert!(
+            !state.closed,
+            "submit on a closed stream (closed by close(), or every serving worker panicked)"
+        );
+        if state.queue.len() >= self.capacity {
+            return Err(request);
+        }
+        let index = state.next_index;
+        state.next_index += 1;
+        state.queue.push_back(StreamItem {
+            index,
+            request,
+            reply,
+        });
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let wake_worker = state.waiting_workers > 0;
+        drop(state);
+        if wake_worker {
+            self.work.notify_one();
+        }
+        Ok(Ticket { index, rx })
+    }
+
+    /// Marks the stream closed and wakes everyone: workers drain the queue
+    /// and leave, blocked producers fail their `submit`. Any still-open
+    /// [`RoundFeeder`] is force-finished (its shot completes with the rounds
+    /// pushed so far) — a worker blocked on an open feeder's next round
+    /// would otherwise deadlock the closing thread against itself.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("stream queue mutex poisoned");
+        state.closed = true;
+        for (_, rounds) in state.open_rounds.drain() {
+            // the serving worker may already have finished this shot (the
+            // receiver is gone): nothing to force then
+            let _ = rounds.send(RoundMsg::Finish);
+        }
+        drop(state);
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Records an open [`RoundFeeder`]'s channel so `close()` can
+    /// force-finish it.
+    fn register_feeder(&self, index: usize, rounds: mpsc::Sender<RoundMsg>) {
+        let mut state = self.state.lock().expect("stream queue mutex poisoned");
+        if !state.closed {
+            state.open_rounds.insert(index, rounds);
+        }
+    }
+
+    /// Forgets a feeder that finished (or dropped) on its own.
+    fn unregister_feeder(&self, index: usize) {
+        let mut state = self.state.lock().expect("stream queue mutex poisoned");
+        state.open_rounds.remove(&index);
+    }
+
+    /// Open round feeders (shots begun but not finished).
+    fn open_feeders(&self) -> usize {
+        self.state
+            .lock()
+            .expect("stream queue mutex poisoned")
+            .open_rounds
+            .len()
+    }
+
+    /// Number of submissions waiting in the queue (not yet claimed by a
+    /// worker).
+    fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("stream queue mutex poisoned")
+            .queue
+            .len()
+    }
+
+    /// Marks the stream closed and drops every still-queued item. Called by
+    /// the last participant to leave the job, so that when all workers died
+    /// on panics (a) the pending tickets resolve (with a disconnect) instead
+    /// of blocking forever and (b) producers fail fast on their next
+    /// `submit` — with no worker left to pop, a blocking submit against the
+    /// refilled queue could never return. After a normal close the stream is
+    /// already closed and drained, making this a no-op.
+    pub(crate) fn abandon_pending(&self) {
+        let mut state = self.state.lock().expect("stream queue mutex poisoned");
+        state.closed = true;
+        state.queue.clear();
+        drop(state);
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+
+    /// One worker's service loop: pull submissions until the stream is
+    /// closed *and* drained.
+    pub(crate) fn serve(
+        &self,
+        backend: &mut dyn DecoderBackend,
+        sampler: &ErrorSampler<'_>,
+        graph: &Arc<DecodingGraph>,
+    ) {
+        loop {
+            let item = {
+                let mut state = self.state.lock().expect("stream queue mutex poisoned");
+                let item = loop {
+                    if let Some(item) = state.queue.pop_front() {
+                        break item;
+                    }
+                    if state.closed {
+                        return;
+                    }
+                    state.waiting_workers += 1;
+                    state = self.work.wait(state).expect("stream queue mutex poisoned");
+                    state.waiting_workers -= 1;
+                };
+                if state.waiting_producers > 0 {
+                    drop(state);
+                    self.space.notify_one();
+                }
+                item
+            };
+            let outcome = match item.request {
+                Request::Shot(shot) => decode_one(backend, item.index, &shot),
+                Request::Seeded { seed } => {
+                    let mut rng = shot_rng(seed, item.index as u64);
+                    let shot = sampler.sample(&mut rng);
+                    decode_one(backend, item.index, &shot)
+                }
+                Request::Rounds { expected, rounds } => {
+                    decode_rounds(backend, graph, item.index, expected, &rounds)
+                }
+            };
+            self.decoded.fetch_add(1, Ordering::Relaxed);
+            // the ticket may have been dropped; the decode still counts
+            let _ = item.reply.send(outcome);
+        }
+    }
+}
+
+/// Decodes a round-fed shot. Round-capable backends fold each round into
+/// their running solution as it arrives; the rest buffer the rounds and
+/// decode the assembled syndrome — both paths produce the outcome batch
+/// decoding of the full syndrome would.
+fn decode_rounds(
+    backend: &mut dyn DecoderBackend,
+    graph: &Arc<DecodingGraph>,
+    index: usize,
+    expected: ObservableMask,
+    rounds: &mpsc::Receiver<RoundMsg>,
+) -> ShotOutcome {
+    let num_layers = graph.num_layers();
+    if !backend.supports_round_ingestion() {
+        let mut defects = Vec::new();
+        // a dropped feeder ends the shot like an explicit Finish
+        while let Ok(RoundMsg::Round(round)) = rounds.recv() {
+            defects.extend(round);
+        }
+        let syndrome = SyndromePattern::new(defects);
+        let outcome = backend.decode(&syndrome);
+        return ShotOutcome {
+            shot_index: index,
+            defects: syndrome.len(),
+            decoded_observable: outcome.observable,
+            expected_observable: expected,
+            latency_ns: outcome.latency_ns,
+            breakdown: outcome.breakdown,
+        };
+    }
+    backend.begin_rounds();
+    let mut layer = 0usize;
+    let mut defect_count = 0usize;
+    // one round of lookahead: a round is ingested as non-final once its
+    // successor (or Finish) arrives, because only then is it known not to be
+    // the graph's last layer
+    let mut pending: Option<Vec<VertexIndex>> = None;
+    while let Ok(RoundMsg::Round(round)) = rounds.recv() {
+        if let Some(prev) = pending.take() {
+            assert!(
+                layer + 1 < num_layers,
+                "round feeder pushed more rounds than the graph has layers ({num_layers})"
+            );
+            backend.ingest_round(layer, &prev);
+            layer += 1;
+        }
+        defect_count += round.len();
+        pending = Some(round);
+    }
+    let outcome = match pending.take() {
+        // exactly num_layers rounds pushed: the held-back round is the final
+        // layer, so it carries the latency-measurement snapshot
+        Some(last) if layer + 1 == num_layers => backend.finish_rounds(layer, &last),
+        pending => {
+            // fewer rounds than layers: pad with empty rounds so the result
+            // is bit-identical to batch-decoding the same (partial) syndrome
+            if let Some(prev) = pending {
+                backend.ingest_round(layer, &prev);
+                layer += 1;
+            }
+            for t in layer..num_layers - 1 {
+                backend.ingest_round(t, &[]);
+            }
+            backend.finish_rounds(num_layers - 1, &[])
+        }
+    };
+    ShotOutcome {
+        shot_index: index,
+        defects: defect_count,
+        decoded_observable: outcome.observable,
+        expected_observable: expected,
+        latency_ns: outcome.latency_ns,
+        breakdown: outcome.breakdown,
+    }
+}
+
+/// A claim on one submitted shot's outcome.
+#[derive(Debug)]
+pub struct Ticket {
+    index: usize,
+    rx: mpsc::Receiver<ShotOutcome>,
+}
+
+impl Ticket {
+    /// The submission index of this shot (its [`ShotOutcome::shot_index`]
+    /// and, for [`StreamDecoder::submit_seeded`], its RNG derivation index).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Blocks until the shot has been decoded.
+    ///
+    /// # Panics
+    /// If the shot was abandoned: every worker serving the stream panicked,
+    /// or the stream was dropped before this shot was decoded.
+    pub fn recv(self) -> ShotOutcome {
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => panic!("stream shot {} was abandoned before decoding", self.index),
+        }
+    }
+
+    /// Returns the outcome if it is already available, `None` otherwise.
+    ///
+    /// # Panics
+    /// Like [`Self::recv`], if the shot was abandoned.
+    pub fn try_recv(&self) -> Option<ShotOutcome> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                panic!("stream shot {} was abandoned before decoding", self.index)
+            }
+        }
+    }
+}
+
+/// Error returned by [`StreamDecoder::try_submit`] when the queue is full;
+/// hands the shot back to the producer.
+#[derive(Debug)]
+pub struct QueueFull(pub Shot);
+
+/// Incremental submission of one shot, round by round.
+///
+/// Created by [`StreamDecoder::begin_shot`]; the shot occupies a queue slot
+/// from that moment. Push each measurement round as it arrives, then call
+/// [`RoundFeeder::finish`] for the ticket. Rounds are the decoding graph's
+/// fusion layers, in order; pushing fewer rounds than the graph has layers
+/// leaves the remaining layers empty, pushing more panics the decoding
+/// worker. Dropping the feeder without `finish` — or closing the stream
+/// while the feeder is open — completes the shot with the rounds pushed so
+/// far.
+pub struct RoundFeeder {
+    tx: mpsc::Sender<RoundMsg>,
+    ticket: Option<Ticket>,
+    shared: Arc<StreamShared>,
+}
+
+impl std::fmt::Debug for RoundFeeder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundFeeder")
+            .field("ticket", &self.ticket)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RoundFeeder {
+    /// Pushes the defect vertices observed in the next measurement round.
+    ///
+    /// Rounds pushed after the stream was closed (which force-finishes the
+    /// shot) are silently dropped.
+    pub fn push_round(&mut self, defects: &[VertexIndex]) {
+        // a send error means the serving worker died; the ticket will report
+        let _ = self.tx.send(RoundMsg::Round(defects.to_vec()));
+    }
+
+    /// Marks the shot complete and returns its ticket.
+    pub fn finish(mut self) -> Ticket {
+        let ticket = self.ticket.take().expect("finish consumes the feeder");
+        let _ = self.tx.send(RoundMsg::Finish);
+        self.shared.unregister_feeder(ticket.index());
+        ticket
+    }
+}
+
+impl Drop for RoundFeeder {
+    fn drop(&mut self) {
+        if let Some(ticket) = &self.ticket {
+            // an abandoned feeder still completes its shot (with the rounds
+            // pushed so far) so the serving worker cannot block forever
+            let _ = self.tx.send(RoundMsg::Finish);
+            self.shared.unregister_feeder(ticket.index());
+        }
+    }
+}
+
+/// Aggregate counters returned by [`StreamDecoder::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Shots submitted over the stream's lifetime.
+    pub submitted: u64,
+    /// Shots decoded (equals `submitted` after a clean close).
+    pub decoded: u64,
+}
+
+/// Configuration builder for a [`StreamDecoder`].
+#[derive(Debug, Clone)]
+pub struct StreamBuilder {
+    spec: BackendSpec,
+    graph: Arc<DecodingGraph>,
+    workers: usize,
+    capacity: Option<usize>,
+    pool: Option<Arc<DecodePool>>,
+}
+
+impl StreamBuilder {
+    /// Worker budget on the pool (clamped to at least 1, capped by the pool
+    /// size at start). Defaults like the batch pipeline: [`default_shards`]
+    /// for deterministic-latency backends, 1 for wall-clock ones.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Queue capacity: how many submissions may wait unclaimed before
+    /// `submit` blocks (clamped to at least 1). Defaults to
+    /// `max(2 × workers, 8)` — enough lookahead to keep every worker busy
+    /// across a submission gap without hiding sustained overload.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Runs the stream on an explicit pool instead of the global one.
+    pub fn pool(mut self, pool: Arc<DecodePool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Spawns the stream: submits the long-lived job to the pool, whose
+    /// participating workers start blocking on the queue.
+    pub fn start(self) -> StreamDecoder {
+        let pool_ref = match &self.pool {
+            Some(pool) => pool.as_ref(),
+            None => DecodePool::global(),
+        };
+        let participants = self.workers.clamp(1, pool_ref.workers());
+        let capacity = self.capacity.unwrap_or_else(|| (2 * participants).max(8));
+        let shared = Arc::new(StreamShared::new(capacity));
+        let job = Arc::new(JobState::new_stream(
+            self.spec.clone(),
+            Arc::clone(&self.graph),
+            Arc::clone(&shared),
+            participants,
+        ));
+        pool_ref.submit_job(&job, participants);
+        StreamDecoder {
+            shared,
+            job,
+            spec: self.spec,
+            graph: self.graph,
+            pool: self.pool,
+            workers: participants,
+            closed: false,
+        }
+    }
+}
+
+/// The streaming decode front-end. See the [module docs](self).
+pub struct StreamDecoder {
+    shared: Arc<StreamShared>,
+    job: Arc<JobState>,
+    spec: BackendSpec,
+    graph: Arc<DecodingGraph>,
+    pool: Option<Arc<DecodePool>>,
+    workers: usize,
+    closed: bool,
+}
+
+impl std::fmt::Debug for StreamDecoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamDecoder")
+            .field("backend", &self.spec.name())
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.shared.capacity)
+            .field("queue_depth", &self.shared.depth())
+            .finish()
+    }
+}
+
+impl StreamDecoder {
+    /// Starts configuring a stream for `spec` on `graph`.
+    pub fn builder(spec: BackendSpec, graph: Arc<DecodingGraph>) -> StreamBuilder {
+        let workers = if spec.deterministic_latency() {
+            default_shards()
+        } else {
+            1
+        };
+        StreamBuilder {
+            spec,
+            graph,
+            workers,
+            capacity: None,
+            pool: None,
+        }
+    }
+
+    /// Starts a stream with the default worker budget and queue capacity on
+    /// the global pool.
+    pub fn new(spec: BackendSpec, graph: Arc<DecodingGraph>) -> Self {
+        Self::builder(spec, graph).start()
+    }
+
+    /// Submits a fully materialized shot; blocks while the queue is full
+    /// (backpressure).
+    pub fn submit(&self, shot: Shot) -> Ticket {
+        self.shared.push(Request::Shot(shot))
+    }
+
+    /// Non-blocking [`Self::submit`]: hands the shot back inside
+    /// [`QueueFull`] instead of waiting for a free slot.
+    pub fn try_submit(&self, shot: Shot) -> Result<Ticket, QueueFull> {
+        self.shared
+            .try_push(Request::Shot(shot))
+            .map_err(|request| match request {
+                Request::Shot(shot) => QueueFull(shot),
+                _ => unreachable!("try_submit only queues explicit shots"),
+            })
+    }
+
+    /// Submits a shot to be sampled inside the worker from
+    /// `shot_rng(seed, submission_index)` — the derivation
+    /// [`crate::pipeline::ShardedPipeline::run_sampled`] uses, so `n` seeded
+    /// submissions are bit-identical to a sampled batch of `n` shots.
+    /// Blocks while the queue is full.
+    pub fn submit_seeded(&self, seed: u64) -> Ticket {
+        self.shared.push(Request::Seeded { seed })
+    }
+
+    /// Opens a round-wise submission: the shot enters the queue immediately
+    /// (blocking while it is full) and the worker that claims it folds each
+    /// pushed round into its running solution as it arrives.
+    ///
+    /// `expected` is the ground-truth observable recorded in the outcome
+    /// (pass 0 when unknown; [`ShotOutcome::is_logical_error`] is then
+    /// meaningless for this shot).
+    pub fn begin_shot(&self, expected: ObservableMask) -> RoundFeeder {
+        let (tx, rounds) = mpsc::channel();
+        let ticket = self.shared.push(Request::Rounds { expected, rounds });
+        self.shared.register_feeder(ticket.index(), tx.clone());
+        RoundFeeder {
+            tx,
+            ticket: Some(ticket),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Round feeders currently open (shots begun but not finished).
+    pub fn open_feeders(&self) -> usize {
+        self.shared.open_feeders()
+    }
+
+    /// Submissions waiting in the queue, not yet claimed by a worker. The
+    /// signal for queue-depth tuning: pinned at the capacity means producers
+    /// are being throttled, ~0 under sustained load means workers are
+    /// starved between submissions.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth()
+    }
+
+    /// The configured queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Pool workers serving this stream.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The backend recipe.
+    pub fn spec(&self) -> &BackendSpec {
+        &self.spec
+    }
+
+    /// The decoding graph.
+    pub fn graph(&self) -> &Arc<DecodingGraph> {
+        &self.graph
+    }
+
+    /// Shots submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Shots decoded so far.
+    pub fn decoded(&self) -> u64 {
+        self.shared.decoded.load(Ordering::Relaxed)
+    }
+
+    fn pool(&self) -> &DecodePool {
+        match &self.pool {
+            Some(pool) => pool,
+            None => DecodePool::global(),
+        }
+    }
+
+    /// Closes the queue, waits until every in-flight and queued shot has
+    /// been decoded, and releases the workers back to the pool. Outstanding
+    /// tickets stay receivable after the close. A [`RoundFeeder`] still open
+    /// at this point is force-finished: its shot completes with the rounds
+    /// pushed so far (waiting for more rounds would deadlock the closing
+    /// thread against itself).
+    ///
+    /// # Panics
+    /// If a worker panicked while serving the stream.
+    pub fn close(mut self) -> StreamStats {
+        if let Some(message) = self.close_and_wait() {
+            panic!("decode pool worker panicked: {message}");
+        }
+        StreamStats {
+            submitted: self.submitted(),
+            decoded: self.decoded(),
+        }
+    }
+
+    /// Shared shutdown path of `close` and `Drop`: returns a worker panic
+    /// message instead of propagating it.
+    fn close_and_wait(&mut self) -> Option<String> {
+        if self.closed {
+            return None;
+        }
+        self.closed = true;
+        self.shared.close();
+        self.pool().wait_job(&self.job)
+    }
+}
+
+impl Drop for StreamDecoder {
+    fn drop(&mut self) {
+        // drain and release the workers; swallow a worker panic message —
+        // propagating out of drop during an unwind would abort
+        let _ = self.close_and_wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ShardedPipeline;
+    use mb_graph::codes::{CodeCapacityRotatedCode, PhenomenologicalCode};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn rotated() -> Arc<DecodingGraph> {
+        Arc::new(CodeCapacityRotatedCode::new(3, 0.04).decoding_graph())
+    }
+
+    fn sample_shots(graph: &DecodingGraph, n: usize, seed: u64) -> Vec<Shot> {
+        let sampler = ErrorSampler::new(graph);
+        (0..n)
+            .map(|i| {
+                let mut rng = shot_rng(seed, i as u64);
+                sampler.sample(&mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn submitted_shots_match_batch_outcomes() {
+        let graph = rotated();
+        let shots = sample_shots(&graph, 40, 11);
+        let spec = BackendSpec::micro_full(Some(3));
+        let reference = ShardedPipeline::new(spec.clone(), Arc::clone(&graph)).run_shots(&shots);
+        let pool = Arc::new(DecodePool::new(2));
+        let stream = StreamDecoder::builder(spec, Arc::clone(&graph))
+            .workers(2)
+            .pool(pool)
+            .start();
+        let tickets: Vec<Ticket> = shots.iter().cloned().map(|s| stream.submit(s)).collect();
+        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(Ticket::recv).collect();
+        let stats = stream.close();
+        assert_eq!(stats.submitted, 40);
+        assert_eq!(stats.decoded, 40);
+        assert_eq!(outcomes, reference);
+    }
+
+    #[test]
+    fn seeded_submissions_equal_run_sampled() {
+        let graph = rotated();
+        let spec = BackendSpec::union_find();
+        let reference = ShardedPipeline::new(spec.clone(), Arc::clone(&graph)).run_sampled(30, 99);
+        let stream = StreamDecoder::builder(spec, Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(2)))
+            .workers(2)
+            .start();
+        let tickets: Vec<Ticket> = (0..30).map(|_| stream.submit_seeded(99)).collect();
+        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(Ticket::recv).collect();
+        stream.close();
+        assert_eq!(outcomes, reference);
+    }
+
+    #[test]
+    fn round_fed_shots_match_batch_outcomes() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.03).decoding_graph());
+        let shots = sample_shots(&graph, 25, 5);
+        let spec = BackendSpec::micro_full(Some(3));
+        let reference = ShardedPipeline::new(spec.clone(), Arc::clone(&graph)).run_shots(&shots);
+        let stream = StreamDecoder::builder(spec, Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(2)))
+            .workers(2)
+            .start();
+        let tickets: Vec<Ticket> = shots
+            .iter()
+            .map(|shot| {
+                let mut feeder = stream.begin_shot(shot.observable);
+                for round in shot.syndrome.split_by_layer(&graph) {
+                    feeder.push_round(&round);
+                }
+                feeder.finish()
+            })
+            .collect();
+        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(Ticket::recv).collect();
+        stream.close();
+        assert_eq!(outcomes, reference);
+    }
+
+    #[test]
+    fn round_feeding_buffers_for_non_incremental_backends() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.03).decoding_graph());
+        let shots = sample_shots(&graph, 15, 8);
+        let spec = BackendSpec::union_find();
+        let reference = ShardedPipeline::new(spec.clone(), Arc::clone(&graph)).run_shots(&shots);
+        let stream = StreamDecoder::builder(spec, Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .workers(1)
+            .start();
+        let tickets: Vec<Ticket> = shots
+            .iter()
+            .map(|shot| {
+                let mut feeder = stream.begin_shot(shot.observable);
+                for round in shot.syndrome.split_by_layer(&graph) {
+                    feeder.push_round(&round);
+                }
+                feeder.finish()
+            })
+            .collect();
+        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(Ticket::recv).collect();
+        stream.close();
+        assert_eq!(outcomes, reference);
+    }
+
+    #[test]
+    fn partial_round_feeds_equal_batch_of_partial_syndrome() {
+        // pushing fewer rounds than the graph has layers decodes the same as
+        // batching a syndrome whose remaining layers are empty
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.05).decoding_graph());
+        let shots = sample_shots(&graph, 10, 13);
+        let spec = BackendSpec::micro_full(Some(3));
+        let stream = StreamDecoder::builder(spec.clone(), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .start();
+        let pipeline = ShardedPipeline::new(spec, Arc::clone(&graph));
+        for shot in &shots {
+            let layers = shot.syndrome.split_by_layer(&graph);
+            let keep = layers.len() / 2;
+            let mut feeder = stream.begin_shot(0);
+            for round in &layers[..keep] {
+                feeder.push_round(round);
+            }
+            let streamed = feeder.finish().recv();
+            let partial: SyndromePattern = layers[..keep].iter().flatten().copied().collect();
+            let sampler = ErrorSampler::new(&graph);
+            let mut truncated = sampler.shot_from_edges(Vec::new());
+            truncated.syndrome = partial;
+            let batch = &pipeline.run_shots(std::slice::from_ref(&truncated))[0];
+            assert_eq!(streamed.decoded_observable, batch.decoded_observable);
+            assert_eq!(streamed.latency_ns, batch.latency_ns);
+            assert_eq!(streamed.breakdown, batch.breakdown);
+        }
+        stream.close();
+    }
+
+    #[test]
+    fn try_submit_reports_queue_full_and_submit_backpressures() {
+        let graph = rotated();
+        let shots = sample_shots(&graph, 64, 21);
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .workers(1)
+            .queue_capacity(2)
+            .start();
+        assert_eq!(stream.queue_capacity(), 2);
+        // saturate: with capacity 2 and 1 worker, at least one try_submit of
+        // a fast burst must observe a full queue
+        let mut tickets = Vec::new();
+        let mut saw_full = false;
+        for shot in &shots {
+            match stream.try_submit(shot.clone()) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(QueueFull(shot)) => {
+                    saw_full = true;
+                    // blocking submit applies backpressure and still queues
+                    tickets.push(stream.submit(shot));
+                }
+            }
+        }
+        assert!(saw_full, "queue of capacity 2 never filled under a burst");
+        assert!(stream.queue_depth() <= 2);
+        for ticket in tickets {
+            ticket.recv();
+        }
+        let stats = stream.close();
+        assert_eq!(stats.submitted, stats.decoded);
+        assert_eq!(stats.submitted, 64);
+    }
+
+    #[test]
+    fn close_drains_in_flight_work() {
+        let graph = rotated();
+        let shots = sample_shots(&graph, 30, 2);
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(2)))
+            .workers(2)
+            .queue_capacity(64)
+            .start();
+        let tickets: Vec<Ticket> = shots.into_iter().map(|s| stream.submit(s)).collect();
+        // close before receiving anything: it must wait for every decode
+        let stats = stream.close();
+        assert_eq!(stats.decoded, 30);
+        // tickets resolve after the close
+        for ticket in tickets {
+            ticket.recv();
+        }
+    }
+
+    #[test]
+    fn dropping_a_feeder_completes_its_shot() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.02).decoding_graph());
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .start();
+        let feeder = stream.begin_shot(0);
+        drop(feeder);
+        // the shot completed as all-empty rounds; the stream stays usable
+        let outcome = stream.submit_seeded(4).recv();
+        assert_eq!(outcome.shot_index, 1);
+        stream.close();
+    }
+
+    #[test]
+    fn closing_with_an_open_feeder_force_finishes_its_shot() {
+        // a worker may be blocked waiting for this feeder's next round;
+        // close() must force-finish the shot instead of deadlocking against
+        // the thread that holds the feeder
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.02).decoding_graph());
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .start();
+        let mut feeder = stream.begin_shot(0);
+        feeder.push_round(&[]);
+        assert_eq!(stream.open_feeders(), 1);
+        let stats = stream.close();
+        assert_eq!(stats.decoded, 1);
+        // the feeder is still usable afterwards; its shot completed with the
+        // rounds pushed before the close
+        let outcome = feeder.finish().recv();
+        assert_eq!(outcome.shot_index, 0);
+        assert_eq!(outcome.defects, 0);
+    }
+
+    #[test]
+    fn dropping_the_stream_with_an_open_feeder_does_not_hang() {
+        let graph = rotated();
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), graph)
+            .pool(Arc::new(DecodePool::new(1)))
+            .start();
+        let feeder = stream.begin_shot(0);
+        drop(stream); // must drain and return, not deadlock on the feeder
+        let outcome = feeder.finish().recv();
+        assert_eq!(outcome.shot_index, 0);
+    }
+
+    #[test]
+    fn submits_after_total_worker_loss_fail_fast() {
+        // when every serving worker has panicked, a blocking submit against
+        // the refilled queue could never return; the job's last participant
+        // poisons (closes) the stream so producers panic instead of hanging
+        let graph = rotated();
+        let stream = StreamDecoder::builder(BackendSpec::PanicOnDecode, Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .workers(1)
+            .queue_capacity(1)
+            .start();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for _ in 0..100 {
+                stream.submit_seeded(1);
+            }
+        }));
+        let payload = result.expect_err("submits against a dead stream must fail fast");
+        let message = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(message.contains("closed stream"), "{message}");
+        // the worker panic still surfaces at close
+        let close_result = catch_unwind(AssertUnwindSafe(|| stream.close()));
+        assert!(close_result.is_err());
+    }
+
+    #[test]
+    fn worker_panics_surface_at_close() {
+        let graph = rotated();
+        let pool = Arc::new(DecodePool::new(1));
+        let stream = StreamDecoder::builder(BackendSpec::PanicOnDecode, Arc::clone(&graph))
+            .pool(Arc::clone(&pool))
+            .workers(1)
+            .start();
+        let ticket = stream.submit_seeded(1);
+        let result = catch_unwind(AssertUnwindSafe(|| stream.close()));
+        let payload = result.expect_err("worker panic must surface at close");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert!(message.contains("backend exploded"), "{message}");
+        // the abandoned ticket reports instead of hanging
+        let recv = catch_unwind(AssertUnwindSafe(|| ticket.recv()));
+        assert!(recv.is_err());
+        // the pool worker survives for future jobs
+        let pipeline = ShardedPipeline::new(BackendSpec::union_find(), graph).with_pool(pool);
+        assert_eq!(pipeline.run_sampled(5, 1).len(), 5);
+    }
+
+    #[test]
+    fn worker_budget_is_clamped_to_the_pool() {
+        let graph = rotated();
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), graph)
+            .pool(Arc::new(DecodePool::new(2)))
+            .workers(64)
+            .start();
+        assert_eq!(stream.workers(), 2);
+        stream.close();
+    }
+}
