@@ -1,0 +1,198 @@
+//! Sparse-activation sweep: per-shot decode time of the Micro Blossom
+//! decoder across code distances, proving that decode time tracks
+//! **syndrome weight**, not lattice size.
+//!
+//! The dense PU sweep the accelerator model used to perform cost
+//! O(|V| + |E|) per instruction, so a low-`p` shot with three defects paid
+//! the same as a saturated one and per-shot time grew with the lattice
+//! volume. With the sparse active set, per-instruction cost follows the
+//! defect neighbourhood instead. Two sections demonstrate it:
+//!
+//! * **fixed_p** — the physical setting: p held constant, d swept. Syndrome
+//!   weight itself grows with the d²·d space-time volume here, so per-shot
+//!   time grows with it — but `pus_touched`/shot stays proportional to the
+//!   defect count, far below |V| + |E| per instruction.
+//! * **fixed_weight** — the scaling probe: p scaled by (d₀/d)³ so the
+//!   expected syndrome weight is the *same* at every distance. A dense
+//!   sweep still pays O(|V| + |E|) ~ d³ per instruction and its per-shot
+//!   time grows ~linearly in d²·d; the sparse path's per-shot time is flat
+//!   up to boundary effects. The fitted exponent of per-shot time in d² on
+//!   this section is the acceptance criterion (sub-linear, ≪ 1).
+//!
+//! Every measurement is emitted as one machine-readable JSON line (prefix
+//! `{"bench":"sparse_sweep",...}`); the final `scaling` line carries both
+//! fitted exponents.
+//!
+//! Usage: `cargo run -r -p bench --bin sparse_sweep [shots] [p] [d_csv]`
+//!
+//! Defaults: 400 shots, p = 0.001, d = 9,13,17,21.
+
+use bench::render_table;
+use mb_decoder::{DecoderBackend, MicroBlossomDecoder};
+use mb_graph::codes::PhenomenologicalCode;
+use mb_graph::syndrome::ErrorSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured distance point.
+struct Point {
+    d: usize,
+    p: f64,
+    vertices: usize,
+    edges: usize,
+    mean_defects: f64,
+    ns_per_shot: f64,
+    pus_touched_per_shot: f64,
+    active_peak: u64,
+    zero_defect_shots: u64,
+}
+
+fn measure(d: usize, p: f64, shots: usize) -> Point {
+    let graph = Arc::new(PhenomenologicalCode::rotated(d, d, p).decoding_graph());
+    let mut decoder = MicroBlossomDecoder::full(Arc::clone(&graph), Some(d));
+    let sampler = ErrorSampler::new(&graph);
+    // pre-materialize the shots so sampling cost stays out of the window
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5AA5 + d as u64);
+    let sampled: Vec<_> = (0..shots).map(|_| sampler.sample(&mut rng)).collect();
+    // warm up the scratch buffers (first decodes allocate, later ones don't)
+    for shot in sampled.iter().take(3) {
+        decoder.decode(&shot.syndrome);
+    }
+    let before = decoder
+        .accel_observability()
+        .expect("micro blossom reports accelerator counters");
+    let mut defects = 0usize;
+    let start = Instant::now();
+    for shot in &sampled {
+        defects += shot.syndrome.len();
+        decoder.decode(&shot.syndrome);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let after = decoder.accel_observability().expect("counters stay on");
+    Point {
+        d,
+        p,
+        vertices: graph.vertex_count(),
+        edges: graph.edge_count(),
+        mean_defects: defects as f64 / shots as f64,
+        ns_per_shot: elapsed * 1e9 / shots as f64,
+        pus_touched_per_shot: (after.pus_touched - before.pus_touched) as f64 / shots as f64,
+        active_peak: after.active_peak,
+        zero_defect_shots: after.zero_defect_shots - before.zero_defect_shots,
+    }
+}
+
+fn emit(section: &str, shots: usize, point: &Point) {
+    println!(
+        "{{\"bench\":\"sparse_sweep\",\"section\":\"{section}\",\"d\":{},\"p\":{:.3e},\
+         \"shots\":{shots},\"vertices\":{},\"edges\":{},\"d_squared\":{},\
+         \"mean_defects\":{:.3},\"ns_per_shot\":{:.1},\"pus_touched_per_shot\":{:.1},\
+         \"active_peak\":{},\"zero_defect_shots\":{}}}",
+        point.d,
+        point.p,
+        point.vertices,
+        point.edges,
+        point.d * point.d,
+        point.mean_defects,
+        point.ns_per_shot,
+        point.pus_touched_per_shot,
+        point.active_peak,
+        point.zero_defect_shots,
+    );
+}
+
+fn row(point: &Point) -> Vec<String> {
+    vec![
+        point.d.to_string(),
+        format!("{:.1e}", point.p),
+        point.vertices.to_string(),
+        format!("{:.2}", point.mean_defects),
+        format!("{:.0}", point.ns_per_shot),
+        format!("{:.1}", point.pus_touched_per_shot),
+        point.active_peak.to_string(),
+        point.zero_defect_shots.to_string(),
+    ]
+}
+
+const HEADER: [&str; 8] = [
+    "d",
+    "p",
+    "|V|",
+    "defects/shot",
+    "ns/shot",
+    "PUs/shot",
+    "active peak",
+    "zero-defect",
+];
+
+/// Least-squares slope of `ln y` against `ln x`: the exponent `k` in
+/// `y ~ x^k`.
+fn scaling_exponent(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.max(1e-12).ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx).max(1e-12)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let shots: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(400);
+    let p: f64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(0.001);
+    let distances: Vec<usize> = args
+        .get(3)
+        .map(|csv| csv.split(',').filter_map(|d| d.parse().ok()).collect())
+        .filter(|ds: &Vec<usize>| !ds.is_empty())
+        .unwrap_or_else(|| vec![9, 13, 17, 21]);
+    let d0 = distances[0];
+
+    println!("sparse-activation sweep: base p = {p}, {shots} shots per point, d = {distances:?}\n");
+
+    // fixed p: the physical setting; syndrome weight grows with the
+    // space-time volume, activity counters track it
+    let mut rows = Vec::new();
+    for &d in &distances {
+        let point = measure(d, p, shots);
+        emit("fixed_p", shots, &point);
+        rows.push(row(&point));
+    }
+    println!("\nfixed p = {p}:\n{}", render_table(&HEADER, &rows));
+
+    // fixed expected syndrome weight: p scaled with the inverse space-time
+    // volume, so every distance decodes statistically identical workloads —
+    // the direct probe that per-shot cost follows defects, not d²
+    let mut rows = Vec::new();
+    let mut time_vs_d2 = Vec::new();
+    let mut pus_vs_d2 = Vec::new();
+    for &d in &distances {
+        let scaled_p = p * (d0 as f64 / d as f64).powi(3);
+        let point = measure(d, scaled_p, shots);
+        emit("fixed_weight", shots, &point);
+        time_vs_d2.push(((d * d) as f64, point.ns_per_shot));
+        pus_vs_d2.push(((d * d) as f64, point.pus_touched_per_shot.max(1.0)));
+        rows.push(row(&point));
+    }
+    println!(
+        "\nfixed expected syndrome weight (p ~ 1/d^3):\n{}",
+        render_table(&HEADER, &rows)
+    );
+
+    let time_exponent = scaling_exponent(&time_vs_d2);
+    let pus_exponent = scaling_exponent(&pus_vs_d2);
+    println!(
+        "{{\"bench\":\"sparse_sweep\",\"section\":\"scaling\",\"base_p\":{p},\
+         \"time_vs_d2_exponent\":{time_exponent:.3},\"pus_vs_d2_exponent\":{pus_exponent:.3}}}"
+    );
+    println!(
+        "\nat equal syndrome weight, per-shot decode time ~ (d^2)^{time_exponent:.2} and PU \
+         visits ~ (d^2)^{pus_exponent:.2} (a dense O(|V|+|E|) sweep gives exponent >= 1; \
+         sub-linear means decode time tracks syndrome weight, not lattice size)"
+    );
+}

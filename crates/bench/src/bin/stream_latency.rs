@@ -58,7 +58,7 @@ fn saturated_stream_rate(
     shots: usize,
     workers: usize,
     seed: u64,
-) -> f64 {
+) -> (f64, u64) {
     // a deep queue: at saturation the producer must never park on
     // backpressure and the workers must never park on an empty queue
     let stream = StreamDecoder::builder(spec.clone(), Arc::clone(graph))
@@ -73,7 +73,7 @@ fn saturated_stream_rate(
     for ticket in tickets {
         ticket.recv();
     }
-    shots as f64 / elapsed.max(1e-9)
+    (shots as f64 / elapsed.max(1e-9), stats.decoded)
 }
 
 fn main() {
@@ -98,12 +98,18 @@ fn main() {
     let worker_counts = [1usize, 2, 4, 8];
     let mut rows = Vec::new();
     let mut default_stream_rate = 0.0f64;
+    // actual shots decoded on the shared pool, accumulated per section so
+    // the per-shot observability figures below cannot drift from the
+    // workload structure
+    let mut decoded_total: u64 = 0;
     for &workers in &worker_counts {
         let pipeline = ShardedPipeline::new(spec.clone(), Arc::clone(&graph)).with_shards(workers);
         let start = Instant::now();
-        pipeline.run_sampled(shots, seed);
+        decoded_total += pipeline.run_sampled(shots, seed).len() as u64;
         let batch_rate = shots as f64 / start.elapsed().as_secs_f64().max(1e-9);
-        let stream_rate = saturated_stream_rate(&spec, &graph, shots, workers, seed);
+        let (stream_rate, stream_decoded) =
+            saturated_stream_rate(&spec, &graph, shots, workers, seed);
+        decoded_total += stream_decoded;
         let effective = DecodePool::global().effective_workers(workers, shots);
         default_stream_rate = default_stream_rate.max(stream_rate);
         let ratio = stream_rate / batch_rate.max(1e-9);
@@ -207,4 +213,26 @@ fn main() {
         )
     );
     println!("submit-to-result latency includes queue wait; tune queue capacity against depth.");
+
+    // sparse-activation observability: fold the pool's accelerator counters
+    // over every shot this process decoded (saturated sections + Poisson)
+    let pool = DecodePool::global();
+    decoded_total += stats.decoded;
+    let pus_per_shot = pool.accel_pus_touched() as f64 / decoded_total.max(1) as f64;
+    println!(
+        "\n{{\"bench\":\"stream_latency\",\"workload\":\"accel_observability\",\
+         \"shots\":{decoded_total},\"active_peak\":{},\"pus_touched\":{},\
+         \"pus_touched_per_shot\":{pus_per_shot:.1},\"zero_defect_shots\":{}}}",
+        pool.accel_active_peak(),
+        pool.accel_pus_touched(),
+        pool.accel_zero_defect_shots(),
+    );
+    println!(
+        "sparse activation: peak {} vertex PUs awake of {} ({:.1} PU visits/shot; {} shots took \
+         the zero-defect fast path)",
+        pool.accel_active_peak(),
+        graph.vertex_count(),
+        pus_per_shot,
+        pool.accel_zero_defect_shots(),
+    );
 }

@@ -7,15 +7,38 @@
 //! all PUs; responses (conflicts or the maximum safe growth) are
 //! convergecast back to the controller.
 //!
+//! ## Sparse activation (the software model of PU wake-up)
+//!
+//! The hardware only wakes PUs near defects; idle PUs burn no switching
+//! power and contribute no work. The simulator models that with an explicit
+//! **active set**: the vertices currently holding a cover (defects plus
+//! everything their circles reach). `load Defects` seeds it, the Update
+//! stage rebuilds it from the propagation frontier, and every sweep —
+//! stabilization, pre-matching, the convergecast — folds over the active
+//! set instead of the full PU arrays. A shot with three defects therefore
+//! costs O(defect neighbourhood) per instruction, not O(|V| + |E|), and
+//! `reset` clears in O(active).
+//!
+//! PU state lives in a struct-of-arrays layout (separate `speed`,
+//! `residual`, `node`, `touch` arrays plus flag bitsets) so the remaining
+//! sweeps are cache-dense; [`VertexPu`]/[`EdgePu`] are assembled *views* of
+//! one PU's state, returned by value.
+//!
+//! Setting [`AcceleratorConfig::dense_reference`] switches every sweep back
+//! to the original full-array fold. The two modes are bit-identical — the
+//! differential property test `tests/sparse_equals_dense.rs` holds the
+//! sparse path to the dense reference across codes, configurations, and
+//! ingestion orders.
+//!
 //! ## Fidelity notes (see DESIGN.md)
 //!
 //! * The per-vertex state after the hardware's *Update* pipeline stage is a
 //!   stabilized fixed point of the local propagation rules of Table 1. The
 //!   simulator produces exactly that fixed point (same tie-breaking: a
 //!   defect vertex always stores itself; otherwise the deepest-reaching
-//!   touch, preferring faster-growing nodes) but computes it with a global
-//!   sweep instead of iterating the per-vertex rules, and charges the
-//!   corresponding cycles to the timing counters.
+//!   touch, preferring faster-growing nodes) but computes it with a
+//!   frontier propagation instead of iterating the per-vertex rules, and
+//!   charges the corresponding cycles to the timing counters.
 //! * Isolated-conflict pre-matching (§5.2, Equations 1–3) is evaluated every
 //!   time the state stabilizes, exactly as the Pre-Match pipeline stage
 //!   does. A vertex whose node has already been materialized by the CPU is
@@ -23,15 +46,20 @@
 //!   views consistent (the hardware equivalent is a per-vPU "CPU-owned"
 //!   flag set by the first instruction addressed to its node).
 //! * Round-wise fusion (§6): unloaded vertices (`b_v = 1`) behave exactly
-//!   like virtual vertices; `load Defects` clears the flag one layer at a
-//!   time and optionally applies the temporary fusion-boundary weight
-//!   reduction of §6.3.
+//!   like virtual vertices. Loadedness is tracked per fusion layer and the
+//!   §6.3 temporary fusion-boundary weight reduction is *derived* from it on
+//!   the fly, so `load Defects` costs O(new defects), not O(|V| + |E|).
 
 use crate::instruction::{HwNodeId, Instruction};
 use mb_graph::{DecodingGraph, EdgeIndex, VertexIndex, Weight};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+
+/// Sentinel for "no node stored" in the SoA `node` array.
+const NO_NODE: HwNodeId = HwNodeId::MAX;
+/// Sentinel for "no touch stored" in the SoA `touch` array.
+const NO_TOUCH: u32 = u32::MAX;
 
 /// Static configuration of an accelerator instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +72,11 @@ pub struct AcceleratorConfig {
     pub fusion_reduced_weight: Weight,
     /// Pipeline depth (FE, PM, EX, UP, WR in the prototype).
     pub pipeline_stages: u64,
+    /// Debug reference mode: run every sweep over the full PU arrays (the
+    /// original O(|V| + |E|)-per-instruction fold) instead of the sparse
+    /// active set. Bit-identical to the sparse path; kept for differential
+    /// testing (`tests/sparse_equals_dense.rs`).
+    pub dense_reference: bool,
 }
 
 impl Default for AcceleratorConfig {
@@ -53,18 +86,282 @@ impl Default for AcceleratorConfig {
             fusion_weight_reduction: true,
             fusion_reduced_weight: 0,
             pipeline_stages: 5,
+            dense_reference: false,
         }
     }
 }
 
-/// State of one vertex PU (Table 2, compact).
+/// A packed bitset over PU indices (one `u64` word per 64 indices).
 #[derive(Debug, Clone, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i >> 6] >> (i & 63) & 1 != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i >> 6] |= 1 << (i & 63);
+    }
+
+    #[inline]
+    fn unset(&mut self, i: usize) {
+        self.words[i >> 6] &= !(1 << (i & 63));
+    }
+
+    fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+/// The active region: a compact index list paired with a membership bitset,
+/// cleared in O(active).
+#[derive(Debug, Clone, Default)]
+struct ActiveSet {
+    items: Vec<VertexIndex>,
+    member: BitSet,
+}
+
+impl ActiveSet {
+    fn new(bits: usize) -> Self {
+        Self {
+            items: Vec::new(),
+            member: BitSet::new(bits),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, v: VertexIndex) {
+        if !self.member.get(v) {
+            self.member.set(v);
+            self.items.push(v);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn as_slice(&self) -> &[VertexIndex] {
+        &self.items
+    }
+
+    fn clear(&mut self) {
+        for v in self.items.drain(..) {
+            self.member.unset(v);
+        }
+    }
+}
+
+/// Struct-of-arrays vertex PU state (Table 2, one array per field).
+#[derive(Debug, Clone)]
+struct VertexSoa {
+    len: usize,
+    /// `s_v`: growth direction of the stored node.
+    speed: Vec<i8>,
+    /// `r_v`: residual depth of the deepest cover reaching this vertex.
+    residual: Vec<Weight>,
+    /// `n_v`: node whose cover reaches deepest here (`NO_NODE` when empty).
+    node: Vec<HwNodeId>,
+    /// `t_v`: defect vertex whose circle realizes `r_v` (`NO_TOUCH`).
+    touch: Vec<u32>,
+    /// Fusion layer of each vertex.
+    layer: Vec<u32>,
+    /// Permanent virtual (code boundary) vertices.
+    virt: BitSet,
+    /// `d_v`: carries a defect.
+    defect: BitSet,
+    /// CPU has materialized this vertex's node; disables pre-matching.
+    cpu_owned: BitSet,
+    /// Pre-match freeze (PM stage output): effective speed is zero.
+    frozen: BitSet,
+}
+
+impl VertexSoa {
+    fn new(graph: &DecodingGraph) -> Self {
+        let len = graph.vertex_count();
+        let mut virt = BitSet::new(len);
+        let mut layer = Vec::with_capacity(len);
+        for v in 0..len {
+            if graph.is_virtual(v) {
+                virt.set(v);
+            }
+            layer.push(graph.layer_of(v) as u32);
+        }
+        Self {
+            len,
+            speed: vec![0; len],
+            residual: vec![0; len],
+            node: vec![NO_NODE; len],
+            touch: vec![NO_TOUCH; len],
+            layer,
+            virt,
+            defect: BitSet::new(len),
+            cpu_owned: BitSet::new(len),
+            frozen: BitSet::new(len),
+        }
+    }
+
+    /// Clears the derived (Update-stage) state of one vertex.
+    #[inline]
+    fn clear_derived(&mut self, v: VertexIndex) {
+        self.node[v] = NO_NODE;
+        self.touch[v] = NO_TOUCH;
+        self.residual[v] = 0;
+        self.speed[v] = 0;
+    }
+
+    #[inline]
+    fn covered(&self, v: VertexIndex) -> bool {
+        self.node[v] != NO_NODE
+    }
+}
+
+/// Round-wise fusion state: which layers have been loaded.
+#[derive(Debug, Clone)]
+struct Fusion {
+    layer_loaded: Vec<bool>,
+    unloaded: usize,
+}
+
+impl Fusion {
+    fn new(num_layers: usize) -> Self {
+        Self {
+            layer_loaded: vec![false; num_layers],
+            unloaded: num_layers,
+        }
+    }
+
+    #[inline]
+    fn loaded(&self, layer: u32) -> bool {
+        self.layer_loaded[layer as usize]
+    }
+
+    fn mark_loaded(&mut self, layer: usize) {
+        if !self.layer_loaded[layer] {
+            self.layer_loaded[layer] = true;
+            self.unloaded -= 1;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.layer_loaded.iter_mut().for_each(|l| *l = false);
+        self.unloaded = self.layer_loaded.len();
+    }
+}
+
+/// Epoch-stamped scratch buffers of the Update and Pre-Match stages.
+/// Allocated once at construction; invalidated per pass by bumping `epoch`,
+/// so neither stabilization nor reset ever sweeps them.
+#[derive(Debug, Clone)]
+struct Scratch {
+    epoch: u64,
+    /// Per-vertex best-cover table (valid iff `best_epoch[v] == epoch`).
+    best_epoch: Vec<u64>,
+    best_residual: Vec<Weight>,
+    best_speed: Vec<i8>,
+    best_touch: Vec<u32>,
+    /// Vertices the propagation touched this pass.
+    touched: Vec<VertexIndex>,
+    /// The propagation frontier.
+    heap: BinaryHeap<(Weight, i8, Reverse<VertexIndex>, VertexIndex)>,
+    /// Per-edge tightness `t_e` (tight iff `tight_epoch[e] == epoch`).
+    tight_epoch: Vec<u64>,
+    /// Tight edges of this pass, ascending.
+    tight_list: Vec<EdgeIndex>,
+    /// Per-vertex tight-edge degree (valid iff `tdeg_epoch[v] == epoch`).
+    tdeg_epoch: Vec<u64>,
+    tdeg: Vec<u32>,
+    /// Edges whose `m_e` condition held this pass.
+    candidates: Vec<EdgeIndex>,
+}
+
+impl Scratch {
+    fn new(vertices: usize, edges: usize) -> Self {
+        Self {
+            epoch: 0,
+            best_epoch: vec![0; vertices],
+            best_residual: vec![0; vertices],
+            best_speed: vec![0; vertices],
+            best_touch: vec![NO_TOUCH; vertices],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+            tight_epoch: vec![0; edges],
+            tight_list: Vec::new(),
+            tdeg_epoch: vec![0; vertices],
+            tdeg: vec![0; vertices],
+            candidates: Vec::new(),
+        }
+    }
+}
+
+/// Whether a vertex behaves as a boundary (true virtual or not loaded).
+#[inline]
+fn virtualish(vs: &VertexSoa, fusion: &Fusion, v: VertexIndex) -> bool {
+    vs.virt.get(v) || !fusion.loaded(vs.layer[v])
+}
+
+/// Current weight of edge `e`, with the §6.3 fusion-boundary reduction
+/// derived from layer loadedness (no per-round edge sweep needed).
+#[inline]
+fn edge_weight(
+    config: &AcceleratorConfig,
+    graph: &DecodingGraph,
+    vs: &VertexSoa,
+    fusion: &Fusion,
+    original: &[Weight],
+    e: EdgeIndex,
+) -> Weight {
+    if config.fusion_weight_reduction && fusion.unloaded > 0 {
+        let (u, v) = graph.edge(e).vertices;
+        let unloaded = |x: VertexIndex| !vs.virt.get(x) && !fusion.loaded(vs.layer[x]);
+        if unloaded(u) != unloaded(v) {
+            return config.fusion_reduced_weight;
+        }
+    }
+    original[e]
+}
+
+/// Whether edge `e` is currently tight (`t_e` in §5.2).
+fn edge_is_tight(
+    config: &AcceleratorConfig,
+    graph: &DecodingGraph,
+    vs: &VertexSoa,
+    fusion: &Fusion,
+    original: &[Weight],
+    e: EdgeIndex,
+) -> bool {
+    let (u, v) = graph.edge(e).vertices;
+    let weight = edge_weight(config, graph, vs, fusion, original, e);
+    match (virtualish(vs, fusion, u), virtualish(vs, fusion, v)) {
+        (true, true) => false,
+        (true, false) => vs.covered(v) && vs.residual[v] >= weight,
+        (false, true) => vs.covered(u) && vs.residual[u] >= weight,
+        (false, false) => {
+            vs.covered(u) && vs.covered(v) && vs.residual[u] + vs.residual[v] >= weight
+        }
+    }
+}
+
+/// Snapshot view of one vertex PU's state (Table 2, compact), assembled
+/// from the struct-of-arrays layout by [`MicroBlossomAccelerator::vertex_pu`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VertexPu {
     /// Permanent virtual (code boundary) vertex.
     pub is_virtual: bool,
     /// Fusion layer this vertex belongs to.
     pub layer: usize,
-    /// `b_v`: not yet loaded, treated as virtual (round-wise fusion).
+    /// `b_v`: this vertex's layer is not yet loaded (round-wise fusion).
     pub is_boundary: bool,
     /// `d_v`: carries a defect.
     pub is_defect: bool,
@@ -83,8 +380,8 @@ pub struct VertexPu {
     pub frozen: bool,
 }
 
-/// State of one edge PU.
-#[derive(Debug, Clone, Default)]
+/// Snapshot view of one edge PU's state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EdgePu {
     /// Current weight (may be temporarily reduced at the fusion boundary).
     pub weight: Weight,
@@ -152,6 +449,13 @@ pub struct AcceleratorStats {
     pub responses: u64,
     /// Conflicts filtered out because they were handled by pre-matching.
     pub prematched_conflicts: u64,
+    /// Largest active-set size observed (peak number of awake vertex PUs).
+    pub active_peak: u64,
+    /// Cumulative PU visits performed by the sweep engines (stabilization,
+    /// pre-match, convergecast) — the software proxy for hardware PU
+    /// wake-ups. Grows with syndrome weight on the sparse path and with
+    /// `|V| + |E|` per instruction in dense-reference mode.
+    pub pus_touched: u64,
 }
 
 /// The accelerator simulator.
@@ -159,106 +463,75 @@ pub struct AcceleratorStats {
 /// Steady-state decoding is **allocation-free**: all per-decode working
 /// memory (the propagation frontier and best-cover table of the Update
 /// stage, the tightness/pre-match tables of the Pre-Match stage, the staged
-/// syndrome) lives in reusable scratch buffers that are cleared — capacity
-/// retained — on [`Instruction::Reset`] and refilled in place, honoring the
-/// `DecoderBackend` contract that a reused backend performs no heap
-/// allocation once warmed up (verified by `tests/alloc_steady_state.rs`).
+/// syndrome, the active set) lives in reusable, epoch-invalidated scratch
+/// structures, honoring the `DecoderBackend` contract that a reused backend
+/// performs no heap allocation once warmed up (verified by
+/// `tests/alloc_steady_state.rs`).
 #[derive(Debug, Clone)]
 pub struct MicroBlossomAccelerator {
     graph: Arc<DecodingGraph>,
     config: AcceleratorConfig,
-    vertices: Vec<VertexPu>,
-    edges: Vec<EdgePu>,
-    /// Defects staged per layer, loaded by `load Defects`.
+    /// Vertex PU state, struct-of-arrays.
+    vs: VertexSoa,
+    /// Edge PU weights from the decoding graph (current weights are derived;
+    /// see [`edge_weight`]).
+    e_original_weight: Vec<Weight>,
+    /// Edge PU pre-match flags `m_e`.
+    e_prematch: BitSet,
+    /// Which fusion layers have been loaded.
+    fusion: Fusion,
+    /// Defects staged per layer, loaded by `load Defects` (deduplicated).
     staged_syndrome: Vec<Vec<VertexIndex>>,
+    /// Loaded defect vertices, in load order.
+    defects: Vec<VertexIndex>,
+    /// The active region: every vertex currently holding a cover.
+    active: ActiveSet,
+    /// Vertices with the CPU-owned flag set (for O(active) reset).
+    cpu_owned_list: Vec<VertexIndex>,
+    /// Vertices currently frozen by a pre-match.
+    frozen_list: Vec<VertexIndex>,
+    /// Edges currently holding a pre-match, ascending.
+    prematch_list: Vec<EdgeIndex>,
     /// Per-vertex state needs recomputation before the next query.
     dirty: bool,
     /// Convergecast tree depth in cycles, `ceil(log2(|V| + |E|))`.
     convergecast_cycles: u64,
     /// Counters.
     pub stats: AcceleratorStats,
-    /// Update-stage scratch: best `(residual, speed, touch)` per vertex.
-    scratch_best: Vec<Option<(Weight, i8, VertexIndex)>>,
-    /// Update-stage scratch: the propagation frontier.
-    scratch_heap: BinaryHeap<(Weight, i8, Reverse<VertexIndex>, VertexIndex)>,
-    /// Pre-Match-stage scratch: per-edge tightness `t_e`.
-    scratch_tight: Vec<bool>,
-    /// Pre-Match-stage scratch: number of tight edges at each vertex.
-    scratch_tight_degree: Vec<usize>,
-    /// Pre-Match-stage scratch: edges whose `m_e` condition held this pass.
-    scratch_prematch_edges: Vec<EdgeIndex>,
-    /// Load-stage scratch: per-vertex defect flag of the layer being loaded.
-    scratch_defect_mark: Vec<bool>,
-}
-
-/// Whether a vertex behaves as a boundary (true virtual or not loaded),
-/// expressed over the PU array so scratch-filling loops can borrow the
-/// fields they need individually.
-fn virtualish(vertices: &[VertexPu], v: VertexIndex) -> bool {
-    vertices[v].is_virtual || vertices[v].is_boundary
-}
-
-/// Whether edge `e` is currently tight (`t_e` in §5.2).
-fn edge_is_tight(
-    graph: &DecodingGraph,
-    vertices: &[VertexPu],
-    edges: &[EdgePu],
-    e: EdgeIndex,
-) -> bool {
-    let (u, v) = graph.edge(e).vertices;
-    let covered = |x: VertexIndex| vertices[x].node.is_some();
-    match (virtualish(vertices, u), virtualish(vertices, v)) {
-        (true, true) => false,
-        (true, false) => covered(v) && vertices[v].residual >= edges[e].weight,
-        (false, true) => covered(u) && vertices[u].residual >= edges[e].weight,
-        (false, false) => {
-            covered(u)
-                && covered(v)
-                && vertices[u].residual + vertices[v].residual >= edges[e].weight
-        }
-    }
+    /// Reusable sweep scratch.
+    scratch: Scratch,
 }
 
 impl MicroBlossomAccelerator {
     /// Builds an accelerator for `graph`.
     pub fn new(graph: Arc<DecodingGraph>, config: AcceleratorConfig) -> Self {
-        let mut vertices = Vec::with_capacity(graph.vertex_count());
-        for v in 0..graph.vertex_count() {
-            vertices.push(VertexPu {
-                is_virtual: graph.is_virtual(v),
-                layer: graph.layer_of(v),
-                is_boundary: true,
-                ..VertexPu::default()
-            });
-        }
-        let edges = graph
-            .edges()
-            .iter()
-            .map(|e| EdgePu {
-                weight: e.weight,
-                original_weight: e.weight,
-                prematch: false,
-            })
-            .collect();
-        let convergecast_cycles = ((graph.vertex_count() + graph.edge_count()).max(2) as f64)
+        let vs = VertexSoa::new(&graph);
+        let e_original_weight: Vec<Weight> = graph.edges().iter().map(|e| e.weight).collect();
+        let edge_count = graph.edge_count();
+        let convergecast_cycles = ((graph.vertex_count() + edge_count).max(2) as f64)
             .log2()
             .ceil() as u64;
         let staged_syndrome = vec![Vec::new(); graph.num_layers()];
+        let fusion = Fusion::new(graph.num_layers());
+        let scratch = Scratch::new(graph.vertex_count(), edge_count);
+        let active = ActiveSet::new(graph.vertex_count());
         Self {
             graph,
             config,
-            vertices,
-            edges,
+            vs,
+            e_original_weight,
+            e_prematch: BitSet::new(edge_count),
+            fusion,
             staged_syndrome,
+            defects: Vec::new(),
+            active,
+            cpu_owned_list: Vec::new(),
+            frozen_list: Vec::new(),
+            prematch_list: Vec::new(),
             dirty: true,
             convergecast_cycles,
             stats: AcceleratorStats::default(),
-            scratch_best: Vec::new(),
-            scratch_heap: BinaryHeap::new(),
-            scratch_tight: Vec::new(),
-            scratch_tight_degree: Vec::new(),
-            scratch_prematch_edges: Vec::new(),
-            scratch_defect_mark: Vec::new(),
+            scratch,
         }
     }
 
@@ -277,19 +550,65 @@ impl MicroBlossomAccelerator {
         self.convergecast_cycles
     }
 
-    /// Read access to a vertex PU (for the host driver and for tests).
-    pub fn vertex_pu(&self, v: VertexIndex) -> &VertexPu {
-        &self.vertices[v]
+    /// Snapshot of a vertex PU (for the host driver and for tests).
+    pub fn vertex_pu(&self, v: VertexIndex) -> VertexPu {
+        let vs = &self.vs;
+        VertexPu {
+            is_virtual: vs.virt.get(v),
+            layer: vs.layer[v] as usize,
+            is_boundary: !self.fusion.loaded(vs.layer[v]),
+            is_defect: vs.defect.get(v),
+            speed: vs.speed[v],
+            residual: vs.residual[v],
+            node: (vs.node[v] != NO_NODE).then_some(vs.node[v]),
+            touch: (vs.touch[v] != NO_TOUCH).then_some(vs.touch[v] as VertexIndex),
+            cpu_owned: vs.cpu_owned.get(v),
+            frozen: vs.frozen.get(v),
+        }
     }
 
-    /// Read access to an edge PU.
-    pub fn edge_pu(&self, e: EdgeIndex) -> &EdgePu {
-        &self.edges[e]
+    /// Snapshot of an edge PU.
+    pub fn edge_pu(&self, e: EdgeIndex) -> EdgePu {
+        EdgePu {
+            weight: self.edge_weight(e),
+            original_weight: self.e_original_weight[e],
+            prematch: self.e_prematch.get(e),
+        }
+    }
+
+    /// Number of defects loaded since the last reset.
+    pub fn defect_count(&self) -> usize {
+        self.defects.len()
+    }
+
+    /// The defect vertices loaded since the last reset, in load order.
+    pub fn defect_vertices(&self) -> &[VertexIndex] {
+        &self.defects
+    }
+
+    /// Current size of the active region (vertex PUs holding a cover).
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Peak active-set size observed (see [`AcceleratorStats::active_peak`]).
+    pub fn active_peak(&self) -> u64 {
+        self.stats.active_peak
+    }
+
+    /// Cumulative PU visits performed by the sweep engines (see
+    /// [`AcceleratorStats::pus_touched`]).
+    pub fn pus_touched(&self) -> u64 {
+        self.stats.pus_touched
     }
 
     /// Stages the syndrome of one layer; the data is loaded into the vPUs by
     /// a subsequent [`Instruction::LoadDefects`]. This models the direct
     /// syndrome path from the quantum hardware into the vPUs (Figure 5).
+    ///
+    /// Repeated defect indices within a round are deduplicated here: a
+    /// duplicated syndrome bit is still one defect, it must not double-count
+    /// or double-load.
     pub fn stage_syndrome(&mut self, layer: usize, defects: &[VertexIndex]) {
         for &d in defects {
             assert_eq!(
@@ -304,43 +623,66 @@ impl MicroBlossomAccelerator {
         }
         let slot = &mut self.staged_syndrome[layer];
         slot.clear();
-        slot.extend_from_slice(defects);
+        for &d in defects {
+            if !slot.contains(&d) {
+                slot.push(d);
+            }
+        }
     }
 
     /// Marks a vertex's singleton node as CPU-owned (first CPU instruction
     /// addressed to it), disabling pre-matching for it.
     pub fn mark_cpu_owned(&mut self, vertex: VertexIndex) {
-        self.vertices[vertex].cpu_owned = true;
+        if !self.vs.cpu_owned.get(vertex) {
+            self.vs.cpu_owned.set(vertex);
+            self.cpu_owned_list.push(vertex);
+        }
         self.dirty = true;
     }
 
     /// Current dual variable (circle radius) of a defect vertex.
     pub fn radius_of(&self, vertex: VertexIndex) -> Weight {
-        debug_assert!(self.vertices[vertex].is_defect);
-        self.vertices[vertex].residual
+        debug_assert!(self.vs.defect.get(vertex));
+        self.vs.residual[vertex]
     }
 
     /// Whether a vertex behaves as a boundary (true virtual or not loaded).
     fn is_virtualish(&self, v: VertexIndex) -> bool {
-        virtualish(&self.vertices, v)
+        virtualish(&self.vs, &self.fusion, v)
+    }
+
+    /// Current weight of edge `e` (original or §6.3-reduced).
+    fn edge_weight(&self, e: EdgeIndex) -> Weight {
+        edge_weight(
+            &self.config,
+            &self.graph,
+            &self.vs,
+            &self.fusion,
+            &self.e_original_weight,
+            e,
+        )
     }
 
     /// Effective growth speed of the cover stored at vertex `v` (zero when
     /// frozen by a pre-match).
     fn effective_speed(&self, v: VertexIndex) -> i8 {
-        let pu = &self.vertices[v];
-        if pu.node.is_none() {
+        if !self.vs.covered(v) {
             return 0;
         }
-        let frozen = match pu.touch {
-            Some(t) => self.vertices[t].frozen,
-            None => false,
-        };
+        let touch = self.vs.touch[v];
+        let frozen = touch != NO_TOUCH && self.vs.frozen.get(touch as usize);
         if frozen {
             0
         } else {
-            pu.speed
+            self.vs.speed[v]
         }
+    }
+
+    /// The touch of a covered vertex.
+    fn touch_of(&self, v: VertexIndex) -> VertexIndex {
+        let touch = self.vs.touch[v];
+        assert!(touch != NO_TOUCH, "covered vertex has a touch");
+        touch as VertexIndex
     }
 
     /// Executes one instruction; `find Conflict` produces a response.
@@ -349,41 +691,25 @@ impl MicroBlossomAccelerator {
         self.stats.cycles += 1;
         match instruction {
             Instruction::Reset => {
-                for (v, pu) in self.vertices.iter_mut().enumerate() {
-                    let is_virtual = pu.is_virtual;
-                    let layer = pu.layer;
-                    *pu = VertexPu {
-                        is_virtual,
-                        layer,
-                        is_boundary: true,
-                        ..VertexPu::default()
-                    };
-                    let _ = v;
-                }
-                for (e, pu) in self.edges.iter_mut().enumerate() {
-                    pu.weight = pu.original_weight;
-                    pu.prematch = false;
-                    let _ = e;
-                }
-                for layer in &mut self.staged_syndrome {
-                    layer.clear();
-                }
-                // scratch buffers hold no decode state; clear them so a
-                // reset accelerator carries nothing over (capacity is
-                // retained, keeping steady-state decoding allocation-free)
-                self.scratch_best.clear();
-                self.scratch_heap.clear();
-                self.scratch_tight.clear();
-                self.scratch_tight_degree.clear();
-                self.scratch_prematch_edges.clear();
-                self.scratch_defect_mark.clear();
-                self.dirty = true;
+                self.reset_state();
                 None
             }
             Instruction::SetDirection { node, direction } => {
-                for pu in self.vertices.iter_mut() {
-                    if pu.node == Some(node) {
-                        pu.speed = direction.value();
+                let value = direction.value();
+                if self.config.dense_reference {
+                    for v in 0..self.vs.len {
+                        if self.vs.node[v] == node {
+                            self.vs.speed[v] = value;
+                        }
+                    }
+                } else {
+                    // only covered vertices can store `node`, and every
+                    // covered vertex is in the active set
+                    let Self { vs, active, .. } = self;
+                    for &v in active.as_slice() {
+                        if vs.node[v] == node {
+                            vs.speed[v] = value;
+                        }
                     }
                 }
                 self.dirty = true;
@@ -391,11 +717,20 @@ impl MicroBlossomAccelerator {
             }
             Instruction::SetCover { from, to } => {
                 let vertex_count = self.graph.vertex_count() as u32;
-                for pu in self.vertices.iter_mut() {
-                    let touch_matches =
-                        from < vertex_count && pu.touch == Some(from as VertexIndex);
-                    if pu.node == Some(from) || touch_matches {
-                        pu.node = Some(to);
+                let retarget = |vs: &mut VertexSoa, v: VertexIndex| {
+                    let touch_matches = from < vertex_count && vs.touch[v] == from;
+                    if vs.node[v] == from || touch_matches {
+                        vs.node[v] = to;
+                    }
+                };
+                if self.config.dense_reference {
+                    for v in 0..self.vs.len {
+                        retarget(&mut self.vs, v);
+                    }
+                } else {
+                    let Self { vs, active, .. } = self;
+                    for &v in active.as_slice() {
+                        retarget(vs, v);
                     }
                 }
                 self.dirty = true;
@@ -403,22 +738,26 @@ impl MicroBlossomAccelerator {
             }
             Instruction::Grow { length } => {
                 self.ensure_stable();
-                for v in 0..self.vertices.len() {
-                    if !self.vertices[v].is_defect || self.is_virtualish(v) {
-                        continue;
-                    }
-                    let speed = if self.vertices[v].frozen {
-                        0
-                    } else {
-                        self.vertices[v].speed
-                    };
-                    let delta = length * speed as Weight;
-                    let pu = &mut self.vertices[v];
-                    pu.residual += delta;
+                let grow = |vs: &mut VertexSoa, v: VertexIndex| {
+                    let speed = if vs.frozen.get(v) { 0 } else { vs.speed[v] };
+                    vs.residual[v] += length * speed as Weight;
                     assert!(
-                        pu.residual >= 0,
+                        vs.residual[v] >= 0,
                         "defect {v} shrank below zero; the host must bound growth by y_S"
                     );
+                };
+                if self.config.dense_reference {
+                    for v in 0..self.vs.len {
+                        if !self.vs.defect.get(v) || self.is_virtualish(v) {
+                            continue;
+                        }
+                        grow(&mut self.vs, v);
+                    }
+                } else {
+                    let Self { vs, defects, .. } = self;
+                    for &v in defects.iter() {
+                        grow(vs, v);
+                    }
                 }
                 self.dirty = true;
                 None
@@ -431,52 +770,70 @@ impl MicroBlossomAccelerator {
             }
             Instruction::LoadDefects { layer } => {
                 let layer = layer as usize;
-                {
-                    let Self {
-                        vertices,
-                        staged_syndrome,
-                        scratch_defect_mark,
-                        ..
-                    } = self;
-                    scratch_defect_mark.clear();
-                    scratch_defect_mark.resize(vertices.len(), false);
-                    for &d in &staged_syndrome[layer] {
-                        scratch_defect_mark[d] = true;
+                self.fusion.mark_loaded(layer);
+                for i in 0..self.staged_syndrome[layer].len() {
+                    let d = self.staged_syndrome[layer][i];
+                    if self.vs.defect.get(d) {
+                        continue;
                     }
-                    for (v, pu) in vertices.iter_mut().enumerate() {
-                        if pu.layer != layer || pu.is_virtual {
-                            continue;
-                        }
-                        pu.is_boundary = false;
-                        if scratch_defect_mark[v] {
-                            pu.is_defect = true;
-                            pu.node = Some(v as HwNodeId);
-                            pu.touch = Some(v);
-                            pu.residual = 0;
-                            pu.speed = 1;
-                        }
-                    }
+                    self.vs.defect.set(d);
+                    self.vs.node[d] = d as HwNodeId;
+                    self.vs.touch[d] = d as u32;
+                    self.vs.residual[d] = 0;
+                    self.vs.speed[d] = 1;
+                    self.defects.push(d);
+                    self.active.insert(d);
                 }
-                self.update_fusion_weights();
                 self.dirty = true;
                 None
             }
         }
     }
 
-    /// Applies (or removes) the §6.3 fusion-boundary weight reduction.
-    fn update_fusion_weights(&mut self) {
-        for e in 0..self.edges.len() {
-            let (u, v) = self.graph.edge(e).vertices;
-            let unloaded =
-                |x: VertexIndex| !self.vertices[x].is_virtual && self.vertices[x].is_boundary;
-            let reduce = self.config.fusion_weight_reduction && (unloaded(u) ^ unloaded(v));
-            self.edges[e].weight = if reduce {
-                self.config.fusion_reduced_weight
-            } else {
-                self.edges[e].original_weight
-            };
+    /// Clears all decode state. On the sparse path this is O(active): only
+    /// the PUs that were awake carry state, so only they are cleared.
+    fn reset_state(&mut self) {
+        if self.config.dense_reference {
+            for v in 0..self.vs.len {
+                self.vs.clear_derived(v);
+            }
+            self.vs.defect.clear_all();
+            self.vs.cpu_owned.clear_all();
+            self.vs.frozen.clear_all();
+            self.e_prematch.clear_all();
+        } else {
+            let Self { vs, active, .. } = self;
+            for &v in active.as_slice() {
+                vs.clear_derived(v);
+            }
+            for &d in &self.defects {
+                self.vs.defect.unset(d);
+            }
+            for &v in &self.cpu_owned_list {
+                self.vs.cpu_owned.unset(v);
+            }
+            for &v in &self.frozen_list {
+                self.vs.frozen.unset(v);
+            }
+            for &e in &self.prematch_list {
+                self.e_prematch.unset(e);
+            }
         }
+        self.active.clear();
+        self.defects.clear();
+        self.cpu_owned_list.clear();
+        self.frozen_list.clear();
+        self.prematch_list.clear();
+        self.fusion.reset();
+        for layer in &mut self.staged_syndrome {
+            layer.clear();
+        }
+        // light scratch state; the epoch-stamped tables invalidate themselves
+        self.scratch.heap.clear();
+        self.scratch.touched.clear();
+        self.scratch.tight_list.clear();
+        self.scratch.candidates.clear();
+        self.dirty = true;
     }
 
     /// Brings the per-vertex state to the fixed point of the local update
@@ -493,288 +850,434 @@ impl MicroBlossomAccelerator {
         // stage; growth steps stop at vertex-arrival events so fronts move
         // at most one hop per instruction
         self.stats.cycles += 2;
+        self.stats.active_peak = self.stats.active_peak.max(self.active.len() as u64);
     }
 
-    /// Recomputes the stabilized compact state of every non-defect vertex
-    /// from the authoritative defect radii. Allocation-free in steady state:
-    /// the best-cover table and the propagation frontier are reusable
-    /// scratch buffers.
+    /// Recomputes the stabilized compact state from the authoritative defect
+    /// radii. The sparse path clears only the previously active vertices,
+    /// propagates from the defect list, and rebuilds the active set from the
+    /// vertices the frontier touched; the dense reference sweeps the full
+    /// arrays. Allocation-free in steady state either way.
     fn stabilize(&mut self) {
+        let dense = self.config.dense_reference;
         let Self {
             graph,
-            vertices,
-            edges,
-            scratch_best: best,
-            scratch_heap: heap,
+            config,
+            vs,
+            e_original_weight,
+            fusion,
+            defects,
+            active,
+            scratch,
+            stats,
             ..
         } = self;
-        // clear derived state
-        for pu in vertices.iter_mut() {
-            if pu.is_defect && !pu.is_boundary {
-                continue; // defect vertices always store themselves
+        // clear derived state (defect vertices always store themselves)
+        if dense {
+            for v in 0..vs.len {
+                if vs.defect.get(v) {
+                    continue;
+                }
+                vs.clear_derived(v);
             }
-            pu.node = None;
-            pu.touch = None;
-            pu.residual = 0;
-            pu.speed = 0;
+        } else {
+            for i in 0..active.items.len() {
+                let v = active.items[i];
+                if vs.defect.get(v) {
+                    continue;
+                }
+                vs.clear_derived(v);
+            }
         }
         // max-residual propagation from defect circles
         // key: (residual, speed, Reverse(touch)) so ties prefer faster nodes
-        best.clear();
-        best.resize(vertices.len(), None);
-        heap.clear();
-        for (v, pu) in vertices.iter().enumerate() {
-            if pu.is_defect && !pu.is_boundary && !pu.is_virtual {
-                heap.push((pu.residual, pu.speed, Reverse(v), v));
-            }
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        scratch.touched.clear();
+        scratch.heap.clear();
+        for &d in defects.iter() {
+            scratch
+                .heap
+                .push((vs.residual[d], vs.speed[d], Reverse(d), d));
         }
-        while let Some((residual, speed, Reverse(touch), vertex)) = heap.pop() {
-            let better = match best[vertex] {
-                None => true,
-                Some((r, s, t)) => (residual, speed, Reverse(touch)) > (r, s, Reverse(t)),
-            };
+        while let Some((residual, speed, Reverse(touch), vertex)) = scratch.heap.pop() {
+            let fresh = scratch.best_epoch[vertex] != epoch;
+            let better = fresh
+                || (residual, speed, Reverse(touch))
+                    > (
+                        scratch.best_residual[vertex],
+                        scratch.best_speed[vertex],
+                        Reverse(scratch.best_touch[vertex] as VertexIndex),
+                    );
             if !better {
                 continue;
             }
-            best[vertex] = Some((residual, speed, touch));
-            if virtualish(vertices, vertex) {
+            if fresh {
+                scratch.best_epoch[vertex] = epoch;
+                scratch.touched.push(vertex);
+            }
+            scratch.best_residual[vertex] = residual;
+            scratch.best_speed[vertex] = speed;
+            scratch.best_touch[vertex] = touch as u32;
+            if virtualish(vs, fusion, vertex) {
                 continue; // boundary vertices do not propagate covers
             }
             for &e in graph.incident_edges(vertex) {
                 let next = graph.edge(e).other(vertex);
-                let next_residual = residual - edges[e].weight;
+                let next_residual =
+                    residual - edge_weight(config, graph, vs, fusion, e_original_weight, e);
                 if next_residual < 0 {
                     continue;
                 }
                 // defect vertices keep their own circle; do not overwrite
-                if vertices[next].is_defect && !vertices[next].is_boundary {
+                if vs.defect.get(next) {
                     continue;
                 }
-                heap.push((next_residual, speed, Reverse(touch), next));
+                scratch
+                    .heap
+                    .push((next_residual, speed, Reverse(touch), next));
             }
         }
-        for v in 0..vertices.len() {
-            if vertices[v].is_defect && !vertices[v].is_boundary {
-                continue;
+        // write-back and active-set rebuild
+        active.clear();
+        for &d in defects.iter() {
+            active.insert(d);
+        }
+        let write_back = |vs: &mut VertexSoa, scratch: &Scratch, v: VertexIndex| {
+            let touch = scratch.best_touch[v] as VertexIndex;
+            let node = vs.node[touch];
+            let speed = vs.speed[touch];
+            vs.residual[v] = scratch.best_residual[v];
+            vs.touch[v] = touch as u32;
+            vs.node[v] = node;
+            vs.speed[v] = speed;
+        };
+        if dense {
+            for v in 0..vs.len {
+                if vs.defect.get(v) || virtualish(vs, fusion, v) {
+                    continue;
+                }
+                if scratch.best_epoch[v] != epoch {
+                    continue;
+                }
+                write_back(vs, scratch, v);
+                active.insert(v);
             }
-            if virtualish(vertices, v) {
-                continue; // virtual vertices never hold covers
+            stats.pus_touched += (vs.len + graph.edge_count()) as u64;
+        } else {
+            for i in 0..scratch.touched.len() {
+                let v = scratch.touched[i];
+                if vs.defect.get(v) || virtualish(vs, fusion, v) {
+                    continue;
+                }
+                write_back(vs, scratch, v);
+                active.insert(v);
             }
-            if let Some((residual, _speed, touch)) = best[v] {
-                let node = vertices[touch].node;
-                let speed = vertices[touch].speed;
-                let pu = &mut vertices[v];
-                pu.residual = residual;
-                pu.touch = Some(touch);
-                pu.node = node;
-                pu.speed = speed;
-            }
+            stats.pus_touched += scratch.touched.len() as u64;
         }
     }
 
     /// Re-evaluates the pre-match flags `m_e` (Equations 1–3) and the
-    /// resulting per-vertex freezes. Allocation-free in steady state: the
-    /// tightness, tight-degree, and candidate-edge tables are reusable
-    /// scratch buffers.
+    /// resulting per-vertex freezes. The sparse path discovers tight edges
+    /// from the active set (every tight edge has a covered endpoint), the
+    /// dense reference scans all edges; candidate evaluation and the
+    /// freeze-claiming pass run in ascending edge order in both modes, so
+    /// the applied pre-matches are identical.
     fn update_prematch(&mut self) {
-        for pu in self.vertices.iter_mut() {
-            pu.frozen = false;
-        }
-        for pu in self.edges.iter_mut() {
-            pu.prematch = false;
+        // clear the previous pass
+        if self.config.dense_reference {
+            self.vs.frozen.clear_all();
+            self.e_prematch.clear_all();
+            self.frozen_list.clear();
+            self.prematch_list.clear();
+        } else {
+            for v in self.frozen_list.drain(..) {
+                self.vs.frozen.unset(v);
+            }
+            for e in self.prematch_list.drain(..) {
+                self.e_prematch.unset(e);
+            }
         }
         if !self.config.prematch_enabled {
             return;
         }
+        let dense = self.config.dense_reference;
         let Self {
             graph,
-            vertices,
-            edges,
-            scratch_tight: tight,
-            scratch_tight_degree: tight_degree,
-            scratch_prematch_edges: prematch_edges,
+            config,
+            vs,
+            e_original_weight,
+            e_prematch,
+            fusion,
+            active,
+            scratch,
+            frozen_list,
+            prematch_list,
+            stats,
             ..
         } = self;
-        tight.clear();
-        for e in 0..edges.len() {
-            let t = edge_is_tight(graph, vertices, edges, e);
-            tight.push(t);
-        }
-        tight_degree.clear();
-        for v in 0..vertices.len() {
-            let degree = graph
-                .incident_edges(v)
-                .iter()
-                .filter(|&&e| tight[e])
-                .count();
-            tight_degree.push(degree);
-        }
-        let q = |v: VertexIndex| tight_degree[v] == 1;
-        prematch_edges.clear();
-        for e in 0..edges.len() {
-            if !tight[e] {
-                continue;
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        // tightness t_e
+        scratch.tight_list.clear();
+        if dense {
+            for e in 0..graph.edge_count() {
+                if edge_is_tight(config, graph, vs, fusion, e_original_weight, e) {
+                    scratch.tight_epoch[e] = epoch;
+                    scratch.tight_list.push(e);
+                }
             }
+        } else {
+            for i in 0..active.items.len() {
+                let v = active.items[i];
+                for &e in graph.incident_edges(v) {
+                    if scratch.tight_epoch[e] == epoch {
+                        continue;
+                    }
+                    if edge_is_tight(config, graph, vs, fusion, e_original_weight, e) {
+                        scratch.tight_epoch[e] = epoch;
+                        scratch.tight_list.push(e);
+                    }
+                }
+            }
+            scratch.tight_list.sort_unstable();
+        }
+        // tight degrees (every tight edge is in tight_list, so the counts
+        // are exact for any vertex incident to one)
+        for &e in &scratch.tight_list {
+            let (u, v) = graph.edge(e).vertices;
+            for x in [u, v] {
+                if scratch.tdeg_epoch[x] != epoch {
+                    scratch.tdeg_epoch[x] = epoch;
+                    scratch.tdeg[x] = 0;
+                }
+                scratch.tdeg[x] += 1;
+            }
+        }
+        stats.pus_touched += scratch.tight_list.len() as u64;
+        // candidate evaluation (ascending edge order, as the dense fold)
+        let tight = |e: EdgeIndex| scratch.tight_epoch[e] == epoch;
+        let q = |x: VertexIndex| scratch.tdeg_epoch[x] == epoch && scratch.tdeg[x] == 1;
+        let mut candidates = std::mem::take(&mut scratch.candidates);
+        candidates.clear();
+        for &e in &scratch.tight_list {
             let (a, b) = graph.edge(e).vertices;
-            let eligible_defect = |x: VertexIndex| {
-                let pu = &vertices[x];
-                pu.is_defect && !pu.is_boundary && pu.speed > 0 && !pu.cpu_owned
-            };
-            let m = if !virtualish(vertices, a) && !virtualish(vertices, b) {
+            let eligible_defect =
+                |x: VertexIndex| vs.defect.get(x) && vs.speed[x] > 0 && !vs.cpu_owned.get(x);
+            let m = if !virtualish(vs, fusion, a) && !virtualish(vs, fusion, b) {
                 // Equation 1: regular edge between two isolated defects
                 eligible_defect(a) && q(a) && eligible_defect(b) && q(b)
             } else {
                 // one side is a boundary (virtual or unloaded)
-                let (boundary, defect) = if virtualish(vertices, a) {
+                let (boundary, defect) = if virtualish(vs, fusion, a) {
                     (a, b)
                 } else {
                     (b, a)
                 };
-                if virtualish(vertices, defect) || !eligible_defect(defect) {
+                if virtualish(vs, fusion, defect) || !eligible_defect(defect) {
                     false
-                } else if vertices[boundary].is_virtual {
+                } else if vs.virt.get(boundary) {
                     // Equation 2: true boundary edge
                     graph.incident_edges(defect).iter().all(|&e2| {
                         if e2 == e {
                             return true;
                         }
                         let other = graph.edge(e2).other(defect);
-                        !tight[e2] || (!vertices[other].is_defect && q(other))
+                        !tight(e2) || (!vs.defect.get(other) && q(other))
                     })
                 } else {
                     // Equation 3: fusion-boundary edge; require no
                     // non-volatile tight edge around the defect
                     graph.incident_edges(defect).iter().all(|&e2| {
                         let other = graph.edge(e2).other(defect);
-                        let non_volatile =
-                            !vertices[other].is_boundary || vertices[other].is_virtual;
-                        !(tight[e2] && non_volatile)
+                        let non_volatile = fusion.loaded(vs.layer[other]) || vs.virt.get(other);
+                        !(tight(e2) && non_volatile)
                     })
                 }
             };
             if m {
-                prematch_edges.push(e);
+                candidates.push(e);
             }
         }
         // apply freezes; if two pre-matches would claim the same defect keep
         // only the first (the hardware convergecast picks one arbitrarily)
-        for &e in prematch_edges.iter() {
+        for &e in &candidates {
             let (a, b) = graph.edge(e).vertices;
-            let claimed_a = !virtualish(vertices, a) && vertices[a].frozen;
-            let claimed_b = !virtualish(vertices, b) && vertices[b].frozen;
+            let claimed_a = !virtualish(vs, fusion, a) && vs.frozen.get(a);
+            let claimed_b = !virtualish(vs, fusion, b) && vs.frozen.get(b);
             if claimed_a || claimed_b {
                 continue;
             }
-            edges[e].prematch = true;
+            e_prematch.set(e);
+            prematch_list.push(e);
             for x in [a, b] {
-                if !virtualish(vertices, x) {
-                    vertices[x].frozen = true;
+                if !virtualish(vs, fusion, x) && !vs.frozen.get(x) {
+                    vs.frozen.set(x);
+                    frozen_list.push(x);
                 }
+            }
+        }
+        scratch.candidates = candidates;
+    }
+
+    /// The conflict (if any) reported by edge `e`'s PU.
+    fn conflict_at(&self, e: EdgeIndex) -> Option<HwResponse> {
+        if self.e_prematch.get(e) {
+            return None;
+        }
+        let (a, b) = self.graph.edge(e).vertices;
+        let weight = self.edge_weight(e);
+        match (self.is_virtualish(a), self.is_virtualish(b)) {
+            (false, false) => {
+                let (na, nb) = (self.vs.node[a], self.vs.node[b]);
+                if na == NO_NODE || nb == NO_NODE || na == nb {
+                    return None;
+                }
+                if self.vs.residual[a] + self.vs.residual[b] < weight {
+                    return None;
+                }
+                let sum = self.effective_speed(a) as Weight + self.effective_speed(b) as Weight;
+                if sum <= 0 {
+                    return None;
+                }
+                Some(HwResponse::Conflict {
+                    node_1: na,
+                    node_2: nb,
+                    touch_1: self.touch_of(a),
+                    touch_2: self.touch_of(b),
+                    vertex_1: a,
+                    vertex_2: b,
+                })
+            }
+            (true, false) | (false, true) => {
+                let (boundary, side) = if self.is_virtualish(a) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let node = self.vs.node[side];
+                if node == NO_NODE {
+                    return None;
+                }
+                if self.vs.residual[side] < weight {
+                    return None;
+                }
+                if self.effective_speed(side) <= 0 {
+                    return None;
+                }
+                Some(HwResponse::ConflictVirtual {
+                    node,
+                    touch: self.touch_of(side),
+                    vertex: side,
+                    virtual_vertex: boundary,
+                })
+            }
+            (true, true) => None,
+        }
+    }
+
+    /// Folds edge `e` into the maximum-growth computation.
+    fn edge_growth_limit(&self, e: EdgeIndex, limit: &mut Weight) {
+        let (a, b) = self.graph.edge(e).vertices;
+        let weight = self.edge_weight(e);
+        for (side, other) in [(a, b), (b, a)] {
+            if self.is_virtualish(side) || !self.vs.covered(side) {
+                continue;
+            }
+            if self.effective_speed(side) <= 0 {
+                continue;
+            }
+            let other_empty = self.is_virtualish(other) || !self.vs.covered(other);
+            if other_empty {
+                *limit = (*limit).min(weight - self.vs.residual[side]);
+            }
+        }
+        if !self.is_virtualish(a)
+            && !self.is_virtualish(b)
+            && self.vs.covered(a)
+            && self.vs.covered(b)
+            && self.vs.node[a] != self.vs.node[b]
+        {
+            let sum = self.effective_speed(a) as Weight + self.effective_speed(b) as Weight;
+            if sum > 0 {
+                let gap = weight - self.vs.residual[a] - self.vs.residual[b];
+                *limit = (*limit).min(gap.div_euclid(sum));
             }
         }
     }
 
-    /// The convergecast: pick a conflict if any (skipping pre-matched ones),
-    /// otherwise compute the maximum safe growth.
+    /// The convergecast: pick the lowest-indexed conflict if any (skipping
+    /// pre-matched ones), otherwise compute the maximum safe growth. The
+    /// sparse fold visits only edges incident to the active set — every edge
+    /// that can conflict or bound growth has a covered endpoint — and
+    /// selects the minimum edge index so the reported conflict is identical
+    /// to the dense scan's.
     fn convergecast(&mut self) -> HwResponse {
+        let dense = self.config.dense_reference;
         // conflict detection (Theorem: Conflict Detection)
-        for e in 0..self.edges.len() {
-            if self.edges[e].prematch {
-                continue;
+        if dense {
+            self.stats.pus_touched += (self.vs.len + self.graph.edge_count()) as u64;
+            for e in 0..self.graph.edge_count() {
+                if let Some(conflict) = self.conflict_at(e) {
+                    return conflict;
+                }
             }
-            let (a, b) = self.graph.edge(e).vertices;
-            match (self.is_virtualish(a), self.is_virtualish(b)) {
-                (false, false) => {
-                    let (pa, pb) = (&self.vertices[a], &self.vertices[b]);
-                    let (Some(na), Some(nb)) = (pa.node, pb.node) else {
-                        continue;
-                    };
-                    if na == nb {
-                        continue;
-                    }
-                    if pa.residual + pb.residual < self.edges[e].weight {
+        } else {
+            self.stats.pus_touched += self.active.len() as u64;
+            let mut first: Option<(EdgeIndex, HwResponse)> = None;
+            for &v in self.active.as_slice() {
+                for &e in self.graph.incident_edges(v) {
+                    // min-index tracking also skips the duplicate visit of
+                    // an edge whose other endpoint is active
+                    if first.as_ref().is_some_and(|(f, _)| e >= *f) {
                         continue;
                     }
-                    let sum = self.effective_speed(a) as Weight + self.effective_speed(b) as Weight;
-                    if sum <= 0 {
-                        continue;
+                    if let Some(conflict) = self.conflict_at(e) {
+                        first = Some((e, conflict));
                     }
-                    return HwResponse::Conflict {
-                        node_1: na,
-                        node_2: nb,
-                        touch_1: pa.touch.expect("covered vertex has a touch"),
-                        touch_2: pb.touch.expect("covered vertex has a touch"),
-                        vertex_1: a,
-                        vertex_2: b,
-                    };
                 }
-                (true, false) | (false, true) => {
-                    let (boundary, side) = if self.is_virtualish(a) {
-                        (a, b)
-                    } else {
-                        (b, a)
-                    };
-                    let ps = &self.vertices[side];
-                    let Some(node) = ps.node else { continue };
-                    if ps.residual < self.edges[e].weight {
-                        continue;
-                    }
-                    if self.effective_speed(side) <= 0 {
-                        continue;
-                    }
-                    return HwResponse::ConflictVirtual {
-                        node,
-                        touch: ps.touch.expect("covered vertex has a touch"),
-                        vertex: side,
-                        virtual_vertex: boundary,
-                    };
-                }
-                (true, true) => {}
+            }
+            if let Some((_, conflict)) = first {
+                return conflict;
             }
         }
         // maximum growth (Theorem: Local Length to Grow)
         let mut any_growing = false;
         let mut limit = Weight::MAX;
-        for v in 0..self.vertices.len() {
-            if self.is_virtualish(v) || self.vertices[v].node.is_none() {
-                continue;
+        let vertex_pass = |accel: &Self, v: VertexIndex, any: &mut bool, limit: &mut Weight| {
+            if accel.is_virtualish(v) || !accel.vs.covered(v) {
+                return;
             }
-            let speed = self.effective_speed(v);
+            let speed = accel.effective_speed(v);
             if speed > 0 {
-                any_growing = true;
-            } else if speed < 0 && self.vertices[v].residual > 0 {
+                *any = true;
+            } else if speed < 0 && accel.vs.residual[v] > 0 {
                 // shrinking fronts stop at vertices so local updates stay valid
-                limit = limit.min(self.vertices[v].residual);
+                *limit = (*limit).min(accel.vs.residual[v]);
+            }
+        };
+        if dense {
+            for v in 0..self.vs.len {
+                vertex_pass(self, v, &mut any_growing, &mut limit);
+            }
+        } else {
+            for &v in self.active.as_slice() {
+                vertex_pass(self, v, &mut any_growing, &mut limit);
             }
         }
         if !any_growing {
             return HwResponse::Idle;
         }
-        for e in 0..self.edges.len() {
-            let (a, b) = self.graph.edge(e).vertices;
-            let weight = self.edges[e].weight;
-            for (side, other) in [(a, b), (b, a)] {
-                if self.is_virtualish(side) || self.vertices[side].node.is_none() {
-                    continue;
-                }
-                if self.effective_speed(side) <= 0 {
-                    continue;
-                }
-                let other_empty = self.is_virtualish(other) || self.vertices[other].node.is_none();
-                if other_empty {
-                    limit = limit.min(weight - self.vertices[side].residual);
-                }
+        if dense {
+            for e in 0..self.graph.edge_count() {
+                self.edge_growth_limit(e, &mut limit);
             }
-            if !self.is_virtualish(a)
-                && !self.is_virtualish(b)
-                && self.vertices[a].node.is_some()
-                && self.vertices[b].node.is_some()
-                && self.vertices[a].node != self.vertices[b].node
-            {
-                let sum = self.effective_speed(a) as Weight + self.effective_speed(b) as Weight;
-                if sum > 0 {
-                    let gap = weight - self.vertices[a].residual - self.vertices[b].residual;
-                    limit = limit.min(gap.div_euclid(sum));
+        } else {
+            // every bounding edge has a covered (hence active) endpoint;
+            // visiting an edge twice is harmless (min is idempotent)
+            for &v in self.active.as_slice() {
+                for &e in self.graph.incident_edges(v) {
+                    self.edge_growth_limit(e, &mut limit);
                 }
             }
         }
@@ -796,12 +1299,10 @@ impl MicroBlossomAccelerator {
 
     /// Appends the currently pre-matched pairs to `pairs` without
     /// allocating; the hot-path variant of [`Self::prematched_pairs`] used
-    /// by the host driver's reusable read-out buffer.
+    /// by the host driver's reusable read-out buffer. O(pre-matches): the
+    /// applied pre-match edges are kept as an ascending list.
     pub fn prematched_pairs_into(&self, pairs: &mut Vec<(VertexIndex, PrematchPartner)>) {
-        for e in 0..self.edges.len() {
-            if !self.edges[e].prematch {
-                continue;
-            }
+        for &e in &self.prematch_list {
             let (a, b) = self.graph.edge(e).vertices;
             match (self.is_virtualish(a), self.is_virtualish(b)) {
                 (false, false) => pairs.push((a, PrematchPartner::Defect(b))),
@@ -815,7 +1316,7 @@ impl MicroBlossomAccelerator {
     /// The pre-match partner of a specific defect vertex, if any.
     pub fn prematch_partner_of(&self, vertex: VertexIndex) -> Option<PrematchPartner> {
         for &e in self.graph.incident_edges(vertex) {
-            if !self.edges[e].prematch {
+            if !self.e_prematch.get(e) {
                 continue;
             }
             let other = self.graph.edge(e).other(vertex);
@@ -833,11 +1334,9 @@ impl MicroBlossomAccelerator {
         self.ensure_stable();
     }
 
-    /// Whether every regular vertex has been loaded.
+    /// Whether every fusion layer has been loaded.
     pub fn fully_loaded(&self) -> bool {
-        self.vertices
-            .iter()
-            .all(|pu| pu.is_virtual || !pu.is_boundary)
+        self.fusion.unloaded == 0
     }
 }
 
@@ -1032,5 +1531,129 @@ mod tests {
         assert!(!accel.vertex_pu(2).is_defect);
         assert!(!accel.fully_loaded());
         assert!(accel.prematched_pairs().is_empty());
+        assert_eq!(accel.defect_count(), 0);
+        assert_eq!(accel.active_len(), 0);
+    }
+
+    #[test]
+    fn reset_leaves_no_stale_pu_state() {
+        // after a decode + reset, every PU reads exactly like a fresh one
+        let mut used = rep_accel(9, true);
+        load_all(&mut used, &[1, 3, 4, 6]);
+        used.execute(Instruction::Grow { length: 1 });
+        used.execute(Instruction::FindConflict);
+        used.execute(Instruction::Reset);
+        used.settle();
+        let mut fresh = rep_accel(9, true);
+        fresh.settle();
+        for v in 0..used.graph().vertex_count() {
+            assert_eq!(used.vertex_pu(v), fresh.vertex_pu(v), "vertex {v}");
+        }
+        for e in 0..used.graph().edge_count() {
+            assert_eq!(used.edge_pu(e), fresh.edge_pu(e), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn duplicated_staged_defects_load_once() {
+        // a duplicated syndrome bit is still one defect: it must not
+        // double-load, double-count, or double-grow
+        let mut dup = rep_accel(9, true);
+        dup.stage_syndrome(0, &[3, 3, 4, 3]);
+        dup.execute(Instruction::LoadDefects { layer: 0 });
+        let mut once = rep_accel(9, true);
+        load_all(&mut once, &[3, 4]);
+        assert_eq!(dup.defect_count(), 2);
+        assert_eq!(dup.defect_vertices(), once.defect_vertices());
+        dup.execute(Instruction::Grow { length: 1 });
+        once.execute(Instruction::Grow { length: 1 });
+        assert_eq!(
+            dup.execute(Instruction::FindConflict),
+            once.execute(Instruction::FindConflict)
+        );
+        assert_eq!(dup.prematched_pairs(), once.prematched_pairs());
+        assert_eq!(dup.radius_of(3), once.radius_of(3));
+    }
+
+    #[test]
+    fn sparse_and_dense_sweeps_are_bit_identical() {
+        // drive both modes through the same instruction program and compare
+        // every response and the full PU state after each step
+        let program = [
+            Instruction::FindConflict,
+            Instruction::Grow { length: 1 },
+            Instruction::FindConflict,
+            Instruction::SetCover { from: 3, to: 20 },
+            Instruction::SetCover { from: 5, to: 20 },
+            Instruction::SetDirection {
+                node: 20,
+                direction: HwDirection::Stay,
+            },
+            Instruction::FindConflict,
+            Instruction::Reset,
+        ];
+        for prematch in [false, true] {
+            let graph = Arc::new(CodeCapacityRepetitionCode::new(9, 0.1).decoding_graph());
+            let mut sparse = MicroBlossomAccelerator::new(
+                Arc::clone(&graph),
+                AcceleratorConfig {
+                    prematch_enabled: prematch,
+                    ..AcceleratorConfig::default()
+                },
+            );
+            let mut dense = MicroBlossomAccelerator::new(
+                Arc::clone(&graph),
+                AcceleratorConfig {
+                    prematch_enabled: prematch,
+                    dense_reference: true,
+                    ..AcceleratorConfig::default()
+                },
+            );
+            for accel in [&mut sparse, &mut dense] {
+                load_all(accel, &[1, 3, 5, 6]);
+            }
+            for instruction in program {
+                let rs = sparse.execute(instruction);
+                let rd = dense.execute(instruction);
+                assert_eq!(rs, rd, "prematch {prematch}, {instruction:?}");
+                sparse.settle();
+                dense.settle();
+                for v in 0..graph.vertex_count() {
+                    assert_eq!(
+                        sparse.vertex_pu(v),
+                        dense.vertex_pu(v),
+                        "prematch {prematch}, {instruction:?}, vertex {v}"
+                    );
+                }
+                assert_eq!(sparse.prematched_pairs(), dense.prematched_pairs());
+            }
+        }
+    }
+
+    #[test]
+    fn active_set_tracks_defect_neighbourhood_not_lattice_size() {
+        let mut accel = rep_accel(21, true);
+        load_all(&mut accel, &[9, 10]);
+        accel.execute(Instruction::Grow { length: 1 });
+        accel.execute(Instruction::FindConflict);
+        let peak = accel.active_peak();
+        assert!(peak >= 2, "both defects must be active");
+        assert!(
+            (peak as usize) < accel.graph().vertex_count() / 2,
+            "a 2-defect shot must not wake half the lattice (peak {peak})"
+        );
+        assert!(accel.pus_touched() > 0);
+    }
+
+    #[test]
+    fn zero_defect_find_conflict_is_idle_and_touches_nothing() {
+        let mut accel = rep_accel(9, true);
+        accel.execute(Instruction::LoadDefects { layer: 0 });
+        assert_eq!(
+            accel.execute(Instruction::FindConflict).unwrap(),
+            HwResponse::Idle
+        );
+        assert_eq!(accel.active_len(), 0);
+        assert_eq!(accel.pus_touched(), 0);
     }
 }

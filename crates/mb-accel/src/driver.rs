@@ -422,14 +422,15 @@ impl DualModule for AcceleratedDual {
 
     fn dual_objective(&self) -> Weight {
         // CPU-known nodes plus the circles of defects handled entirely by the
-        // hardware pre-matcher
+        // hardware pre-matcher (folded over the loaded-defect list, not the
+        // full vertex array)
         let tracked: Weight = self.nodes.iter().map(|n| n.y).sum();
-        let graph = self.accel.graph();
-        let untracked: Weight = (0..graph.vertex_count())
-            .filter(|&v| {
-                self.accel.vertex_pu(v).is_defect && !self.node_of_hw.contains_key(&(v as HwNodeId))
-            })
-            .map(|v| self.accel.radius_of(v))
+        let untracked: Weight = self
+            .accel
+            .defect_vertices()
+            .iter()
+            .filter(|&&v| !self.node_of_hw.contains_key(&(v as HwNodeId)))
+            .map(|&v| self.accel.radius_of(v))
             .sum();
         tracked + untracked
     }

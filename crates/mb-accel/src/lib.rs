@@ -8,8 +8,11 @@
 //!
 //! * [`instruction`] — the 32-bit instruction set of Table 3;
 //! * [`accelerator`] — the PU array with the compact per-vertex state of
-//!   Table 2, isolated-conflict pre-matching (Equations 1–3) and round-wise
-//!   fusion (§6);
+//!   Table 2 in a struct-of-arrays layout, isolated-conflict pre-matching
+//!   (Equations 1–3) and round-wise fusion (§6). Every sweep folds over an
+//!   explicit **active set** (the software model of hardware PU wake-up),
+//!   so per-instruction cost follows the defect neighbourhood, not
+//!   `|V| + |E|`;
 //! * [`driver`] — the host-side driver implementing
 //!   [`mb_blossom::DualModule`] so the unmodified primal module can drive
 //!   the hardware, plus the lazy node materialization that makes

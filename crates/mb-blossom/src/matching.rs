@@ -75,19 +75,30 @@ impl PerfectMatching {
     ///
     /// Panics if a matched pair is unreachable on the graph.
     pub fn correction(&self, graph: &DecodingGraph) -> Vec<EdgeIndex> {
-        let mut parity = vec![false; graph.edge_count()];
-        let mut toggle = |edges: Vec<EdgeIndex>| {
-            for e in edges {
-                parity[e] ^= true;
-            }
-        };
+        // collect all path edges, then keep those toggled an odd number of
+        // times — O(path edges), not O(|E|), so correction extraction costs
+        // what the matching touches, not the lattice size
+        let mut edges: Vec<EdgeIndex> = Vec::new();
         for &(a, b) in &self.pairs {
-            toggle(path_between(graph, a, b).expect("matched pair must be connected"));
+            edges.extend(path_between(graph, a, b).expect("matched pair must be connected"));
         }
         for &(d, v) in &self.boundary {
-            toggle(path_between(graph, d, v).expect("boundary match must be connected"));
+            edges.extend(path_between(graph, d, v).expect("boundary match must be connected"));
         }
-        (0..graph.edge_count()).filter(|&e| parity[e]).collect()
+        edges.sort_unstable();
+        let mut correction = Vec::new();
+        let mut i = 0;
+        while i < edges.len() {
+            let mut j = i + 1;
+            while j < edges.len() && edges[j] == edges[i] {
+                j += 1;
+            }
+            if (j - i) % 2 == 1 {
+                correction.push(edges[i]);
+            }
+            i = j;
+        }
+        correction
     }
 
     /// Logical observables flipped by the correction.

@@ -78,6 +78,27 @@ pub trait DecoderBackend: Send {
     fn finish_rounds(&mut self, _layer: usize, _defects: &[VertexIndex]) -> DecodeOutcome {
         panic!("{} does not support round-wise ingestion", self.name());
     }
+
+    /// Cumulative accelerator-activity counters of this backend, when it is
+    /// backed by the simulated PU array (`None` for pure-software decoders).
+    /// The decode pool folds per-job deltas of these into its own
+    /// [`crate::pipeline::DecodePool::accel_pus_touched`]-style counters, so
+    /// the sparse-activation win is observable from the bench binaries.
+    fn accel_observability(&self) -> Option<AccelObservability> {
+        None
+    }
+}
+
+/// Activity counters of an accelerator-backed backend, cumulative since the
+/// backend was built (monotone, so per-job deltas are meaningful).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccelObservability {
+    /// Peak active-set size (most vertex PUs awake at once).
+    pub active_peak: u64,
+    /// Total PU visits performed by the sweep engines.
+    pub pus_touched: u64,
+    /// Shots whose syndrome was empty and skipped the dual phase entirely.
+    pub zero_defect_shots: u64,
 }
 
 /// Construction recipe for a [`DecoderBackend`].

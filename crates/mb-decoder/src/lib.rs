@@ -65,7 +65,7 @@ pub mod pipeline;
 pub mod stream;
 pub mod uf;
 
-pub use backend::{BackendSpec, DecoderBackend};
+pub use backend::{AccelObservability, BackendSpec, DecoderBackend};
 pub use evaluation::{
     evaluate_decoder, evaluate_decoder_sharded, phase_profile, EvaluationResult, PhaseProfile,
 };

@@ -11,7 +11,7 @@
 //!   (`materialize_all_defects = false`);
 //! * **round-wise fusion** — [`MicroBlossomConfig::stream_decoding`].
 
-use crate::backend::DecoderBackend;
+use crate::backend::{AccelObservability, DecoderBackend};
 use crate::outcome::{DecodeOutcome, LatencyBreakdown};
 use mb_accel::{
     AcceleratedDual, AcceleratorConfig, MicroBlossomAccelerator, PollEvent, PrematchPartner,
@@ -34,6 +34,10 @@ pub struct MicroBlossomConfig {
     /// Force the CPU to materialize every defect up front (disables the
     /// lazy-node optimization; used by the Figure 10a ablation).
     pub materialize_all_defects: bool,
+    /// Debug reference mode: run the accelerator's sweeps over the full PU
+    /// arrays instead of the sparse active set. Bit-identical results;
+    /// retained for differential testing (`tests/sparse_equals_dense.rs`).
+    pub dense_reference: bool,
     /// Hardware timing model used to convert counters into latency.
     pub timing: TimingModel,
 }
@@ -46,6 +50,7 @@ impl MicroBlossomConfig {
             stream_decoding: true,
             fusion_weight_reduction: true,
             materialize_all_defects: false,
+            dense_reference: false,
             timing: TimingModel::for_graph(graph, code_distance),
         }
     }
@@ -57,6 +62,7 @@ impl MicroBlossomConfig {
             stream_decoding: false,
             fusion_weight_reduction: false,
             materialize_all_defects: true,
+            dense_reference: false,
             timing: TimingModel::for_graph(graph, code_distance),
         }
     }
@@ -68,8 +74,16 @@ impl MicroBlossomConfig {
             stream_decoding: false,
             fusion_weight_reduction: false,
             materialize_all_defects: false,
+            dense_reference: false,
             timing: TimingModel::for_graph(graph, code_distance),
         }
+    }
+
+    /// The same configuration with the accelerator's dense-reference sweeps
+    /// enabled (for differential testing against the sparse active set).
+    pub fn with_dense_reference(mut self) -> Self {
+        self.dense_reference = true;
+        self
     }
 }
 
@@ -84,6 +98,9 @@ pub struct MicroBlossomDecoder {
     layers_scratch: Vec<Vec<VertexIndex>>,
     /// Reusable per-conflict buffer for not-yet-materialized defects.
     unknown_scratch: Vec<VertexIndex>,
+    /// Shots (cumulative over this decoder's lifetime) whose syndrome was
+    /// empty and took the zero-defect fast path.
+    zero_defect_shots: u64,
 }
 
 impl MicroBlossomDecoder {
@@ -92,6 +109,7 @@ impl MicroBlossomDecoder {
         let accel_config = AcceleratorConfig {
             prematch_enabled: config.prematch_enabled,
             fusion_weight_reduction: config.fusion_weight_reduction && config.stream_decoding,
+            dense_reference: config.dense_reference,
             ..AcceleratorConfig::default()
         };
         let accel = MicroBlossomAccelerator::new(Arc::clone(&graph), accel_config);
@@ -102,6 +120,7 @@ impl MicroBlossomDecoder {
             config,
             layers_scratch: Vec::new(),
             unknown_scratch: Vec::new(),
+            zero_defect_shots: 0,
         }
     }
 
@@ -161,7 +180,9 @@ impl MicroBlossomDecoder {
             }
             self.materialize_if_configured(&syndrome.defects);
             let snapshot = self.counters();
-            self.run_to_completion();
+            if self.drive_dual_phase() {
+                self.zero_defect_shots += 1;
+            }
             self.complete_matching(snapshot)
         };
         self.layers_scratch = layers;
@@ -176,7 +197,7 @@ impl MicroBlossomDecoder {
         let loaded = self.driver.load_round(defects);
         assert_eq!(loaded, layer, "rounds must be ingested in layer order");
         self.materialize_if_configured(defects);
-        self.run_to_completion();
+        self.drive_dual_phase();
     }
 
     /// The final round of a stream decode: latency is measured from the
@@ -192,8 +213,23 @@ impl MicroBlossomDecoder {
         let mut snapshot = self.counters();
         // re-charge the final load instruction to the measured window
         snapshot.bus_writes -= 1;
-        self.run_to_completion();
+        if self.drive_dual_phase() {
+            self.zero_defect_shots += 1;
+        }
         self.complete_matching(snapshot)
+    }
+
+    /// Runs the dual phase unless the shot is (so far) defect-free, in which
+    /// case it is skipped entirely — the identity correction needs no
+    /// accelerator polling. Returns `true` when the fast path was taken.
+    /// The condition is purely accelerator state, so batch decoding and
+    /// round-wise ingestion of the same syndrome stay bit-identical.
+    fn drive_dual_phase(&mut self) -> bool {
+        if self.driver.accelerator().defect_count() == 0 {
+            return true;
+        }
+        self.run_to_completion();
+        false
     }
 
     /// Completes the perfect matching with the hardware-only pre-matched
@@ -360,6 +396,15 @@ impl DecoderBackend for MicroBlossomDecoder {
         let (matching, breakdown) = self.finish_session(layer, defects);
         self.outcome_from(matching, breakdown)
     }
+
+    fn accel_observability(&self) -> Option<AccelObservability> {
+        let accel = self.driver.accelerator();
+        Some(AccelObservability {
+            active_peak: accel.active_peak(),
+            pus_touched: accel.pus_touched(),
+            zero_defect_shots: self.zero_defect_shots,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -518,6 +563,80 @@ mod tests {
         assert!(!DecoderBackend::supports_round_ingestion(&batch));
         let stream = MicroBlossomDecoder::full(graph, Some(3));
         assert!(DecoderBackend::supports_round_ingestion(&stream));
+    }
+
+    #[test]
+    fn zero_defect_shot_skips_the_dual_phase() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.01).decoding_graph());
+        for (c, config) in all_configs(&graph).into_iter().enumerate() {
+            let mut decoder = MicroBlossomDecoder::new(Arc::clone(&graph), config);
+            let before = decoder.accel_observability().unwrap();
+            let outcome = decoder.decode(&SyndromePattern::empty());
+            let after = decoder.accel_observability().unwrap();
+            assert_eq!(outcome.observable, 0, "config {c}");
+            assert_eq!(outcome.matching.as_ref().map(|m| m.defect_count()), Some(0));
+            assert_eq!(
+                after.zero_defect_shots,
+                before.zero_defect_shots + 1,
+                "config {c} must count the fast path"
+            );
+            // no FindConflict poll: the only blocking read in the measured
+            // window is the end-of-decode pre-match read-out
+            assert_eq!(outcome.breakdown.bus_reads, 1, "config {c}");
+            assert_eq!(outcome.breakdown.cpu_obstacles, 0, "config {c}");
+            // a defect-bearing decode does not take the fast path
+            let defect = (0..graph.vertex_count())
+                .find(|&v| !graph.is_virtual(v) && graph.layer_of(v) == 0)
+                .unwrap();
+            decoder.decode(&SyndromePattern::new(vec![defect]));
+            assert_eq!(
+                decoder.accel_observability().unwrap().zero_defect_shots,
+                after.zero_defect_shots
+            );
+        }
+    }
+
+    #[test]
+    fn zero_defect_round_ingestion_matches_batch_fast_path() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.01).decoding_graph());
+        let mut batch = MicroBlossomDecoder::full(Arc::clone(&graph), Some(3));
+        let mut incremental = MicroBlossomDecoder::full(Arc::clone(&graph), Some(3));
+        let want = batch.decode(&SyndromePattern::empty());
+        incremental.begin_rounds();
+        for t in 0..graph.num_layers() - 1 {
+            incremental.ingest_round(t, &[]);
+        }
+        let got = incremental.finish_rounds(graph.num_layers() - 1, &[]);
+        assert_eq!(got, want, "all-empty rounds must hit the same fast path");
+        assert_eq!(
+            incremental.accel_observability().unwrap().zero_defect_shots,
+            1
+        );
+    }
+
+    #[test]
+    fn sparse_activity_counters_grow_with_defects_not_lattice() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(5, 5, 0.004).decoding_graph());
+        let mut decoder = MicroBlossomDecoder::full(Arc::clone(&graph), Some(5));
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let shot = loop {
+            let shot = sampler.sample(&mut rng);
+            if !shot.syndrome.is_empty() && shot.syndrome.len() <= 4 {
+                break shot;
+            }
+        };
+        decoder.decode(&shot.syndrome);
+        let obs = decoder.accel_observability().unwrap();
+        assert!(obs.active_peak >= shot.syndrome.len() as u64);
+        assert!(
+            (obs.active_peak as usize) < graph.vertex_count() / 2,
+            "a {}-defect shot woke {} of {} PUs",
+            shot.syndrome.len(),
+            obs.active_peak,
+            graph.vertex_count()
+        );
+        assert!(obs.pus_touched > 0);
     }
 
     #[test]

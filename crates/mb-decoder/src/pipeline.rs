@@ -40,7 +40,7 @@
 //! assert_eq!(result.shots, 200);
 //! ```
 
-use crate::backend::{BackendSpec, DecoderBackend};
+use crate::backend::{AccelObservability, BackendSpec, DecoderBackend};
 use crate::evaluation::EvaluationResult;
 use crate::outcome::LatencyBreakdown;
 use mb_graph::syndrome::{ErrorSampler, Shot};
@@ -294,6 +294,38 @@ impl JobState {
     }
 }
 
+/// Pool-wide accelerator-activity counters, folded from per-job deltas of
+/// each backend's cumulative [`AccelObservability`]. The
+/// [`DecodePool::backends_built`]-style observability surface for the
+/// sparse-activation hot path.
+#[derive(Debug, Default)]
+struct AccelTelemetry {
+    active_peak: AtomicU64,
+    pus_touched: AtomicU64,
+    zero_defect_shots: AtomicU64,
+}
+
+impl AccelTelemetry {
+    /// Folds the delta a finished job produced on one backend. `before` is
+    /// `None` the first time a worker touches a freshly built backend.
+    fn fold(&self, before: Option<AccelObservability>, after: Option<AccelObservability>) {
+        let Some(after) = after else { return };
+        let before = before.unwrap_or_default();
+        self.active_peak
+            .fetch_max(after.active_peak, Ordering::Relaxed);
+        self.pus_touched.fetch_add(
+            after.pus_touched.saturating_sub(before.pus_touched),
+            Ordering::Relaxed,
+        );
+        self.zero_defect_shots.fetch_add(
+            after
+                .zero_defect_shots
+                .saturating_sub(before.zero_defect_shots),
+            Ordering::Relaxed,
+        );
+    }
+}
+
 /// Identity of a pooled backend: the spec's full configuration plus the
 /// address of the decoding graph.
 ///
@@ -384,6 +416,7 @@ pub struct DecodePool {
     senders: Vec<mpsc::Sender<Arc<JobState>>>,
     handles: Vec<JoinHandle<()>>,
     builds: Arc<AtomicU64>,
+    telemetry: Arc<AccelTelemetry>,
     /// Rotates the first participant of partial-width jobs so concurrent
     /// submitters do not all queue behind worker 0.
     next_base: AtomicUsize,
@@ -409,14 +442,16 @@ impl DecodePool {
     /// Spawns a pool with `workers` persistent worker threads (at least 1).
     pub fn new(workers: usize) -> Self {
         let builds = Arc::new(AtomicU64::new(0));
+        let telemetry = Arc::new(AccelTelemetry::default());
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for index in 0..workers.max(1) {
             let (sender, receiver) = mpsc::channel::<Arc<JobState>>();
             let builds = Arc::clone(&builds);
+            let telemetry = Arc::clone(&telemetry);
             let handle = std::thread::Builder::new()
                 .name(format!("mb-decode-{index}"))
-                .spawn(move || worker_main(receiver, builds))
+                .spawn(move || worker_main(receiver, builds, telemetry))
                 .expect("failed to spawn decode worker");
             senders.push(sender);
             handles.push(handle);
@@ -429,6 +464,7 @@ impl DecodePool {
             senders,
             handles,
             builds,
+            telemetry,
             next_base: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             stream_pinned,
@@ -454,6 +490,26 @@ impl DecodePool {
     /// `(spec, graph)` leaves this unchanged — that is the pooling win.
     pub fn backends_built(&self) -> u64 {
         self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Peak active-set size any accelerator-backed backend of this pool
+    /// observed (most vertex PUs awake at once in a single shot's decode).
+    pub fn accel_active_peak(&self) -> u64 {
+        self.telemetry.active_peak.load(Ordering::Relaxed)
+    }
+
+    /// Total PU visits the sweep engines of this pool's accelerator-backed
+    /// backends performed. Divided by shots decoded, this exposes the
+    /// sparse-activation win per shot: the quotient tracks syndrome weight,
+    /// not `|V| + |E|`.
+    pub fn accel_pus_touched(&self) -> u64 {
+        self.telemetry.pus_touched.load(Ordering::Relaxed)
+    }
+
+    /// Shots that skipped the dual phase entirely because their syndrome
+    /// was empty (the zero-defect fast path).
+    pub fn accel_zero_defect_shots(&self) -> u64 {
+        self.telemetry.zero_defect_shots.load(Ordering::Relaxed)
     }
 
     /// How many of this pool's workers a job with the given worker budget
@@ -591,16 +647,22 @@ impl Drop for DecodePool {
 /// source (batch chunks or a live stream queue) until it is exhausted, then
 /// signal completion. Panics inside a job are caught and propagated to the
 /// submitting thread so the pool survives a failing backend.
-fn worker_main(receiver: mpsc::Receiver<Arc<JobState>>, builds: Arc<AtomicU64>) {
+fn worker_main(
+    receiver: mpsc::Receiver<Arc<JobState>>,
+    builds: Arc<AtomicU64>,
+    telemetry: Arc<AccelTelemetry>,
+) {
     let mut cache = BackendCache::new(BACKEND_CACHE_CAPACITY, builds);
     while let Ok(job) = receiver.recv() {
         let result = catch_unwind(AssertUnwindSafe(|| {
             let backend = cache.get_or_build(&job.spec, &job.graph);
+            let before = backend.accel_observability();
             let sampler = ErrorSampler::new(&job.graph);
             match &job.source {
                 WorkSource::Batch(batch) => batch.decode_all(backend, &sampler),
                 WorkSource::Stream(stream) => stream.serve(backend, &sampler, &job.graph),
             }
+            telemetry.fold(before, backend.accel_observability());
         }));
         let mut done = job.done.lock().expect("decode pool mutex poisoned");
         if let Err(payload) = result {

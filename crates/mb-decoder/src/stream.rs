@@ -468,11 +468,22 @@ impl std::fmt::Debug for RoundFeeder {
 impl RoundFeeder {
     /// Pushes the defect vertices observed in the next measurement round.
     ///
+    /// Repeated defect indices within the round are deduplicated: a
+    /// duplicated syndrome bit is still one defect, and forwarding it twice
+    /// would double-count it in the shot's defect tally (and double-load it
+    /// into backends without their own dedupe).
+    ///
     /// Rounds pushed after the stream was closed (which force-finishes the
     /// shot) are silently dropped.
     pub fn push_round(&mut self, defects: &[VertexIndex]) {
+        let mut round = Vec::with_capacity(defects.len());
+        for &d in defects {
+            if !round.contains(&d) {
+                round.push(d);
+            }
+        }
         // a send error means the serving worker died; the ticket will report
-        let _ = self.tx.send(RoundMsg::Round(defects.to_vec()));
+        let _ = self.tx.send(RoundMsg::Round(round));
     }
 
     /// Marks the shot complete and returns its ticket.
@@ -848,6 +859,32 @@ mod tests {
         let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(Ticket::recv).collect();
         stream.close();
         assert_eq!(outcomes, reference);
+    }
+
+    #[test]
+    fn duplicated_defects_within_a_round_decode_once() {
+        // a duplicated syndrome bit is one defect: the feeder must dedupe it
+        // instead of double-counting (and double-loading it into backends
+        // that assemble the rounds into a syndrome themselves)
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.03).decoding_graph());
+        let defect = (0..graph.vertex_count())
+            .find(|&v| !graph.is_virtual(v) && graph.layer_of(v) == 0)
+            .unwrap();
+        for spec in [BackendSpec::micro_full(Some(3)), BackendSpec::union_find()] {
+            let stream = StreamDecoder::builder(spec, Arc::clone(&graph))
+                .pool(Arc::new(DecodePool::new(1)))
+                .start();
+            let mut deduped = stream.begin_shot(0);
+            deduped.push_round(&[defect, defect, defect]);
+            let got = deduped.finish().recv();
+            let mut clean = stream.begin_shot(0);
+            clean.push_round(&[defect]);
+            let want = clean.finish().recv();
+            assert_eq!(got.defects, 1, "duplicates must not inflate the tally");
+            assert_eq!(got.decoded_observable, want.decoded_observable);
+            assert_eq!(got.breakdown, want.breakdown);
+            stream.close();
+        }
     }
 
     #[test]

@@ -81,18 +81,77 @@ pub fn dijkstra(graph: &DecodingGraph, source: VertexIndex) -> ShortestPaths {
     }
 }
 
-/// Shortest distance between two vertices, or `None` if unreachable.
-pub fn distance_between(graph: &DecodingGraph, u: VertexIndex, v: VertexIndex) -> Option<Weight> {
-    dijkstra(graph, u).distance_to(v)
+/// Early-terminating point-to-point Dijkstra: settles vertices in the same
+/// `(distance, vertex)` order (and with the same strict-improvement update
+/// rule) as [`dijkstra`], so the distance and predecessor chain of `target`
+/// are identical to the full run — but it stops the moment `target` is
+/// settled and keeps its tentative state in a hash map, visiting only the
+/// ball of radius `d(source, target)` around the source. This is the
+/// hot-path variant behind correction extraction: for sparse syndromes the
+/// matched pairs are close together, so the cost tracks the pair distance,
+/// not the lattice size.
+type SettledBall = std::collections::HashMap<VertexIndex, (Weight, Option<EdgeIndex>)>;
+
+/// Runs the early-terminating search; see [`SettledBall`]. Returns the
+/// target's distance together with the `(distance, predecessor)` entries of
+/// the settled ball, or `None` when `target` is unreachable.
+fn settle_target(
+    graph: &DecodingGraph,
+    source: VertexIndex,
+    target: VertexIndex,
+) -> Option<(Weight, SettledBall)> {
+    let mut best: SettledBall = SettledBall::new();
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexIndex)>> = BinaryHeap::new();
+    best.insert(source, (0, None));
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((dist, v))) = heap.pop() {
+        if best[&v].0 != dist {
+            continue;
+        }
+        if v == target {
+            return Some((dist, best));
+        }
+        if graph.is_virtual(v) && v != source {
+            continue; // boundary vertices terminate paths
+        }
+        for &e in graph.incident_edges(v) {
+            let u = graph.edge(e).other(v);
+            let next = dist + graph.edge(e).weight;
+            let improves = match best.get(&u) {
+                None => true,
+                Some(&(d, _)) => next < d,
+            };
+            if improves {
+                best.insert(u, (next, Some(e)));
+                heap.push(Reverse((next, u)));
+            }
+        }
+    }
+    None
 }
 
-/// Shortest path (edge list) between two vertices.
+/// Shortest distance between two vertices, or `None` if unreachable.
+pub fn distance_between(graph: &DecodingGraph, u: VertexIndex, v: VertexIndex) -> Option<Weight> {
+    settle_target(graph, u, v).map(|(dist, _)| dist)
+}
+
+/// Shortest path (edge list) between two vertices. Identical to the path
+/// [`dijkstra`] reconstructs, computed with the early-terminating search.
 pub fn path_between(
     graph: &DecodingGraph,
     u: VertexIndex,
     v: VertexIndex,
 ) -> Option<Vec<EdgeIndex>> {
-    dijkstra(graph, u).path_to(v, graph)
+    let (_, best) = settle_target(graph, u, v)?;
+    let mut path = Vec::new();
+    let mut current = v;
+    while current != u {
+        let e = best[&current].1?;
+        path.push(e);
+        current = graph.edge(e).other(current);
+    }
+    path.reverse();
+    Some(path)
 }
 
 /// Distance from `u` to its closest virtual vertex together with that vertex.
