@@ -5,6 +5,7 @@
 use crate::backend::{BackendSpec, DecoderBackend};
 use crate::parity::ParityBlossomDecoder;
 use crate::pipeline::ShardedPipeline;
+use mb_graph::circuit::CompiledCircuit;
 use mb_graph::DecodingGraph;
 use std::sync::Arc;
 
@@ -109,6 +110,46 @@ pub fn evaluate_decoder(
     seed: u64,
 ) -> EvaluationResult {
     ShardedPipeline::new(spec.clone(), Arc::clone(graph)).evaluate(shots, seed)
+}
+
+/// Runs `shots` Monte-Carlo decoding shots under **circuit-level noise**:
+/// shots are sampled from the circuit's fault mechanisms (per-shot seeded
+/// RNG, so bit-identical for any shard/thread count) and decoded on the
+/// backend described by `spec` over the circuit's merged decoding graph.
+///
+/// The circuit-noise analogue of [`evaluate_decoder`]:
+///
+/// ```
+/// use mb_decoder::evaluation::evaluate_circuit;
+/// use mb_decoder::BackendSpec;
+/// use mb_graph::circuit::CircuitLevelCode;
+/// use std::sync::Arc;
+///
+/// let circuit = Arc::new(CircuitLevelCode::rotated(3, 3, 0.01).compile());
+/// let result = evaluate_circuit(&BackendSpec::micro_full(Some(3)), &circuit, 200, 7);
+/// assert_eq!(result.shots, 200);
+/// ```
+pub fn evaluate_circuit(
+    spec: &BackendSpec,
+    circuit: &Arc<CompiledCircuit>,
+    shots: usize,
+    seed: u64,
+) -> EvaluationResult {
+    ShardedPipeline::new(spec.clone(), Arc::clone(circuit.graph()))
+        .evaluate_circuit(circuit, shots, seed)
+}
+
+/// Like [`evaluate_circuit`], with an explicit shard count.
+pub fn evaluate_circuit_sharded(
+    spec: &BackendSpec,
+    circuit: &Arc<CompiledCircuit>,
+    shots: usize,
+    seed: u64,
+    shards: usize,
+) -> EvaluationResult {
+    ShardedPipeline::new(spec.clone(), Arc::clone(circuit.graph()))
+        .with_shards(shards)
+        .evaluate_circuit(circuit, shots, seed)
 }
 
 /// Like [`evaluate_decoder`], with an explicit shard count.

@@ -23,7 +23,9 @@
 //!   per-shot tickets, bit-identical to batch decoding;
 //! * [`evaluation`] — Monte-Carlo harness producing logical error rates,
 //!   latency distributions, cutoff latencies and effective logical error
-//!   rates (§8.2–§8.3), running on top of the pipeline.
+//!   rates (§8.2–§8.3), running on top of the pipeline; circuit-level
+//!   workloads run through [`evaluation::evaluate_circuit`], which samples
+//!   fault *mechanisms* instead of merged edges.
 //!
 //! # Quickstart
 //!
@@ -67,7 +69,8 @@ pub mod uf;
 
 pub use backend::{AccelObservability, BackendSpec, DecoderBackend};
 pub use evaluation::{
-    evaluate_decoder, evaluate_decoder_sharded, phase_profile, EvaluationResult, PhaseProfile,
+    evaluate_circuit, evaluate_circuit_sharded, evaluate_decoder, evaluate_decoder_sharded,
+    phase_profile, EvaluationResult, PhaseProfile,
 };
 pub use micro::{MicroBlossomConfig, MicroBlossomDecoder};
 pub use outcome::{DecodeOutcome, LatencyBreakdown};

@@ -156,8 +156,8 @@ impl MicroBlossomDecoder {
     /// latency breakdown.
     ///
     /// In the stream configuration this is expressed through the same
-    /// round-wise session primitives ([`Self::ingest_one_round`] /
-    /// [`Self::finish_session`]) the incremental
+    /// round-wise session primitives (`ingest_one_round` /
+    /// `finish_session`) the incremental
     /// [`DecoderBackend::ingest_round`] path uses, so feeding rounds as they
     /// arrive is bit-identical to decoding the assembled syndrome.
     pub fn decode_matching(

@@ -43,6 +43,7 @@
 use crate::backend::{AccelObservability, BackendSpec, DecoderBackend};
 use crate::evaluation::EvaluationResult;
 use crate::outcome::LatencyBreakdown;
+use mb_graph::circuit::{CircuitErrorSampler, CompiledCircuit};
 use mb_graph::syndrome::{ErrorSampler, Shot};
 use mb_graph::{DecodingGraph, ObservableMask};
 use rand::SeedableRng;
@@ -166,6 +167,12 @@ pub fn skewed_workload(graph: &DecodingGraph, easy: usize, hard: usize) -> Vec<S
 enum JobInput {
     /// Sample shot `i` from `shot_rng(seed, i)` inside the worker.
     Sampled { seed: u64 },
+    /// Sample shot `i` from the circuit's fault mechanisms with
+    /// `shot_rng(seed, i)` inside the worker (circuit-level noise).
+    CircuitSampled {
+        circuit: Arc<CompiledCircuit>,
+        seed: u64,
+    },
     /// Decode an explicit, pre-materialized shot list.
     Explicit { shots: Arc<[Shot]> },
 }
@@ -223,6 +230,11 @@ impl BatchSource {
             JobInput::Sampled { seed } => {
                 let mut rng = shot_rng(*seed, index as u64);
                 let shot = sampler.sample(&mut rng);
+                decode_one(backend, index, &shot)
+            }
+            JobInput::CircuitSampled { circuit, seed } => {
+                let mut rng = shot_rng(*seed, index as u64);
+                let shot = CircuitErrorSampler::new(circuit).sample(&mut rng);
                 decode_one(backend, index, &shot)
             }
             JobInput::Explicit { shots } => decode_one(backend, index, &shots[index]),
@@ -514,7 +526,7 @@ impl DecodePool {
 
     /// How many of this pool's workers a job with the given worker budget
     /// and shot count actually engages — the single source of truth for the
-    /// participant clamp [`Self::run`] applies.
+    /// participant clamp the batch runner applies.
     pub fn effective_workers(&self, shards: usize, shots: usize) -> usize {
         shards.clamp(1, self.senders.len()).min(shots.max(1))
     }
@@ -781,6 +793,42 @@ impl ShardedPipeline {
         )
     }
 
+    /// Samples and decodes `shots` circuit-level shots: shot `i` is drawn
+    /// from the circuit's fault mechanisms with `shot_rng(seed, i)` inside
+    /// the workers, so the result is bit-identical for any worker count,
+    /// exactly like [`Self::run_sampled`].
+    ///
+    /// Mechanism-level sampling differs from edge-level sampling in the
+    /// random stream it consumes (one draw per fault location, not per
+    /// merged edge), so the shots differ from `run_sampled` on the same
+    /// graph even though the two are distribution-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` was not compiled for this pipeline's graph (the
+    /// worker backends are keyed by graph identity).
+    pub fn run_circuit_sampled(
+        &self,
+        circuit: &Arc<CompiledCircuit>,
+        shots: usize,
+        seed: u64,
+    ) -> Vec<ShotOutcome> {
+        assert!(
+            Arc::ptr_eq(circuit.graph(), &self.graph),
+            "circuit was compiled for a different graph than this pipeline decodes"
+        );
+        self.pool().run(
+            &self.spec,
+            &self.graph,
+            JobInput::CircuitSampled {
+                circuit: Arc::clone(circuit),
+                seed,
+            },
+            shots,
+            self.shards,
+        )
+    }
+
     /// Decodes an explicit list of shots, returning outcomes in input order.
     ///
     /// Copies the shot list once so the persistent workers can share it;
@@ -809,6 +857,19 @@ impl ShardedPipeline {
     /// single-threaded).
     pub fn evaluate(&self, shots: usize, seed: u64) -> EvaluationResult {
         let outcomes = self.run_sampled(shots, seed);
+        aggregate(self.spec.name(), &outcomes)
+    }
+
+    /// Samples, decodes, and aggregates `shots` circuit-level shots; the
+    /// circuit-noise analogue of [`Self::evaluate`] (see
+    /// [`Self::run_circuit_sampled`]).
+    pub fn evaluate_circuit(
+        &self,
+        circuit: &Arc<CompiledCircuit>,
+        shots: usize,
+        seed: u64,
+    ) -> EvaluationResult {
+        let outcomes = self.run_circuit_sampled(circuit, shots, seed);
         aggregate(self.spec.name(), &outcomes)
     }
 }

@@ -1,4 +1,4 @@
-//! Adapter exposing the Union-Find decoder through the common [`Decoder`]
+//! Adapter exposing the Union-Find decoder through the common [`DecoderBackend`]
 //! interface, with a Helios-style hardware latency model (Figure 11a).
 //!
 //! Helios [25, 26] runs the UF decoder on an FPGA with one processing unit

@@ -4,14 +4,16 @@
 //! code and the rotated surface code under code-capacity, phenomenological,
 //! and circuit-level noise. This module provides the first two noise models
 //! for the repetition, planar, and rotated surface codes; circuit-level
-//! graphs are produced by the `mb-noise` crate from an explicit
-//! syndrome-extraction circuit.
+//! graphs are built by [`crate::circuit::CircuitLevelCode`] from an
+//! explicit syndrome-extraction fault model. All rotated-lattice geometry
+//! is shared through [`crate::lattice::RotatedLattice`].
 //!
 //! The rotated-surface-code vertex counting follows the paper's Table 4:
 //! `(d²-1)/2` stabilizer vertices plus `d+1` virtual vertices per
 //! measurement round.
 
 use crate::graph::{DecodingGraph, DecodingGraphBuilder};
+use crate::lattice::RotatedLattice;
 use crate::types::{Position, VertexIndex, Weight};
 use crate::weights::WeightScaler;
 use std::collections::HashMap;
@@ -23,6 +25,14 @@ pub const UNIFORM_WEIGHT: Weight = 2;
 ///
 /// The decoding graph is a path: `virtual — v_1 — … — v_{d-1} — virtual`
 /// with `d` edges, one per data qubit.
+///
+/// ```
+/// use mb_graph::codes::CodeCapacityRepetitionCode;
+///
+/// let graph = CodeCapacityRepetitionCode::new(5, 0.1).decoding_graph();
+/// assert_eq!(graph.regular_count(), 4); // d-1 stabilizers
+/// assert_eq!(graph.edge_count(), 5); // d data qubits
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodeCapacityRepetitionCode {
     /// Code distance (number of data qubits).
@@ -67,6 +77,14 @@ impl CodeCapacityRepetitionCode {
 ///
 /// The graph is a `d × (d-1)` grid of stabilizers with one virtual vertex at
 /// each end of every row; the `d² + (d-1)²` edges are the data qubits.
+///
+/// ```
+/// use mb_graph::codes::CodeCapacityPlanarCode;
+///
+/// let graph = CodeCapacityPlanarCode::new(3, 0.05).decoding_graph();
+/// assert_eq!(graph.regular_count(), 6); // d(d-1)
+/// assert_eq!(graph.edge_count(), 13); // d² + (d-1)²
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodeCapacityPlanarCode {
     /// Code distance.
@@ -126,24 +144,24 @@ impl CodeCapacityPlanarCode {
 /// type (X errors detected by Z stabilizers).
 ///
 /// Per measurement round this graph has `(d²-1)/2` stabilizer vertices and
-/// `d+1` virtual vertices, matching Table 4 of the paper.
+/// `d+1` virtual vertices, matching Table 4 of the paper. The lattice
+/// geometry is shared with the other rotated-code noise models through
+/// [`RotatedLattice`].
+///
+/// ```
+/// use mb_graph::codes::CodeCapacityRotatedCode;
+///
+/// let graph = CodeCapacityRotatedCode::new(5, 0.01).decoding_graph();
+/// assert_eq!(graph.regular_count(), 12); // (d²-1)/2
+/// assert_eq!(graph.virtual_count(), 6); // d+1
+/// assert_eq!(graph.edge_count(), 25); // one per data qubit
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodeCapacityRotatedCode {
     /// Code distance (odd).
     pub d: usize,
     /// Error probability per data qubit.
     pub p: f64,
-}
-
-/// Role of a plaquette position in the rotated surface code layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PlaquetteKind {
-    /// Interior or top/bottom boundary stabilizer: a real measurement.
-    Real,
-    /// Left/right boundary position: a virtual vertex.
-    Virtual,
-    /// Not part of this error type's decoding graph.
-    Absent,
 }
 
 impl CodeCapacityRotatedCode {
@@ -158,60 +176,17 @@ impl CodeCapacityRotatedCode {
         Self { d, p }
     }
 
-    /// Classifies the plaquette whose center is at `(i + 0.5, j + 0.5)`.
-    fn plaquette_kind(d: i64, i: i64, j: i64) -> PlaquetteKind {
-        if i < -1 || i > d - 1 || j < -1 || j > d - 1 || (i + j).rem_euclid(2) != 0 {
-            return PlaquetteKind::Absent;
-        }
-        if j == -1 || j == d - 1 {
-            return PlaquetteKind::Virtual;
-        }
-        if (0..=d - 2).contains(&i) || i == -1 || i == d - 1 {
-            return PlaquetteKind::Real;
-        }
-        PlaquetteKind::Absent
-    }
-
-    /// The two plaquettes detecting an X error on data qubit `(r, c)`.
-    fn plaquettes_of_data(d: i64, r: i64, c: i64) -> Vec<(i64, i64, PlaquetteKind)> {
-        [(r - 1, c - 1), (r - 1, c), (r, c - 1), (r, c)]
-            .into_iter()
-            .map(|(i, j)| (i, j, Self::plaquette_kind(d, i, j)))
-            .filter(|&(_, _, k)| k != PlaquetteKind::Absent)
-            .collect()
-    }
-
     /// Builds the single-round decoding graph.
     pub fn decoding_graph(&self) -> DecodingGraph {
-        let d = self.d as i64;
+        let lattice = RotatedLattice::new(self.d);
         let mut b = DecodingGraphBuilder::new();
-        let mut idx: HashMap<(i64, i64), VertexIndex> = HashMap::new();
-        for i in -1..d {
-            for j in -1..d {
-                match Self::plaquette_kind(d, i, j) {
-                    PlaquetteKind::Real => {
-                        idx.insert((i, j), b.add_vertex(Position::new(0, i, j)));
-                    }
-                    PlaquetteKind::Virtual => {
-                        idx.insert((i, j), b.add_virtual_vertex(Position::new(0, i, j)));
-                    }
-                    PlaquetteKind::Absent => {}
-                }
-            }
-        }
-        for r in 0..d {
-            for c in 0..d {
-                let plaquettes = Self::plaquettes_of_data(d, r, c);
-                assert_eq!(
-                    plaquettes.len(),
-                    2,
-                    "data qubit ({r},{c}) must have exactly two Z plaquettes"
-                );
-                let u = idx[&(plaquettes[0].0, plaquettes[0].1)];
-                let v = idx[&(plaquettes[1].0, plaquettes[1].1)];
-                let mask = if c == 0 { 1 } else { 0 };
-                b.add_edge(u, v, UNIFORM_WEIGHT, self.p, mask);
-            }
+        let idx: HashMap<(i64, i64), VertexIndex> = lattice.add_layer_vertices(&mut b, 0);
+        for (r, c) in lattice.data_qubits() {
+            let plaquettes = lattice.plaquettes_of_data(r, c);
+            let u = idx[&(plaquettes[0].0, plaquettes[0].1)];
+            let v = idx[&(plaquettes[1].0, plaquettes[1].1)];
+            let mask = lattice.observable_mask_of_data(r, c);
+            b.add_edge(u, v, UNIFORM_WEIGHT, self.p, mask);
         }
         b.build()
     }
@@ -220,6 +195,22 @@ impl CodeCapacityRotatedCode {
 /// Phenomenological noise: `rounds` noisy measurement rounds of a 2-D code,
 /// with independent data errors each round and measurement errors between
 /// rounds.
+///
+/// The graph stacks `rounds` copies of the single-round base graph
+/// (space-like edges) and connects consecutive copies of each stabilizer
+/// with time-like measurement-error edges. Unlike circuit-level noise
+/// ([`crate::circuit::CircuitLevelCode`]) there are **no diagonal**
+/// space-time edges: every error mechanism is either purely spatial or
+/// purely temporal.
+///
+/// ```
+/// use mb_graph::codes::PhenomenologicalCode;
+///
+/// let graph = PhenomenologicalCode::rotated(3, 3, 0.01).decoding_graph();
+/// assert_eq!(graph.num_layers(), 3);
+/// // 3 layers × (d²-1)/2 stabilizers + 3 layers × (d+1) virtual vertices
+/// assert_eq!(graph.vertex_count(), 3 * (4 + 4));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhenomenologicalCode {
     /// The single-round (code capacity) graph to replicate.
@@ -503,18 +494,6 @@ mod tests {
                     .count();
                 let syndrome = ErrorPattern::new(edges.clone()).syndrome(&g);
                 assert_eq!(syndrome.len() % 2, boundary_edges % 2, "d={d} seed={seed}");
-            }
-        }
-    }
-
-    #[test]
-    fn every_data_qubit_has_two_plaquettes() {
-        for d in [3i64, 5, 7, 9, 11] {
-            for r in 0..d {
-                for c in 0..d {
-                    let pl = CodeCapacityRotatedCode::plaquettes_of_data(d, r, c);
-                    assert_eq!(pl.len(), 2, "d={d} r={r} c={c}");
-                }
             }
         }
     }

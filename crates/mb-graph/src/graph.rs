@@ -53,8 +53,18 @@ impl EdgeInfo {
 
 /// A weighted decoding graph.
 ///
-/// Construct one through [`DecodingGraphBuilder`] or one of the code
-/// builders in [`crate::codes`].
+/// Construct one through [`DecodingGraphBuilder`], one of the code
+/// builders in [`crate::codes`], or the circuit-level compiler in
+/// [`crate::circuit`].
+///
+/// ```
+/// use mb_graph::codes::CodeCapacityRepetitionCode;
+///
+/// let graph = CodeCapacityRepetitionCode::new(3, 0.1).decoding_graph();
+/// assert_eq!(graph.vertex_count(), 4); // 2 stabilizers + 2 virtual
+/// assert_eq!(graph.incident_edges(1), &[0, 1]);
+/// assert!(graph.validate().is_ok());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodingGraph {
     vertices: Vec<VertexInfo>,
@@ -206,6 +216,19 @@ impl DecodingGraph {
 }
 
 /// Incremental builder for [`DecodingGraph`].
+///
+/// ```
+/// use mb_graph::graph::DecodingGraphBuilder;
+/// use mb_graph::Position;
+///
+/// let mut builder = DecodingGraphBuilder::new();
+/// let boundary = builder.add_virtual_vertex(Position::new(0, 0, -1));
+/// let stabilizer = builder.add_vertex(Position::new(0, 0, 0));
+/// builder.add_edge(boundary, stabilizer, 2, 0.01, 1);
+/// let graph = builder.build();
+/// assert_eq!(graph.edge_count(), 1);
+/// assert!(graph.is_virtual(boundary));
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct DecodingGraphBuilder {
     vertices: Vec<VertexInfo>,

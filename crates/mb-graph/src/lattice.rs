@@ -1,0 +1,282 @@
+//! The rotated-surface-code lattice shared by every noise model.
+//!
+//! Three code builders need the same geometric facts about the rotated
+//! surface code — which plaquette positions host a real Z-stabilizer
+//! measurement, which are virtual boundary slots, which two plaquettes
+//! detect an X error on a given data qubit, and (for circuit-level noise)
+//! at which step of the syndrome-extraction schedule each plaquette's CNOT
+//! touches each data qubit. [`RotatedLattice`] centralizes them so
+//! [`CodeCapacityRotatedCode`](crate::codes::CodeCapacityRotatedCode),
+//! [`PhenomenologicalCode`](crate::codes::PhenomenologicalCode) (through the
+//! code-capacity base graph), and
+//! [`CircuitLevelCode`](crate::circuit::CircuitLevelCode) agree on the
+//! lattice instead of keeping three copies of it.
+
+use crate::graph::DecodingGraphBuilder;
+use crate::types::{ObservableMask, Position, VertexIndex};
+use std::collections::HashMap;
+
+/// Role of a plaquette position in the rotated surface code layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaquetteKind {
+    /// Interior or top/bottom boundary stabilizer: a real measurement.
+    Real,
+    /// Left/right boundary position: a virtual vertex.
+    Virtual,
+    /// Not part of this error type's decoding graph.
+    Absent,
+}
+
+/// The rotated surface code lattice for one error type (X errors detected
+/// by Z plaquettes), distance `d`.
+///
+/// Plaquettes are addressed by integer coordinates `(i, j)`: the plaquette
+/// centered at `(i + 0.5, j + 0.5)` between the data qubits at rows
+/// `i..=i+1` and columns `j..=j+1`. Data qubits are addressed `(r, c)` with
+/// `0 <= r, c < d`. Per measurement round the lattice has `(d²-1)/2` real
+/// plaquettes and `d+1` virtual ones, the counting of Table 4 of the paper.
+///
+/// ```
+/// use mb_graph::lattice::{PlaquetteKind, RotatedLattice};
+///
+/// let lattice = RotatedLattice::new(5);
+/// assert_eq!(lattice.real_plaquette_count(), 12); // (d²-1)/2
+/// assert_eq!(lattice.virtual_plaquette_count(), 6); // d+1
+/// // every data qubit is watched by exactly two plaquettes
+/// let watchers = lattice.plaquettes_of_data(2, 2);
+/// assert_eq!(watchers.len(), 2);
+/// assert_eq!(lattice.plaquette_kind(0, 0), PlaquetteKind::Real);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotatedLattice {
+    d: i64,
+}
+
+impl RotatedLattice {
+    /// Creates the distance-`d` lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is even or `d < 3`.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 3 && d % 2 == 1, "rotated lattice needs odd d >= 3");
+        Self { d: d as i64 }
+    }
+
+    /// Code distance.
+    pub fn d(&self) -> usize {
+        self.d as usize
+    }
+
+    /// Classifies the plaquette whose center is at `(i + 0.5, j + 0.5)`.
+    pub fn plaquette_kind(&self, i: i64, j: i64) -> PlaquetteKind {
+        let d = self.d;
+        if i < -1 || i > d - 1 || j < -1 || j > d - 1 || (i + j).rem_euclid(2) != 0 {
+            return PlaquetteKind::Absent;
+        }
+        if j == -1 || j == d - 1 {
+            return PlaquetteKind::Virtual;
+        }
+        if (0..=d - 2).contains(&i) || i == -1 || i == d - 1 {
+            return PlaquetteKind::Real;
+        }
+        PlaquetteKind::Absent
+    }
+
+    /// All present plaquette positions in deterministic row-major order,
+    /// with their kind.
+    pub fn plaquettes(&self) -> impl Iterator<Item = (i64, i64, PlaquetteKind)> + '_ {
+        let d = self.d;
+        (-1..d).flat_map(move |i| {
+            (-1..d).filter_map(move |j| match self.plaquette_kind(i, j) {
+                PlaquetteKind::Absent => None,
+                kind => Some((i, j, kind)),
+            })
+        })
+    }
+
+    /// Number of real (measured) plaquettes: `(d²-1)/2`.
+    pub fn real_plaquette_count(&self) -> usize {
+        (self.d() * self.d() - 1) / 2
+    }
+
+    /// Number of virtual boundary plaquettes: `d+1`.
+    pub fn virtual_plaquette_count(&self) -> usize {
+        self.d() + 1
+    }
+
+    /// All data-qubit coordinates, row-major.
+    pub fn data_qubits(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        let d = self.d;
+        (0..d).flat_map(move |r| (0..d).map(move |c| (r, c)))
+    }
+
+    /// The two plaquettes detecting an X error on data qubit `(r, c)`.
+    ///
+    /// Always exactly two entries (possibly virtual), in the fixed corner
+    /// order SE-watcher, SW-watcher, NE-watcher, NW-watcher of the
+    /// candidates that exist.
+    pub fn plaquettes_of_data(&self, r: i64, c: i64) -> Vec<(i64, i64, PlaquetteKind)> {
+        let pl: Vec<_> = [(r - 1, c - 1), (r - 1, c), (r, c - 1), (r, c)]
+            .into_iter()
+            .filter_map(|(i, j)| match self.plaquette_kind(i, j) {
+                PlaquetteKind::Absent => None,
+                kind => Some((i, j, kind)),
+            })
+            .collect();
+        assert_eq!(
+            pl.len(),
+            2,
+            "data qubit ({r},{c}) must have exactly two Z plaquettes"
+        );
+        pl
+    }
+
+    /// The syndrome-extraction schedule step (0..4) at which plaquette
+    /// `(i, j)`'s CNOT touches data qubit `(r, c)`.
+    ///
+    /// Every plaquette walks its corners in the same NW, NE, SW, SE order,
+    /// so neighbouring plaquettes interleave without colliding. Data qubit
+    /// `(r, c)` is plaquette `(r, c)`'s NW corner (step 0), `(r, c-1)`'s NE
+    /// corner (step 1), `(r-1, c)`'s SW corner (step 2), and `(r-1, c-1)`'s
+    /// SE corner (step 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is not a corner of plaquette `(i, j)`.
+    pub fn cnot_step(&self, (i, j): (i64, i64), (r, c): (i64, i64)) -> usize {
+        match (r - i, c - j) {
+            (0, 0) => 0, // NW
+            (0, 1) => 1, // NE
+            (1, 0) => 2, // SW
+            (1, 1) => 3, // SE
+            _ => panic!("data qubit ({r},{c}) is not a corner of plaquette ({i},{j})"),
+        }
+    }
+
+    /// Logical observables flipped by an X error on data qubit `(r, c)`:
+    /// the logical operator is the left column, so column-0 qubits carry
+    /// observable bit 0.
+    pub fn observable_mask_of_data(&self, _r: i64, c: i64) -> ObservableMask {
+        u64::from(c == 0)
+    }
+
+    /// Adds one measurement round's worth of vertices (layer `t`) to a
+    /// graph builder, returning the plaquette-coordinate → vertex-index
+    /// map.
+    ///
+    /// The insertion order is the row-major [`Self::plaquettes`] order, so
+    /// every code builder sharing this lattice produces identical vertex
+    /// numbering within a layer.
+    pub fn add_layer_vertices(
+        &self,
+        builder: &mut DecodingGraphBuilder,
+        t: i64,
+    ) -> HashMap<(i64, i64), VertexIndex> {
+        let mut idx = HashMap::new();
+        for (i, j, kind) in self.plaquettes() {
+            let position = Position::new(t, i, j);
+            let v = match kind {
+                PlaquetteKind::Real => builder.add_vertex(position),
+                PlaquetteKind::Virtual => builder.add_virtual_vertex(position),
+                PlaquetteKind::Absent => unreachable!("plaquettes() filters absent positions"),
+            };
+            idx.insert((i, j), v);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plaquette_counts_match_table4() {
+        for d in [3usize, 5, 7, 9, 11] {
+            let lattice = RotatedLattice::new(d);
+            let real = lattice
+                .plaquettes()
+                .filter(|&(_, _, k)| k == PlaquetteKind::Real)
+                .count();
+            let virt = lattice
+                .plaquettes()
+                .filter(|&(_, _, k)| k == PlaquetteKind::Virtual)
+                .count();
+            assert_eq!(real, lattice.real_plaquette_count(), "d={d}");
+            assert_eq!(virt, lattice.virtual_plaquette_count(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn every_data_qubit_has_two_plaquettes() {
+        for d in [3usize, 5, 7, 9, 11] {
+            let lattice = RotatedLattice::new(d);
+            for (r, c) in lattice.data_qubits() {
+                assert_eq!(
+                    lattice.plaquettes_of_data(r, c).len(),
+                    2,
+                    "d={d} r={r} c={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cnot_steps_are_distinct_per_data_qubit() {
+        // the two watchers of any data qubit must touch it at different
+        // schedule steps, otherwise fault propagation would be ambiguous
+        let lattice = RotatedLattice::new(7);
+        for (r, c) in lattice.data_qubits() {
+            let steps: Vec<usize> = lattice
+                .plaquettes_of_data(r, c)
+                .iter()
+                .filter(|&&(_, _, k)| k == PlaquetteKind::Real)
+                .map(|&(i, j, _)| lattice.cnot_step((i, j), (r, c)))
+                .collect();
+            if steps.len() == 2 {
+                assert_ne!(steps[0], steps[1], "r={r} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn cnot_steps_are_distinct_per_plaquette() {
+        // within one plaquette, the four corners are touched one at a time
+        let lattice = RotatedLattice::new(5);
+        for (i, j, kind) in lattice.plaquettes() {
+            if kind != PlaquetteKind::Real {
+                continue;
+            }
+            let mut steps: Vec<usize> = [(i, j), (i, j + 1), (i + 1, j), (i + 1, j + 1)]
+                .into_iter()
+                .filter(|&(r, c)| (0..lattice.d).contains(&r) && (0..lattice.d).contains(&c))
+                .map(|q| lattice.cnot_step((i, j), q))
+                .collect();
+            steps.sort_unstable();
+            steps.dedup();
+            assert_eq!(
+                steps.len(),
+                [(i, j), (i, j + 1), (i + 1, j), (i + 1, j + 1)]
+                    .into_iter()
+                    .filter(|&(r, c)| (0..lattice.d).contains(&r) && (0..lattice.d).contains(&c))
+                    .count(),
+                "plaquette ({i},{j})"
+            );
+        }
+    }
+
+    #[test]
+    fn observable_lives_on_the_left_column() {
+        let lattice = RotatedLattice::new(5);
+        for (r, c) in lattice.data_qubits() {
+            assert_eq!(lattice.observable_mask_of_data(r, c), u64::from(c == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd d")]
+    fn even_distance_panics() {
+        RotatedLattice::new(4);
+    }
+}

@@ -3,11 +3,12 @@
 //! Re-exports every library crate so downstream users (and the integration
 //! tests under `tests/`) can depend on a single package:
 //!
-//! * [`graph`](mb_graph) — decoding graphs, code builders, error sampling;
-//! * [`uf`](mb_uf) — the Union-Find baseline decoder;
-//! * [`blossom`](mb_blossom) — the exact MWPM (blossom) algorithmic core;
-//! * [`accel`](mb_accel) — the cycle-level accelerator simulator;
-//! * [`decoder`](mb_decoder) — top-level decoders, the [`DecoderBackend`]
+//! * [`graph`] — decoding graphs, code builders (code-capacity,
+//!   phenomenological, and circuit-level noise), error sampling;
+//! * [`uf`] — the Union-Find baseline decoder;
+//! * [`blossom`] — the exact MWPM (blossom) algorithmic core;
+//! * [`accel`] — the cycle-level accelerator simulator;
+//! * [`decoder`] — top-level decoders, the [`DecoderBackend`]
 //!   abstraction, the sharded decoding [`pipeline`](mb_decoder::pipeline),
 //!   and the Monte-Carlo evaluation harness.
 
