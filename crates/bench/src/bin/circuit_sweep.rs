@@ -20,7 +20,7 @@
 //!
 //! Defaults: 400 shots, p = 0.02, d = 3,5,7.
 
-use bench::render_table;
+use bench::{render_table, BenchReport};
 use mb_decoder::evaluation::{evaluate_circuit, evaluate_decoder};
 use mb_decoder::{BackendSpec, DecoderBackend, MicroBlossomDecoder};
 use mb_graph::circuit::CircuitLevelCode;
@@ -77,6 +77,7 @@ fn main() {
         .unwrap_or_else(|| vec![3, 5, 7]);
 
     println!("circuit-level sweep: base p = {p}, {shots} shots per point, d = {distances:?}\n");
+    let mut report = BenchReport::new("circuit_sweep");
 
     // logical error: circuit-level vs phenomenological across p, at the
     // largest requested distance
@@ -89,7 +90,7 @@ fn main() {
         let spec = BackendSpec::micro_full(Some(d));
         let circuit_eval = evaluate_circuit(&spec, &circuit, shots, 0xC1AC);
         let pheno_eval = evaluate_decoder(&spec, &pheno, shots, 0xC1AC);
-        println!(
+        report.line(format!(
             "{{\"bench\":\"circuit_sweep\",\"section\":\"logical_error\",\"d\":{d},\
              \"p\":{point_p:.3e},\"shots\":{shots},\
              \"circuit_p_l\":{:.5},\"pheno_p_l\":{:.5},\
@@ -100,7 +101,7 @@ fn main() {
             circuit_eval.mean_defects,
             pheno_eval.mean_defects,
             circuit.diagonal_edge_count(),
-        );
+        ));
         rows.push(vec![
             format!("{point_p:.1e}"),
             format!("{:.4}", circuit_eval.logical_error_rate()),
@@ -142,7 +143,7 @@ fn main() {
             ("circuit", &circuit_activity),
             ("phenomenological", &pheno_activity),
         ] {
-            println!(
+            report.line(format!(
                 "{{\"bench\":\"circuit_sweep\",\"section\":\"activation\",\"noise\":\"{noise}\",\
                  \"d\":{d},\"p\":{p:.3e},\"shots\":{shots},\
                  \"mean_defects\":{:.3},\"ns_per_shot\":{:.1},\
@@ -151,7 +152,7 @@ fn main() {
                 activity.ns_per_shot,
                 activity.pus_touched_per_shot,
                 activity.active_peak,
-            );
+            ));
         }
         rows.push(vec![
             d.to_string(),
@@ -185,4 +186,7 @@ fn main() {
          circuit-level shots spread their defects over every round (diagonal detector \
          pairs included), which is the load profile round-wise streaming ingestion sees."
     );
+
+    let path = report.finish().expect("bench report is writable");
+    println!("report written to {}", path.display());
 }

@@ -4,17 +4,29 @@
 //! the backend-pooling win — plus a determinism audit that the aggregate
 //! results are bit-identical across worker counts.
 //!
-//! Every measurement is also emitted as one machine-readable JSON line
-//! (prefix `{"bench":"pipeline_throughput",...}`) so the benchmark
-//! trajectory can be tracked across PRs.
+//! Every measurement is emitted as one machine-readable JSON line (prefix
+//! `{"bench":"pipeline_throughput",...}`) and mirrored to
+//! `BENCH_pipeline_throughput.json` at the repository root so the benchmark
+//! trajectory can be tracked across PRs. The `accel_observability` line
+//! carries the LUT fast-path rate of the uniform workload
+//! (`fast_path_rate = (zero_defect + predecoded) / accel shots`); with the
+//! pre-decoder on and p below threshold it must be positive, and the run
+//! asserts that.
 //!
-//! Usage: `cargo run -r -p bench --bin pipeline_throughput [shots] [d] [p]`
+//! Usage: `cargo run -r -p bench --bin pipeline_throughput [shots] [d] [p] [on|off]`
+//!
+//! The fourth argument toggles the LUT pre-decoder fast path
+//! (default `on`); `off` decodes every shot through the unconditional dual
+//! phase, the baseline the fast path is measured against.
 
-use bench::render_table;
+use bench::{render_table, BenchReport};
 use mb_decoder::pipeline::{skewed_workload, DecodePool, ShardedPipeline};
-use mb_decoder::BackendSpec;
+use mb_decoder::{BackendSpec, MicroBlossomConfig};
 use mb_graph::codes::PhenomenologicalCode;
-use mb_graph::syndrome::Shot;
+use mb_graph::syndrome::{ErrorSampler, Shot};
+use mb_graph::DecodingGraph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -22,20 +34,23 @@ use std::time::Instant;
 /// budget; `workers` is how many pool workers actually participated (the
 /// pool caps the budget at its size), so trend data stays truthful on
 /// small machines or under `MB_SHARDS`.
+#[allow(clippy::too_many_arguments)]
 fn emit_json(
+    report: &mut BenchReport,
     workload: &str,
     backend: &str,
+    predecoder: &str,
     shards: usize,
     workers: usize,
     shots: usize,
     seconds: f64,
 ) {
-    println!(
+    report.line(format!(
         "{{\"bench\":\"pipeline_throughput\",\"workload\":\"{workload}\",\"backend\":\"{backend}\",\
-         \"shards\":{shards},\"workers\":{workers},\"shots\":{shots},\"seconds\":{seconds:.6},\
-         \"shots_per_sec\":{:.1}}}",
+         \"predecoder\":\"{predecoder}\",\"shards\":{shards},\"workers\":{workers},\
+         \"shots\":{shots},\"seconds\":{seconds:.6},\"shots_per_sec\":{:.1}}}",
         shots as f64 / seconds.max(1e-9)
-    );
+    ));
 }
 
 /// How many pool workers a requested budget actually engages (the pool's
@@ -44,27 +59,70 @@ fn effective_workers(shards: usize, shots: usize) -> usize {
     DecodePool::global().effective_workers(shards, shots)
 }
 
+/// The Micro Blossom spec under measurement: the full configuration, with
+/// the LUT pre-decoder disabled when the run measures the baseline.
+fn micro_spec(graph: &DecodingGraph, d: usize, predecoder_on: bool) -> BackendSpec {
+    if predecoder_on {
+        BackendSpec::micro_full(Some(d))
+    } else {
+        BackendSpec::Micro(MicroBlossomConfig::full(graph, Some(d)).without_predecoder())
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let shots: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2000);
     let d: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(5);
     let p: f64 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(0.002);
+    let predecoder_on = match args.get(4).map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => panic!("fourth argument must be `on` or `off`, got `{other}`"),
+    };
+    let mode = if predecoder_on { "on" } else { "off" };
+    let mut report = BenchReport::new("pipeline_throughput");
 
     let graph = Arc::new(PhenomenologicalCode::rotated(d, d, p).decoding_graph());
     println!(
-        "decode-pool throughput: d = {d}, p = {p}, {shots} shots, graph {} vertices, pool of {} workers\n",
+        "decode-pool throughput: d = {d}, p = {p}, {shots} shots, pre-decoder {mode}, \
+         graph {} vertices, pool of {} workers\n",
         graph.vertex_count(),
         DecodePool::global().workers(),
     );
 
     let specs = [
-        BackendSpec::micro_full(Some(d)),
+        micro_spec(&graph, d, predecoder_on),
         BackendSpec::Parity,
         BackendSpec::union_find(),
     ];
     let shard_counts = [1usize, 2, 4, 8];
 
-    // uniform workload: sampled shots, per-backend worker-budget sweep
+    // build every worker's backend (pre-decoder table included) outside the
+    // timed window — the (d, p) sweep section below measures cold vs warm
+    // construction explicitly, so the throughput rows stay steady-state
+    for spec in &specs {
+        ShardedPipeline::new(spec.clone(), Arc::clone(&graph))
+            .with_shards(*shard_counts.last().expect("non-empty"))
+            .evaluate(64, 0xBE9C);
+    }
+
+    // uniform workload: pre-materialized sampled shots (sampling cost stays
+    // out of the timed window — this bench measures decode throughput), one
+    // per-backend worker-budget sweep over the identical shot list.
+    // Snapshot the pool's accelerator counters around the section so the
+    // fast-path rate below reflects exactly this workload (the pool skips
+    // folding from backends without accelerator observability, so the
+    // Parity/Union-Find shots cannot dilute it).
+    let sampler = ErrorSampler::new(&graph);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBE9C);
+    let uniform: Arc<[Shot]> = (0..shots)
+        .map(|_| sampler.sample(&mut rng))
+        .collect::<Vec<_>>()
+        .into();
+    let pool = DecodePool::global();
+    let accel_before = pool.accel_shots();
+    let fast_before = pool.accel_zero_defect_shots() + pool.accel_predecoded_shots();
+    let predecoded_before = pool.accel_predecoded_shots();
     let mut rows = Vec::new();
     for spec in &specs {
         let mut reference = None;
@@ -72,14 +130,18 @@ fn main() {
             let pipeline =
                 ShardedPipeline::new(spec.clone(), Arc::clone(&graph)).with_shards(shards);
             let start = Instant::now();
-            let result = pipeline.evaluate(shots, 0xBE9C);
+            let outcomes = pipeline.run_shots_arc(Arc::clone(&uniform));
             let elapsed = start.elapsed().as_secs_f64();
+            let logical_errors = outcomes
+                .iter()
+                .filter(|o| o.decoded_observable != o.expected_observable)
+                .count();
             let identical = match &reference {
                 None => {
-                    reference = Some((result.logical_errors, result.mean_defects));
+                    reference = Some(logical_errors);
                     true
                 }
-                Some(r) => *r == (result.logical_errors, result.mean_defects),
+                Some(r) => *r == logical_errors,
             };
             assert!(
                 identical,
@@ -87,8 +149,10 @@ fn main() {
                 spec.name()
             );
             emit_json(
+                &mut report,
                 "uniform",
                 spec.name(),
+                mode,
                 shards,
                 effective_workers(shards, shots),
                 shots,
@@ -99,7 +163,7 @@ fn main() {
                 shards.to_string(),
                 format!("{:.2}", elapsed),
                 format!("{:.0}", shots as f64 / elapsed.max(1e-9)),
-                format!("{:.4}", result.logical_error_rate()),
+                format!("{:.4}", logical_errors as f64 / shots.max(1) as f64),
             ]);
         }
     }
@@ -109,6 +173,27 @@ fn main() {
     );
     println!("p_L is identical across worker counts by construction (per-shot seeded RNG).\n");
 
+    // LUT fast-path observability of the uniform section
+    let accel_shots = pool.accel_shots() - accel_before;
+    let fast_shots = pool.accel_zero_defect_shots() + pool.accel_predecoded_shots() - fast_before;
+    let predecoded = pool.accel_predecoded_shots() - predecoded_before;
+    let fast_path_rate = fast_shots as f64 / accel_shots.max(1) as f64;
+    report.line(format!(
+        "{{\"bench\":\"pipeline_throughput\",\"workload\":\"accel_observability\",\
+         \"predecoder\":\"{mode}\",\"d\":{d},\"p\":{p},\"accel_shots\":{accel_shots},\
+         \"predecoded_shots\":{predecoded},\"fast_path_rate\":{fast_path_rate:.4}}}"
+    ));
+    println!(
+        "fast path: {fast_shots} of {accel_shots} accelerator shots resolved without the dual \
+         phase ({predecoded} by the LUT pre-decoder; rate {fast_path_rate:.3})\n"
+    );
+    if predecoder_on && p <= 0.002 {
+        assert!(
+            fast_path_rate > 0.0,
+            "pre-decoder is on at low p but no shot took the fast path"
+        );
+    }
+
     // skewed workload: explicit shot list with a dense tail; the stealing
     // scheduler keeps the tail from pinning one worker. The Arc is shared
     // across runs so repeat submissions do not copy the shot list.
@@ -116,15 +201,18 @@ fn main() {
         skewed_workload(&graph, shots.saturating_sub(shots / 5).max(1), shots / 5).into();
     let mut rows = Vec::new();
     for &shards in &shard_counts {
-        let pipeline = ShardedPipeline::new(BackendSpec::micro_full(Some(d)), Arc::clone(&graph))
-            .with_shards(shards);
+        let pipeline =
+            ShardedPipeline::new(micro_spec(&graph, d, predecoder_on), Arc::clone(&graph))
+                .with_shards(shards);
         let start = Instant::now();
         let outcomes = pipeline.run_shots_arc(Arc::clone(&skewed));
         let elapsed = start.elapsed().as_secs_f64();
         assert_eq!(outcomes.len(), skewed.len());
         emit_json(
+            &mut report,
             "skewed",
             "micro-blossom-stream",
+            mode,
             shards,
             effective_workers(shards, skewed.len()),
             skewed.len(),
@@ -151,8 +239,10 @@ fn main() {
     let mut rows = Vec::new();
     for &point_p in &p_list {
         let point_graph = Arc::new(PhenomenologicalCode::rotated(d, d, point_p).decoding_graph());
-        let pipeline =
-            ShardedPipeline::new(BackendSpec::micro_full(Some(d)), Arc::clone(&point_graph));
+        let pipeline = ShardedPipeline::new(
+            micro_spec(&point_graph, d, predecoder_on),
+            Arc::clone(&point_graph),
+        );
         let built_before = pipeline.pool().backends_built();
         let mut rep_seconds = Vec::with_capacity(reps);
         for _ in 0..reps {
@@ -162,13 +252,13 @@ fn main() {
         }
         let built = pipeline.pool().backends_built() - built_before;
         let warm = rep_seconds[1..].iter().sum::<f64>() / (reps - 1) as f64;
-        println!(
-            "{{\"bench\":\"pipeline_throughput\",\"workload\":\"sweep\",\"d\":{d},\"p\":{point_p},\
-             \"shots\":{sweep_shots},\"reps\":{reps},\"workers\":{},\"cold_seconds\":{:.6},\
-             \"warm_seconds\":{warm:.6},\"backends_built\":{built}}}",
+        report.line(format!(
+            "{{\"bench\":\"pipeline_throughput\",\"workload\":\"sweep\",\"predecoder\":\"{mode}\",\
+             \"d\":{d},\"p\":{point_p},\"shots\":{sweep_shots},\"reps\":{reps},\"workers\":{},\
+             \"cold_seconds\":{:.6},\"warm_seconds\":{warm:.6},\"backends_built\":{built}}}",
             effective_workers(pipeline.shards(), sweep_shots),
             rep_seconds[0]
-        );
+        ));
         rows.push(vec![
             format!("{point_p}"),
             format!("{:.3}", rep_seconds[0]),
@@ -180,4 +270,7 @@ fn main() {
         "\n(d, p) sweep, {sweep_shots} shots x {reps} reps per point (backend built on first rep only):\n{}",
         render_table(&["p", "cold_s", "warm_s", "built"], &rows)
     );
+
+    let path = report.finish().expect("bench report is writable");
+    println!("\nreport written to {}", path.display());
 }

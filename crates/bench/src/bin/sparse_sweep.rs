@@ -27,7 +27,7 @@
 //!
 //! Defaults: 400 shots, p = 0.001, d = 9,13,17,21.
 
-use bench::render_table;
+use bench::{render_table, BenchReport};
 use mb_decoder::{DecoderBackend, MicroBlossomDecoder};
 use mb_graph::codes::PhenomenologicalCode;
 use mb_graph::syndrome::ErrorSampler;
@@ -47,6 +47,8 @@ struct Point {
     pus_touched_per_shot: f64,
     active_peak: u64,
     zero_defect_shots: u64,
+    predecoded_shots: u64,
+    fast_path_rate: f64,
 }
 
 fn measure(d: usize, p: f64, shots: usize) -> Point {
@@ -71,6 +73,9 @@ fn measure(d: usize, p: f64, shots: usize) -> Point {
     }
     let elapsed = start.elapsed().as_secs_f64();
     let after = decoder.accel_observability().expect("counters stay on");
+    let zero_defect_shots = after.zero_defect_shots - before.zero_defect_shots;
+    let predecoded_shots = after.predecoded_shots - before.predecoded_shots;
+    let accel_shots = after.accel_shots - before.accel_shots;
     Point {
         d,
         p,
@@ -80,16 +85,19 @@ fn measure(d: usize, p: f64, shots: usize) -> Point {
         ns_per_shot: elapsed * 1e9 / shots as f64,
         pus_touched_per_shot: (after.pus_touched - before.pus_touched) as f64 / shots as f64,
         active_peak: after.active_peak,
-        zero_defect_shots: after.zero_defect_shots - before.zero_defect_shots,
+        zero_defect_shots,
+        predecoded_shots,
+        fast_path_rate: (zero_defect_shots + predecoded_shots) as f64 / accel_shots.max(1) as f64,
     }
 }
 
-fn emit(section: &str, shots: usize, point: &Point) {
-    println!(
+fn emit(report: &mut BenchReport, section: &str, shots: usize, point: &Point) {
+    report.line(format!(
         "{{\"bench\":\"sparse_sweep\",\"section\":\"{section}\",\"d\":{},\"p\":{:.3e},\
          \"shots\":{shots},\"vertices\":{},\"edges\":{},\"d_squared\":{},\
          \"mean_defects\":{:.3},\"ns_per_shot\":{:.1},\"pus_touched_per_shot\":{:.1},\
-         \"active_peak\":{},\"zero_defect_shots\":{}}}",
+         \"active_peak\":{},\"zero_defect_shots\":{},\"predecoded_shots\":{},\
+         \"fast_path_rate\":{:.4}}}",
         point.d,
         point.p,
         point.vertices,
@@ -100,7 +108,9 @@ fn emit(section: &str, shots: usize, point: &Point) {
         point.pus_touched_per_shot,
         point.active_peak,
         point.zero_defect_shots,
-    );
+        point.predecoded_shots,
+        point.fast_path_rate,
+    ));
 }
 
 fn row(point: &Point) -> Vec<String> {
@@ -113,10 +123,11 @@ fn row(point: &Point) -> Vec<String> {
         format!("{:.1}", point.pus_touched_per_shot),
         point.active_peak.to_string(),
         point.zero_defect_shots.to_string(),
+        format!("{:.3}", point.fast_path_rate),
     ]
 }
 
-const HEADER: [&str; 8] = [
+const HEADER: [&str; 9] = [
     "d",
     "p",
     "|V|",
@@ -125,6 +136,7 @@ const HEADER: [&str; 8] = [
     "PUs/shot",
     "active peak",
     "zero-defect",
+    "fast-path",
 ];
 
 /// Least-squares slope of `ln y` against `ln x`: the exponent `k` in
@@ -154,13 +166,14 @@ fn main() {
     let d0 = distances[0];
 
     println!("sparse-activation sweep: base p = {p}, {shots} shots per point, d = {distances:?}\n");
+    let mut report = BenchReport::new("sparse_sweep");
 
     // fixed p: the physical setting; syndrome weight grows with the
     // space-time volume, activity counters track it
     let mut rows = Vec::new();
     for &d in &distances {
         let point = measure(d, p, shots);
-        emit("fixed_p", shots, &point);
+        emit(&mut report, "fixed_p", shots, &point);
         rows.push(row(&point));
     }
     println!("\nfixed p = {p}:\n{}", render_table(&HEADER, &rows));
@@ -174,7 +187,7 @@ fn main() {
     for &d in &distances {
         let scaled_p = p * (d0 as f64 / d as f64).powi(3);
         let point = measure(d, scaled_p, shots);
-        emit("fixed_weight", shots, &point);
+        emit(&mut report, "fixed_weight", shots, &point);
         time_vs_d2.push(((d * d) as f64, point.ns_per_shot));
         pus_vs_d2.push(((d * d) as f64, point.pus_touched_per_shot.max(1.0)));
         rows.push(row(&point));
@@ -186,13 +199,16 @@ fn main() {
 
     let time_exponent = scaling_exponent(&time_vs_d2);
     let pus_exponent = scaling_exponent(&pus_vs_d2);
-    println!(
+    report.line(format!(
         "{{\"bench\":\"sparse_sweep\",\"section\":\"scaling\",\"base_p\":{p},\
          \"time_vs_d2_exponent\":{time_exponent:.3},\"pus_vs_d2_exponent\":{pus_exponent:.3}}}"
-    );
+    ));
     println!(
         "\nat equal syndrome weight, per-shot decode time ~ (d^2)^{time_exponent:.2} and PU \
          visits ~ (d^2)^{pus_exponent:.2} (a dense O(|V|+|E|) sweep gives exponent >= 1; \
          sub-linear means decode time tracks syndrome weight, not lattice size)"
     );
+
+    let path = report.finish().expect("bench report is writable");
+    println!("report written to {}", path.display());
 }

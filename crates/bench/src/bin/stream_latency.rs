@@ -15,7 +15,7 @@
 //! the measured saturated stream throughput (60% of it, a loaded-but-stable
 //! operating point).
 
-use bench::render_table;
+use bench::{render_table, BenchReport};
 use mb_decoder::pipeline::{DecodePool, ShardedPipeline};
 use mb_decoder::stream::StreamDecoder;
 use mb_decoder::BackendSpec;
@@ -83,6 +83,7 @@ fn main() {
     let p: f64 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(0.002);
     let rate_arg: f64 = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(0.0);
     let seed = 0xBE9C; // the pipeline_throughput uniform-workload seed
+    let mut report = BenchReport::new("stream_latency");
 
     let graph = Arc::new(PhenomenologicalCode::rotated(d, d, p).decoding_graph());
     let spec = BackendSpec::micro_full(Some(d));
@@ -113,13 +114,13 @@ fn main() {
         let effective = DecodePool::global().effective_workers(workers, shots);
         default_stream_rate = default_stream_rate.max(stream_rate);
         let ratio = stream_rate / batch_rate.max(1e-9);
-        println!(
+        report.line(format!(
             "{{\"bench\":\"stream_latency\",\"workload\":\"saturated\",\"backend\":\"{}\",\
              \"shards\":{workers},\"workers\":{effective},\"shots\":{shots},\
              \"batch_shots_per_sec\":{batch_rate:.1},\"stream_shots_per_sec\":{stream_rate:.1},\
              \"stream_batch_ratio\":{ratio:.3}}}",
             spec.name()
-        );
+        ));
         rows.push(vec![
             workers.to_string(),
             format!("{batch_rate:.0}"),
@@ -187,7 +188,7 @@ fn main() {
     let sustained = stats.decoded as f64 / section_seconds.max(1e-9);
     let mean_depth = depths.iter().sum::<usize>() as f64 / depths.len().max(1) as f64;
     let max_depth = depths.iter().copied().max().unwrap_or(0);
-    println!(
+    report.line(format!(
         "{{\"bench\":\"stream_latency\",\"workload\":\"poisson\",\"backend\":\"{}\",\
          \"rate_per_sec\":{rate:.1},\"shots\":{},\"workers\":{workers},\
          \"queue_capacity\":{capacity},\"mean_queue_depth\":{mean_depth:.2},\
@@ -198,7 +199,7 @@ fn main() {
         percentile(&latencies, 0.50),
         percentile(&latencies, 0.95),
         percentile(&latencies, 0.99),
-    );
+    ));
     println!(
         "\nPoisson arrivals at {rate:.0}/s, {workers} workers, queue capacity {capacity}:\n{}",
         render_table(
@@ -215,24 +216,40 @@ fn main() {
     println!("submit-to-result latency includes queue wait; tune queue capacity against depth.");
 
     // sparse-activation observability: fold the pool's accelerator counters
-    // over every shot this process decoded (saturated sections + Poisson)
+    // over every shot this process decoded (saturated sections + Poisson).
+    // The denominator is the pool's own accelerator-shot count — the pool
+    // only folds counters from accelerator-backed backends, so the figures
+    // stay undiluted even if a mixed-backend workload shares the pool.
     let pool = DecodePool::global();
     decoded_total += stats.decoded;
-    let pus_per_shot = pool.accel_pus_touched() as f64 / decoded_total.max(1) as f64;
-    println!(
-        "\n{{\"bench\":\"stream_latency\",\"workload\":\"accel_observability\",\
-         \"shots\":{decoded_total},\"active_peak\":{},\"pus_touched\":{},\
-         \"pus_touched_per_shot\":{pus_per_shot:.1},\"zero_defect_shots\":{}}}",
+    let accel_shots = pool.accel_shots();
+    assert_eq!(
+        accel_shots, decoded_total,
+        "every shot in this process is decoded by the accelerator backend"
+    );
+    let pus_per_shot = pool.accel_pus_touched() as f64 / accel_shots.max(1) as f64;
+    let fast_path_rate = pool.accel_fast_path_rate().unwrap_or(0.0);
+    println!();
+    report.line(format!(
+        "{{\"bench\":\"stream_latency\",\"workload\":\"accel_observability\",\
+         \"accel_shots\":{accel_shots},\"active_peak\":{},\"pus_touched\":{},\
+         \"pus_touched_per_shot\":{pus_per_shot:.1},\"zero_defect_shots\":{},\
+         \"predecoded_shots\":{},\"fast_path_rate\":{fast_path_rate:.4}}}",
         pool.accel_active_peak(),
         pool.accel_pus_touched(),
         pool.accel_zero_defect_shots(),
-    );
+        pool.accel_predecoded_shots(),
+    ));
     println!(
         "sparse activation: peak {} vertex PUs awake of {} ({:.1} PU visits/shot; {} shots took \
-         the zero-defect fast path)",
+         the zero-defect fast path, {} the LUT pre-decoder; fast-path rate {fast_path_rate:.3})",
         pool.accel_active_peak(),
         graph.vertex_count(),
         pus_per_shot,
         pool.accel_zero_defect_shots(),
+        pool.accel_predecoded_shots(),
     );
+
+    let path = report.finish().expect("bench report is writable");
+    println!("report written to {}", path.display());
 }

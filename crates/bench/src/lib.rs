@@ -10,5 +10,7 @@
 //! results).
 
 pub mod experiments;
+pub mod report;
 
 pub use experiments::*;
+pub use report::BenchReport;

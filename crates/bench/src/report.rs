@@ -1,0 +1,79 @@
+//! Machine-readable benchmark output.
+//!
+//! Every bench binary emits its measurements as JSON lines on stdout so a
+//! human can grep a run; [`BenchReport`] additionally collects those lines
+//! and, on [`BenchReport::finish`], writes them to `BENCH_<bin>.json` at the
+//! repository root — one JSON object per line, overwritten on every run —
+//! so the benchmark trajectory of a checkout can be diffed across PRs
+//! without scraping terminal output.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Collector for one bench binary's JSON measurement lines.
+///
+/// ```
+/// let mut report = bench::report::BenchReport::new("doctest");
+/// report.line(format!("{{\"bench\":\"doctest\",\"answer\":{}}}", 42));
+/// let path = report.finish().unwrap();
+/// assert!(path.ends_with("BENCH_doctest.json"));
+/// std::fs::remove_file(path).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct BenchReport {
+    bin: String,
+    lines: Vec<String>,
+}
+
+impl BenchReport {
+    /// Starts a report for the bench binary named `bin` (the
+    /// `BENCH_<bin>.json` stem).
+    pub fn new(bin: &str) -> Self {
+        Self {
+            bin: bin.to_string(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Emits one JSON measurement line: printed to stdout immediately and
+    /// queued for the report file.
+    pub fn line(&mut self, json: String) {
+        println!("{json}");
+        self.lines.push(json);
+    }
+
+    /// The repository root, resolved relative to this crate's manifest so
+    /// the report lands in the same place regardless of the working
+    /// directory the binary was launched from.
+    fn repo_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    /// Writes the collected lines to `BENCH_<bin>.json` at the repository
+    /// root and returns the path. Call once, at the end of `main`.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let path = Self::repo_root().join(format!("BENCH_{}.json", self.bin));
+        let mut file = std::fs::File::create(&path)?;
+        for line in &self.lines {
+            writeln!(file, "{line}")?;
+        }
+        Ok(path.canonicalize().unwrap_or(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_writes_one_line_per_measurement() {
+        let mut report = BenchReport::new("report_selftest");
+        report.line("{\"bench\":\"report_selftest\",\"k\":1}".into());
+        report.line("{\"bench\":\"report_selftest\",\"k\":2}".into());
+        let path = report.finish().expect("report file is writable");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 2);
+        assert!(contents.lines().all(|l| l.contains("report_selftest")));
+        std::fs::remove_file(path).unwrap();
+    }
+}

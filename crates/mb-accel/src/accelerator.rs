@@ -77,6 +77,11 @@ pub struct AcceleratorConfig {
     /// active set. Bit-identical to the sparse path; kept for differential
     /// testing (`tests/sparse_equals_dense.rs`).
     pub dense_reference: bool,
+    /// LUT pre-decoder knob (see [`crate::predecoder`]). The accelerator
+    /// itself ignores it — the owning decoder builds and consults the
+    /// table — but carrying it here ties the table to the `(graph, config)`
+    /// cache key alongside the PU arrays.
+    pub predecoder: crate::predecoder::PredecoderConfig,
 }
 
 impl Default for AcceleratorConfig {
@@ -87,6 +92,7 @@ impl Default for AcceleratorConfig {
             fusion_reduced_weight: 0,
             pipeline_stages: 5,
             dense_reference: false,
+            predecoder: crate::predecoder::PredecoderConfig::default(),
         }
     }
 }
@@ -584,6 +590,19 @@ impl MicroBlossomAccelerator {
     /// The defect vertices loaded since the last reset, in load order.
     pub fn defect_vertices(&self) -> &[VertexIndex] {
         &self.defects
+    }
+
+    /// Copies the loaded defects into `out`, sorted and deduplicated — the
+    /// canonical shot description the LUT pre-decoder keys its cluster
+    /// classification on (see [`crate::predecoder::PreDecoder::resolve_into`]).
+    /// Sorting here is what makes the fast-path/escalate decision invariant
+    /// to round ingestion order. `O(defects · log defects)`, reusing `out`'s
+    /// capacity.
+    pub fn predecode_defects_into(&self, out: &mut Vec<VertexIndex>) {
+        out.clear();
+        out.extend_from_slice(&self.defects);
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Current size of the active region (vertex PUs holding a cover).

@@ -17,6 +17,9 @@
 //!   [`mb_blossom::DualModule`] so the unmodified primal module can drive
 //!   the hardware, plus the lazy node materialization that makes
 //!   pre-matching possible;
+//! * [`predecoder`] — the LUT pre-decoder fast path: isolated defect
+//!   clusters are resolved from a precomputed local match table (pLUTo-style
+//!   lookup parallelism) and only hard shots escalate to the dual phase;
 //! * [`resource`] — the resource and clock model reproducing Table 4;
 //! * [`timing`] — conversion from cycle/bus counters to wall-clock latency.
 //!
@@ -44,6 +47,7 @@
 pub mod accelerator;
 pub mod driver;
 pub mod instruction;
+pub mod predecoder;
 pub mod resource;
 pub mod timing;
 
@@ -52,5 +56,6 @@ pub use accelerator::{
 };
 pub use driver::{AcceleratedDual, IoStats, PollEvent};
 pub use instruction::{HwDirection, HwNodeId, Instruction};
+pub use predecoder::{PreDecoder, PredecoderConfig};
 pub use resource::{estimate_resources, ResourceEstimate};
 pub use timing::TimingModel;

@@ -1,0 +1,750 @@
+//! LUT pre-decoder: table-resolve isolated defect clusters, escalate only
+//! hard shots.
+//!
+//! At production-scale physical error rates almost every shot consists of a
+//! handful of *isolated* defect clusters — an adjacent pair from a single
+//! data error, a lone defect next to the boundary — yet the unconditional
+//! decode path pays the full dual-phase machinery for each of them. In the
+//! spirit of pLUTo-style lookup-table parallelism, this module resolves
+//! those common clusters from a precomputed local match table and only
+//! escalates the residual hard shots (large clusters, boundary-ambiguous
+//! cases, table misses) to the blossom dual phase.
+//!
+//! # Why the table path is exact
+//!
+//! Let `R` be the maximum finite edge weight of the decoding graph
+//! ([`DecodingGraph::max_weight`]). Defects are linked into one cluster
+//! whenever their graph distance (never routing *through* virtual vertices,
+//! the same rule as [`mb_graph::dijkstra`]) is at most `2R`; distinct
+//! clusters are therefore separated by more than `2R`. The table only
+//! stores a cluster whose minimum matching weight `W` satisfies `W ≤ R`.
+//! By LP weak duality the blossom algorithm keeps the dual sum of each
+//! cluster at or below `W ≤ R` at every instant, so two clusters would need
+//! combined duals above `2R` to produce a tight cross-cluster path — which
+//! can never happen. Each cluster thus evolves exactly as it would alone on
+//! the graph, and the unconditional decode of the whole shot decomposes
+//! into the per-cluster decodes the table was built from.
+//!
+//! To preserve even *degenerate* optimum selection (equal-weight matchings
+//! with different corrections), table entries are not produced by a generic
+//! matcher: they are decoded by the real accelerator + driver + primal
+//! machinery, with the caller's exact [`AcceleratorConfig`] and the same
+//! driving policy (round-wise streaming or batch) the owning decoder uses.
+//! The table entry for a cluster is therefore bit-identical to what the
+//! escalated path would produce for it.
+//!
+//! # Size / memory trade-off
+//!
+//! With the default [`PredecoderConfig::max_cluster_size`] of 2 the table
+//! holds one entry per defect vertex (the boundary-matched singleton, when
+//! it is cheap enough) plus one per close defect pair — `O(|V| · k)`
+//! entries for neighbourhood size `k`, built once per `(graph, config)`
+//! alongside the PU arrays and cached with the backend in the decode pool's
+//! per-worker LRU. Raising `max_cluster_size` grows the table by a factor
+//! of roughly `k` per step and the neighbourhood radius linearly; clusters
+//! whose anchor neighbourhood overflows the 64-bit mask simply escalate, so
+//! the knob trades memory and build time for fast-path coverage, never for
+//! correctness.
+
+use crate::accelerator::{AcceleratorConfig, MicroBlossomAccelerator, PrematchPartner};
+use crate::driver::{AcceleratedDual, PollEvent};
+use mb_blossom::{DualModule, PerfectMatching, PrimalModule};
+use mb_graph::{DecodingGraph, SyndromePattern, VertexIndex, Weight};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Widest anchor neighbourhood representable in the 64-bit cluster mask.
+const MASK_BITS: usize = 64;
+/// Per-anchor table-entry budget; anchors that would exceed it escalate.
+const MAX_ENTRIES_PER_ANCHOR: usize = 512;
+
+/// Configuration knob of the LUT pre-decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredecoderConfig {
+    /// Enable the pre-decoder fast path. When disabled no table is built
+    /// and every shot takes the unconditional dual phase.
+    pub enabled: bool,
+    /// Largest defect cluster resolved from the table; bigger clusters
+    /// escalate the shot. Raising this grows the table combinatorially.
+    pub max_cluster_size: usize,
+}
+
+impl Default for PredecoderConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_cluster_size: 2,
+        }
+    }
+}
+
+impl PredecoderConfig {
+    /// A disabled pre-decoder (the unconditional path for every shot).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The precomputed local match table plus the per-shot cluster classifier.
+///
+/// Built once per `(graph, accelerator config, driving policy)` by
+/// [`PreDecoder::build`]; the owning decoder calls
+/// [`PreDecoder::resolve_into`] with the shot's sorted defect list after
+/// round ingestion and applies the returned matching directly when every
+/// cluster hits the table.
+#[derive(Debug, Clone)]
+pub struct PreDecoder {
+    graph: Arc<DecodingGraph>,
+    config: PredecoderConfig,
+    /// Two defects at distance ≤ `link_radius` belong to one cluster (2R).
+    link_radius: Weight,
+    /// Only clusters with matching weight ≤ `entry_cap` (R) are stored.
+    entry_cap: Weight,
+    /// Per anchor vertex: sorted candidate co-members (`u > anchor`, within
+    /// `(max_cluster_size - 1) · 2R`). Empty for virtual or overflowed
+    /// anchors.
+    neighborhoods: Vec<Vec<VertexIndex>>,
+    /// Per vertex: every non-virtual vertex within `link_radius`, sorted.
+    /// Precomputed so per-shot cluster classification is pure sorted-array
+    /// membership testing — no graph traversal on the hot path.
+    link_neighbors: Vec<Vec<VertexIndex>>,
+    /// Anchors whose neighbourhood or entry budget overflowed; clusters
+    /// anchored there always escalate.
+    overflowed: Vec<bool>,
+    /// `(anchor, neighbourhood bitmask) → local matching`, the LUT proper.
+    table: HashMap<(VertexIndex, u64), PerfectMatching>,
+    // -- reusable per-shot classification scratch (allocation-free once warm)
+    uf_parent: Vec<u32>,
+    ball: HashMap<VertexIndex, Weight>,
+    heap: BinaryHeap<Reverse<(Weight, VertexIndex)>>,
+    cluster_slot: Vec<u32>,
+    cluster_start: Vec<u32>,
+    cluster_fill: Vec<u32>,
+    members: Vec<VertexIndex>,
+    key_scratch: Vec<(VertexIndex, u64)>,
+}
+
+impl PreDecoder {
+    /// Builds the neighbourhood lists and the local match table for `graph`.
+    ///
+    /// `accel_config` must be the exact configuration of the accelerator
+    /// the owning decoder drives, and `stream_driving` whether that decoder
+    /// ingests rounds one by one (`true`) or loads the whole syndrome before
+    /// driving (`false`): entries are decoded by the same machinery under
+    /// the same policy so degenerate optimum selection matches the
+    /// escalated path bit for bit.
+    pub fn build(
+        graph: Arc<DecodingGraph>,
+        accel_config: &AcceleratorConfig,
+        stream_driving: bool,
+    ) -> Self {
+        let n = graph.vertex_count();
+        let max_cluster = accel_config.predecoder.max_cluster_size.max(1);
+        let entry_cap = graph.max_weight();
+        let link_radius = 2 * entry_cap;
+        let reach = (max_cluster as Weight - 1) * link_radius;
+
+        let mut this = Self {
+            config: PredecoderConfig {
+                enabled: accel_config.predecoder.enabled,
+                max_cluster_size: max_cluster,
+            },
+            link_radius,
+            entry_cap,
+            neighborhoods: vec![Vec::new(); n],
+            link_neighbors: vec![Vec::new(); n],
+            overflowed: vec![false; n],
+            table: HashMap::new(),
+            uf_parent: Vec::new(),
+            ball: HashMap::new(),
+            heap: BinaryHeap::new(),
+            cluster_slot: Vec::new(),
+            cluster_start: Vec::new(),
+            cluster_fill: Vec::new(),
+            members: Vec::new(),
+            key_scratch: Vec::new(),
+            graph,
+        };
+
+        // neighbourhood lists: bounded Dijkstra ball around every anchor
+        let graph = Arc::clone(&this.graph);
+        for anchor in 0..n {
+            if graph.is_virtual(anchor) {
+                continue;
+            }
+            let mut near = Vec::new();
+            ball_around(
+                &graph,
+                &mut this.ball,
+                &mut this.heap,
+                anchor,
+                reach,
+                |v, _| {
+                    if v > anchor && !graph.is_virtual(v) {
+                        near.push(v);
+                    }
+                },
+            );
+            near.sort_unstable();
+            if near.len() > MASK_BITS || entry_count(near.len(), max_cluster - 1).is_none() {
+                this.overflowed[anchor] = true;
+                continue;
+            }
+            this.neighborhoods[anchor] = near;
+        }
+
+        // linking balls: paid once here so the per-shot classifier never
+        // touches the graph
+        for v in 0..n {
+            if graph.is_virtual(v) {
+                continue;
+            }
+            let mut near = Vec::new();
+            ball_around(
+                &graph,
+                &mut this.ball,
+                &mut this.heap,
+                v,
+                link_radius,
+                |u, _| {
+                    if u != v && !graph.is_virtual(u) {
+                        near.push(u);
+                    }
+                },
+            );
+            near.sort_unstable();
+            this.link_neighbors[v] = near;
+        }
+
+        // the local match table, decoded by the real machinery
+        let mut builder = EntryBuilder::new(&this.graph, accel_config, stream_driving);
+        let mut cluster = Vec::new();
+        for anchor in 0..n {
+            if this.graph.is_virtual(anchor) || this.overflowed[anchor] {
+                continue;
+            }
+            let near = std::mem::take(&mut this.neighborhoods[anchor]);
+            for_each_subset(near.len(), max_cluster - 1, |subset| {
+                cluster.clear();
+                cluster.push(anchor);
+                let mut mask = 0u64;
+                for (bit, &v) in near.iter().enumerate() {
+                    if subset >> bit & 1 == 1 {
+                        cluster.push(v);
+                        mask |= 1 << bit;
+                    }
+                }
+                cluster.sort_unstable();
+                let matching = builder.decode(&cluster);
+                if matching.weight(&this.graph) <= this.entry_cap {
+                    this.table.insert((anchor, mask), matching);
+                }
+            });
+            this.neighborhoods[anchor] = near;
+        }
+        this
+    }
+
+    /// The configuration this table was built with.
+    pub fn config(&self) -> &PredecoderConfig {
+        &self.config
+    }
+
+    /// Distance below which two defects share a cluster (`2R`).
+    pub fn link_radius(&self) -> Weight {
+        self.link_radius
+    }
+
+    /// Number of `(anchor, mask)` entries in the local match table.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Resolves a full shot from the table.
+    ///
+    /// `defects` must be the shot's complete defect list, sorted and
+    /// deduplicated (see
+    /// [`MicroBlossomAccelerator::predecode_defects_into`]); the result is
+    /// therefore invariant to the order rounds and defects were ingested
+    /// in. When every cluster is table-eligible the matched pairs and
+    /// boundary matches are appended to `matching` and the call returns
+    /// `true`; otherwise `matching` is left untouched and the shot must
+    /// escalate to the unconditional dual phase. Classification is pairwise
+    /// membership testing against precomputed linking balls —
+    /// `O(defects² · log ball(2R))`, independent of the lattice size, with
+    /// no graph traversal — and the steady-state path performs no
+    /// allocation.
+    pub fn resolve_into(
+        &mut self,
+        defects: &[VertexIndex],
+        matching: &mut PerfectMatching,
+    ) -> bool {
+        debug_assert!(defects.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        if defects.is_empty() {
+            return true;
+        }
+        let clusters = self.classify(defects);
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        keys.clear();
+        let mut eligible = true;
+        'clusters: for c in 0..clusters {
+            let (start, len) = self.cluster_bounds(c);
+            if len > self.config.max_cluster_size {
+                eligible = false;
+                break;
+            }
+            let members = &self.members[start..start + len];
+            let anchor = members[0];
+            if self.overflowed[anchor] {
+                eligible = false;
+                break;
+            }
+            let near = &self.neighborhoods[anchor];
+            let mut mask = 0u64;
+            for &v in &members[1..] {
+                match near.binary_search(&v) {
+                    Ok(bit) => mask |= 1 << bit,
+                    Err(_) => {
+                        eligible = false;
+                        break 'clusters;
+                    }
+                }
+            }
+            if !self.table.contains_key(&(anchor, mask)) {
+                eligible = false;
+                break;
+            }
+            keys.push((anchor, mask));
+        }
+        if eligible {
+            for key in &keys {
+                let entry = &self.table[key];
+                matching.pairs.extend_from_slice(&entry.pairs);
+                matching.boundary.extend_from_slice(&entry.boundary);
+            }
+        }
+        self.key_scratch = keys;
+        eligible
+    }
+
+    /// The connected clusters of a sorted, deduplicated defect list, each
+    /// sorted ascending, in ascending anchor order. Exposed for the
+    /// ingestion-order-invariance property tests; the decode path uses the
+    /// allocation-free internal classifier.
+    pub fn clusters(&mut self, defects: &[VertexIndex]) -> Vec<Vec<VertexIndex>> {
+        let count = self.classify(defects);
+        (0..count)
+            .map(|c| {
+                let (start, len) = self.cluster_bounds(c);
+                self.members[start..start + len].to_vec()
+            })
+            .collect()
+    }
+
+    /// Whether a sorted, deduplicated defect list would take the fast path
+    /// (every cluster table-eligible). Classification only; does not build
+    /// the matching.
+    pub fn would_fast_path(&mut self, defects: &[VertexIndex]) -> bool {
+        let mut scratch = PerfectMatching::default();
+        self.resolve_into(defects, &mut scratch)
+    }
+
+    fn cluster_bounds(&self, c: usize) -> (usize, usize) {
+        let start = self.cluster_start[c] as usize;
+        (start, self.cluster_fill[c] as usize)
+    }
+
+    /// Union-find clustering under the ≤ `2R` linking rule. Fills the
+    /// scratch arrays and returns the cluster count; members of cluster `c`
+    /// are `self.members[start..start+len]` (ascending) with
+    /// `(start, len) = self.cluster_bounds(c)`.
+    fn classify(&mut self, defects: &[VertexIndex]) -> usize {
+        let n = defects.len();
+        self.uf_parent.clear();
+        self.uf_parent.extend(0..n as u32);
+        let mut parent = std::mem::take(&mut self.uf_parent);
+        for i in 0..n {
+            let near = &self.link_neighbors[defects[i]];
+            for (j, d) in defects.iter().enumerate().skip(i + 1) {
+                if near.binary_search(d).is_ok() {
+                    union(&mut parent, i, j);
+                }
+            }
+        }
+        // assign cluster ids in order of first appearance (ascending anchor)
+        self.cluster_slot.clear();
+        self.cluster_slot.resize(n, u32::MAX);
+        self.cluster_start.clear();
+        self.cluster_fill.clear();
+        let mut count = 0u32;
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            if self.cluster_slot[root] == u32::MAX {
+                self.cluster_slot[root] = count;
+                self.cluster_fill.push(0);
+                count += 1;
+            }
+            self.cluster_fill[self.cluster_slot[root] as usize] += 1;
+        }
+        // prefix sums, then place members (stable, so each cluster ascends)
+        self.cluster_start.clear();
+        let mut acc = 0u32;
+        for &len in &self.cluster_fill {
+            self.cluster_start.push(acc);
+            acc += len;
+        }
+        self.members.clear();
+        self.members.resize(n, 0);
+        let mut fill = std::mem::take(&mut self.cluster_fill);
+        fill.iter_mut().for_each(|f| *f = 0);
+        for (i, &defect) in defects.iter().enumerate().take(n) {
+            let root = find(&mut parent, i);
+            let c = self.cluster_slot[root] as usize;
+            self.members[(self.cluster_start[c] + fill[c]) as usize] = defect;
+            fill[c] += 1;
+        }
+        self.cluster_fill = fill;
+        self.uf_parent = parent;
+        count as usize
+    }
+}
+
+/// Bounded Dijkstra ball of weighted radius `radius` around `source`,
+/// never expanding out of virtual vertices (they terminate paths, the
+/// [`mb_graph::dijkstra`] rule). Calls `visit(vertex, distance)` once per
+/// settled vertex, including the source at distance 0. `best`/`heap` are
+/// caller-owned scratch, cleared on entry and reused across calls so the
+/// per-shot classification stays allocation-free once warm.
+fn ball_around(
+    graph: &DecodingGraph,
+    best: &mut HashMap<VertexIndex, Weight>,
+    heap: &mut BinaryHeap<Reverse<(Weight, VertexIndex)>>,
+    source: VertexIndex,
+    radius: Weight,
+    mut visit: impl FnMut(VertexIndex, Weight),
+) {
+    best.clear();
+    heap.clear();
+    best.insert(source, 0);
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((dist, v))) = heap.pop() {
+        if best[&v] != dist {
+            continue;
+        }
+        visit(v, dist);
+        if graph.is_virtual(v) && v != source {
+            continue;
+        }
+        for &e in graph.incident_edges(v) {
+            let u = graph.edge(e).other(v);
+            let next = dist + graph.edge(e).weight;
+            if next <= radius && best.get(&u).is_none_or(|&d| next < d) {
+                best.insert(u, next);
+                heap.push(Reverse((next, u)));
+            }
+        }
+    }
+}
+
+fn find(parent: &mut [u32], mut i: usize) -> usize {
+    while parent[i] as usize != i {
+        parent[i] = parent[parent[i] as usize];
+        i = parent[i] as usize;
+    }
+    i
+}
+
+fn union(parent: &mut [u32], a: usize, b: usize) {
+    let (ra, rb) = (find(parent, a), find(parent, b));
+    // deterministic: smaller root wins, so cluster ids are order-invariant
+    if ra < rb {
+        parent[rb] = ra as u32;
+    } else {
+        parent[ra] = rb as u32;
+    }
+}
+
+/// Number of subsets of ≤ `max_bits` elements from `len` candidates, or
+/// `None` when it exceeds [`MAX_ENTRIES_PER_ANCHOR`].
+fn entry_count(len: usize, max_bits: usize) -> Option<usize> {
+    let mut total = 0usize;
+    let mut level = 1usize; // C(len, 0)
+    for s in 0..=max_bits.min(len) {
+        total += level;
+        if total > MAX_ENTRIES_PER_ANCHOR {
+            return None;
+        }
+        level = level.checked_mul(len - s)? / (s + 1);
+    }
+    Some(total)
+}
+
+/// Calls `f(subset_mask)` for every subset of `len` items with at most
+/// `max_bits` bits set, the empty subset included.
+fn for_each_subset(len: usize, max_bits: usize, mut f: impl FnMut(u64)) {
+    fn recurse(len: usize, remaining: usize, from: usize, mask: u64, f: &mut impl FnMut(u64)) {
+        f(mask);
+        if remaining == 0 {
+            return;
+        }
+        for bit in from..len {
+            recurse(len, remaining - 1, bit + 1, mask | 1 << bit, f);
+        }
+    }
+    recurse(len, max_bits, 0, 0, &mut f);
+}
+
+/// One reusable accelerator + driver + primal stack that decodes candidate
+/// clusters exactly the way the owning decoder would, including lazy node
+/// materialization and hardware pre-matching.
+struct EntryBuilder {
+    graph: Arc<DecodingGraph>,
+    driver: AcceleratedDual,
+    primal: PrimalModule,
+    stream_driving: bool,
+    unknown_scratch: Vec<VertexIndex>,
+}
+
+impl EntryBuilder {
+    fn new(graph: &Arc<DecodingGraph>, accel_config: &AcceleratorConfig, stream: bool) -> Self {
+        let accel = MicroBlossomAccelerator::new(Arc::clone(graph), accel_config.clone());
+        Self {
+            graph: Arc::clone(graph),
+            driver: AcceleratedDual::new(accel),
+            primal: PrimalModule::new(),
+            stream_driving: stream,
+            unknown_scratch: Vec::new(),
+        }
+    }
+
+    /// Decodes one candidate cluster with the target driving policy; this
+    /// mirrors the `MicroBlossomDecoder` solve loop instruction for
+    /// instruction so degenerate optima are selected identically.
+    fn decode(&mut self, defects: &[VertexIndex]) -> PerfectMatching {
+        self.driver.reset();
+        self.primal.clear();
+        let layers = SyndromePattern::new(defects.to_vec()).split_by_layer(&self.graph);
+        if self.stream_driving {
+            for defects in &layers {
+                self.driver.load_round(defects);
+                self.drive();
+            }
+        } else {
+            for (t, defects) in layers.iter().enumerate() {
+                self.driver.load_layer(t, defects);
+            }
+            self.drive();
+        }
+        let mut matching = self.primal.perfect_matching();
+        for &(vertex, partner) in self.driver.remaining_prematches() {
+            match partner {
+                PrematchPartner::Defect(other) => matching.pairs.push((vertex, other)),
+                PrematchPartner::Boundary(boundary) => matching.boundary.push((vertex, boundary)),
+            }
+        }
+        matching
+    }
+
+    fn drive(&mut self) {
+        if self.driver.accelerator().defect_count() == 0 {
+            return;
+        }
+        let guard = 1000 + 100 * self.graph.vertex_count() * self.graph.vertex_count();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(iterations <= guard, "pre-decoder table build diverged");
+            match self.driver.poll() {
+                PollEvent::Finished => break,
+                PollEvent::GrowLength(length) => self.driver.grow(length),
+                PollEvent::Obstacle(obstacle) => {
+                    self.primal.resolve(obstacle, &mut self.driver);
+                }
+                PollEvent::UnknownNodes(response) => {
+                    let mut unknown = std::mem::take(&mut self.unknown_scratch);
+                    unknown.clear();
+                    self.driver.unknown_vertices_into(&response, &mut unknown);
+                    for &vertex in &unknown {
+                        if self.primal.singleton_of(vertex).is_some() {
+                            continue;
+                        }
+                        match self.driver.prematch_partner_of(vertex) {
+                            Some(PrematchPartner::Defect(other)) => {
+                                self.primal
+                                    .load_prematched_pair(vertex, other, &mut self.driver);
+                            }
+                            Some(PrematchPartner::Boundary(boundary)) => {
+                                self.primal.load_prematched_boundary(
+                                    vertex,
+                                    boundary,
+                                    &mut self.driver,
+                                );
+                            }
+                            None => {
+                                self.primal.load_defect(vertex, &mut self.driver);
+                            }
+                        }
+                    }
+                    self.unknown_scratch = unknown;
+                    let obstacle = self
+                        .driver
+                        .translate(&response)
+                        .expect("all nodes were just materialized");
+                    self.primal.resolve(obstacle, &mut self.driver);
+                }
+            }
+        }
+        assert!(self.primal.is_solved(), "table build left CPU trees");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_blossom::exact::minimum_matching_weight;
+    use mb_graph::codes::{CodeCapacityRotatedCode, PhenomenologicalCode};
+    use mb_graph::syndrome::ErrorSampler;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Fisher–Yates shuffle (the offline `rand` shim has no `SliceRandom`).
+    fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
+        for i in (1..items.len()).rev() {
+            let j = rng.gen_range_u64(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    fn build(graph: &Arc<DecodingGraph>, stream: bool) -> PreDecoder {
+        PreDecoder::build(Arc::clone(graph), &AcceleratorConfig::default(), stream)
+    }
+
+    #[test]
+    fn table_entries_are_minimum_weight_matchings() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.05).decoding_graph());
+        let pre = build(&graph, false);
+        assert!(pre.table_len() > 0);
+        for ((anchor, _), matching) in &pre.table {
+            let defects = matching.defects();
+            assert!(defects.contains(anchor));
+            assert!(matching.is_valid_for(&defects));
+            let weight = matching.weight(&graph);
+            assert!(weight <= pre.entry_cap, "entry above the W ≤ R cap");
+            assert_eq!(
+                weight,
+                minimum_matching_weight(&graph, &defects).unwrap(),
+                "table entry for {defects:?} is not optimal"
+            );
+        }
+    }
+
+    #[test]
+    fn clusters_partition_the_defect_list() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.05).decoding_graph());
+        let mut pre = build(&graph, true);
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..50 {
+            let shot = sampler.sample(&mut rng);
+            let mut defects = shot.syndrome.defects.clone();
+            defects.sort_unstable();
+            defects.dedup();
+            let clusters = pre.clusters(&defects);
+            let mut flat: Vec<_> = clusters.iter().flatten().copied().collect();
+            flat.sort_unstable();
+            assert_eq!(flat, defects, "clusters must partition the defects");
+            for cluster in &clusters {
+                assert!(cluster.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_input_order_invariant() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.06).decoding_graph());
+        let mut pre = build(&graph, true);
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..30 {
+            let shot = sampler.sample(&mut rng);
+            let mut defects = shot.syndrome.defects.clone();
+            defects.sort_unstable();
+            defects.dedup();
+            let reference = pre.clusters(&defects);
+            let decision = pre.would_fast_path(&defects);
+            // the classifier contract takes a sorted list; shuffling the
+            // *ingestion* happens upstream, the sorted set is the invariant
+            let mut shuffled = defects.clone();
+            shuffle(&mut shuffled, &mut rng);
+            shuffled.sort_unstable();
+            assert_eq!(pre.clusters(&shuffled), reference);
+            assert_eq!(pre.would_fast_path(&shuffled), decision);
+        }
+    }
+
+    #[test]
+    fn resolved_shots_match_the_unconditional_decoder() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.03).decoding_graph());
+        let mut pre = build(&graph, false);
+        let sampler = ErrorSampler::new(&graph);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut resolved = 0;
+        for _ in 0..200 {
+            let shot = sampler.sample(&mut rng);
+            let mut defects = shot.syndrome.defects.clone();
+            defects.sort_unstable();
+            defects.dedup();
+            if defects.is_empty() {
+                continue;
+            }
+            let mut matching = PerfectMatching::default();
+            if !pre.resolve_into(&defects, &mut matching) {
+                continue;
+            }
+            resolved += 1;
+            assert!(matching.is_valid_for(&defects));
+            assert_eq!(
+                matching.weight(&graph),
+                minimum_matching_weight(&graph, &defects).unwrap(),
+                "fast path must stay exact for {defects:?}"
+            );
+        }
+        assert!(resolved > 20, "fast path should cover sparse shots");
+    }
+
+    #[test]
+    fn oversized_clusters_escalate() {
+        let graph = Arc::new(CodeCapacityRotatedCode::new(5, 0.05).decoding_graph());
+        let mut pre = build(&graph, false);
+        // three mutually close defects form one cluster above the default
+        // max_cluster_size of 2
+        let anchor = (0..graph.vertex_count())
+            .find(|&v| !graph.is_virtual(v) && !pre.neighborhoods[v].is_empty())
+            .expect("some anchor has neighbours");
+        let mut defects = vec![anchor];
+        defects.extend(pre.neighborhoods[anchor].iter().take(2).copied());
+        if defects.len() == 3 {
+            defects.sort_unstable();
+            let clusters = pre.clusters(&defects);
+            if clusters.len() == 1 {
+                assert!(!pre.would_fast_path(&defects));
+            }
+        }
+    }
+
+    #[test]
+    fn subset_enumeration_counts_match() {
+        let mut seen = Vec::new();
+        for_each_subset(4, 2, |mask| seen.push(mask));
+        seen.sort_unstable();
+        seen.dedup();
+        // C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6
+        assert_eq!(seen.len(), 11);
+        assert_eq!(entry_count(4, 2), Some(11));
+        assert_eq!(entry_count(64, 63), None, "budget cap engages");
+    }
+}

@@ -99,6 +99,15 @@ pub struct AccelObservability {
     pub pus_touched: u64,
     /// Shots whose syndrome was empty and skipped the dual phase entirely.
     pub zero_defect_shots: u64,
+    /// Shots the LUT pre-decoder resolved from its local match table
+    /// without entering the dual phase (see [`mb_accel::predecoder`]).
+    pub predecoded_shots: u64,
+    /// Total shots this backend decoded. The denominator for
+    /// `fast_path_rate = (zero_defect_shots + predecoded_shots) /
+    /// accel_shots`; tracked here (rather than reusing the pool's decode
+    /// count) so mixed-backend runs don't dilute the rate with shots that
+    /// never touched an accelerator.
+    pub accel_shots: u64,
 }
 
 /// Construction recipe for a [`DecoderBackend`].

@@ -14,8 +14,8 @@
 use crate::backend::{AccelObservability, DecoderBackend};
 use crate::outcome::{DecodeOutcome, LatencyBreakdown};
 use mb_accel::{
-    AcceleratedDual, AcceleratorConfig, MicroBlossomAccelerator, PollEvent, PrematchPartner,
-    TimingModel,
+    AcceleratedDual, AcceleratorConfig, MicroBlossomAccelerator, PollEvent, PreDecoder,
+    PredecoderConfig, PrematchPartner, TimingModel,
 };
 use mb_blossom::{PerfectMatching, PrimalModule};
 use mb_graph::{DecodingGraph, SyndromePattern, VertexIndex};
@@ -38,6 +38,12 @@ pub struct MicroBlossomConfig {
     /// arrays instead of the sparse active set. Bit-identical results;
     /// retained for differential testing (`tests/sparse_equals_dense.rs`).
     pub dense_reference: bool,
+    /// LUT pre-decoder fast path (see [`mb_accel::predecoder`]): resolve
+    /// isolated defect clusters from a precomputed local match table and
+    /// escalate only hard shots to the dual phase. Ignored (treated as
+    /// disabled) when `materialize_all_defects` is set, since eagerly
+    /// materialized defects cannot bypass the primal module.
+    pub predecoder: PredecoderConfig,
     /// Hardware timing model used to convert counters into latency.
     pub timing: TimingModel,
 }
@@ -51,6 +57,7 @@ impl MicroBlossomConfig {
             fusion_weight_reduction: true,
             materialize_all_defects: false,
             dense_reference: false,
+            predecoder: PredecoderConfig::default(),
             timing: TimingModel::for_graph(graph, code_distance),
         }
     }
@@ -63,6 +70,7 @@ impl MicroBlossomConfig {
             fusion_weight_reduction: false,
             materialize_all_defects: true,
             dense_reference: false,
+            predecoder: PredecoderConfig::disabled(),
             timing: TimingModel::for_graph(graph, code_distance),
         }
     }
@@ -75,6 +83,7 @@ impl MicroBlossomConfig {
             fusion_weight_reduction: false,
             materialize_all_defects: false,
             dense_reference: false,
+            predecoder: PredecoderConfig::disabled(),
             timing: TimingModel::for_graph(graph, code_distance),
         }
     }
@@ -83,6 +92,14 @@ impl MicroBlossomConfig {
     /// enabled (for differential testing against the sparse active set).
     pub fn with_dense_reference(mut self) -> Self {
         self.dense_reference = true;
+        self
+    }
+
+    /// The same configuration with the LUT pre-decoder disabled — every
+    /// shot takes the unconditional dual phase (the ablation baseline for
+    /// the fast-path differential tests and benches).
+    pub fn without_predecoder(mut self) -> Self {
+        self.predecoder = PredecoderConfig::disabled();
         self
     }
 }
@@ -98,9 +115,26 @@ pub struct MicroBlossomDecoder {
     layers_scratch: Vec<Vec<VertexIndex>>,
     /// Reusable per-conflict buffer for not-yet-materialized defects.
     unknown_scratch: Vec<VertexIndex>,
+    /// LUT pre-decoder (table + classifier), `Some` when the configuration
+    /// enables it and lazy node materialization is in effect.
+    predecoder: Option<PreDecoder>,
+    /// Whether the current shot already escalated past the pre-decoder.
+    escalated: bool,
+    /// Ingested rounds of the current (deferred) stream shot, so an
+    /// escalated shot can be replayed exactly as the unconditional path
+    /// would have driven it. Outer capacity is retained across shots.
+    round_log: Vec<Vec<VertexIndex>>,
+    /// Number of `round_log` entries valid for the current shot.
+    rounds_logged: usize,
+    /// Reusable buffer for the sorted, deduplicated shot defect list.
+    predecode_scratch: Vec<VertexIndex>,
     /// Shots (cumulative over this decoder's lifetime) whose syndrome was
     /// empty and took the zero-defect fast path.
     zero_defect_shots: u64,
+    /// Shots the LUT pre-decoder resolved without entering the dual phase.
+    predecoded_shots: u64,
+    /// Total shots decoded (the fast-path-rate denominator).
+    accel_shots: u64,
 }
 
 impl MicroBlossomDecoder {
@@ -110,8 +144,13 @@ impl MicroBlossomDecoder {
             prematch_enabled: config.prematch_enabled,
             fusion_weight_reduction: config.fusion_weight_reduction && config.stream_decoding,
             dense_reference: config.dense_reference,
+            predecoder: config.predecoder,
             ..AcceleratorConfig::default()
         };
+        // eager materialization routes every defect through the primal
+        // module, which the table path bypasses — treat it as disabled
+        let predecoder = (config.predecoder.enabled && !config.materialize_all_defects)
+            .then(|| PreDecoder::build(Arc::clone(&graph), &accel_config, config.stream_decoding));
         let accel = MicroBlossomAccelerator::new(Arc::clone(&graph), accel_config);
         Self {
             driver: AcceleratedDual::new(accel),
@@ -120,7 +159,14 @@ impl MicroBlossomDecoder {
             config,
             layers_scratch: Vec::new(),
             unknown_scratch: Vec::new(),
+            predecoder,
+            escalated: false,
+            round_log: Vec::new(),
+            rounds_logged: 0,
+            predecode_scratch: Vec::new(),
             zero_defect_shots: 0,
+            predecoded_shots: 0,
+            accel_shots: 0,
         }
     }
 
@@ -165,6 +211,7 @@ impl MicroBlossomDecoder {
         syndrome: &SyndromePattern,
     ) -> (PerfectMatching, LatencyBreakdown) {
         DecoderBackend::reset(self);
+        self.accel_shots += 1;
         // reuse the layer buffer across decodes (no steady-state allocation)
         let mut layers = std::mem::take(&mut self.layers_scratch);
         syndrome.split_by_layer_into(&self.graph, &mut layers);
@@ -179,11 +226,18 @@ impl MicroBlossomDecoder {
                 self.driver.load_layer(t, defects);
             }
             self.materialize_if_configured(&syndrome.defects);
-            let snapshot = self.counters();
-            if self.drive_dual_phase() {
-                self.zero_defect_shots += 1;
+            // measured window starts here, after the syndrome transfer —
+            // exactly where the unconditional batch path starts it
+            if let Some(matching) = self.try_predecode() {
+                let snapshot = self.counters();
+                (matching, self.breakdown_since(snapshot))
+            } else {
+                let snapshot = self.counters();
+                if self.drive_dual_phase() {
+                    self.zero_defect_shots += 1;
+                }
+                self.complete_matching(snapshot)
             }
-            self.complete_matching(snapshot)
         };
         self.layers_scratch = layers;
         result
@@ -193,10 +247,20 @@ impl MicroBlossomDecoder {
     /// the running solution (§6 fusion). The driver tracks the round index
     /// itself ([`AcceleratedDual::load_round`]); `layer` only asserts the
     /// caller is feeding rounds in layer order.
+    ///
+    /// While the LUT pre-decoder is armed, driving is deferred: the round
+    /// is loaded into the accelerator (so the final-round classification
+    /// sees the complete defect set) and logged, but the dual phase does
+    /// not start — a fast-path shot never polls the hardware, and an
+    /// escalated shot replays the log through the unconditional path.
     fn ingest_one_round(&mut self, layer: usize, defects: &[VertexIndex]) {
         let loaded = self.driver.load_round(defects);
         assert_eq!(loaded, layer, "rounds must be ingested in layer order");
         self.materialize_if_configured(defects);
+        if self.predecoder_armed() {
+            self.log_round(defects);
+            return;
+        }
         self.drive_dual_phase();
     }
 
@@ -210,6 +274,21 @@ impl MicroBlossomDecoder {
         let loaded = self.driver.load_round(defects);
         assert_eq!(loaded, layer, "rounds must be ingested in layer order");
         self.materialize_if_configured(defects);
+        if self.predecoder_armed() {
+            self.log_round(defects);
+            if self.driver.accelerator().defect_count() > 0 {
+                if let Some(matching) = self.try_predecode() {
+                    let mut snapshot = self.counters();
+                    // re-charge the final load instruction, as below
+                    snapshot.bus_writes -= 1;
+                    return (matching, self.breakdown_since(snapshot));
+                }
+                self.escalated = true;
+                return self.replay_logged_rounds();
+            }
+            // zero-defect shot: the deferred per-round drives would have
+            // been no-ops, so falling through is the unchanged fast path
+        }
         let mut snapshot = self.counters();
         // re-charge the final load instruction to the measured window
         snapshot.bus_writes -= 1;
@@ -217,6 +296,78 @@ impl MicroBlossomDecoder {
             self.zero_defect_shots += 1;
         }
         self.complete_matching(snapshot)
+    }
+
+    /// Whether rounds of the current shot are being deferred for the LUT
+    /// pre-decoder (configured, and the shot has not escalated).
+    fn predecoder_armed(&self) -> bool {
+        self.predecoder.is_some() && !self.escalated
+    }
+
+    /// Appends one round to the shot's replay log, reusing inner buffers.
+    fn log_round(&mut self, defects: &[VertexIndex]) {
+        if self.rounds_logged == self.round_log.len() {
+            self.round_log.push(Vec::new());
+        }
+        let slot = &mut self.round_log[self.rounds_logged];
+        slot.clear();
+        slot.extend_from_slice(defects);
+        self.rounds_logged += 1;
+    }
+
+    /// Attempts the LUT fast path on the fully loaded shot: classifies the
+    /// defects into clusters and resolves every cluster from the table.
+    /// Returns the complete matching on a hit; on a miss (or an empty
+    /// shot, which has its own cheaper fast path) the caller escalates.
+    fn try_predecode(&mut self) -> Option<PerfectMatching> {
+        let pre = self.predecoder.as_mut()?;
+        if self.driver.accelerator().defect_count() == 0 {
+            return None;
+        }
+        let mut defects = std::mem::take(&mut self.predecode_scratch);
+        self.driver.predecode_defects_into(&mut defects);
+        let mut matching = PerfectMatching::new();
+        let hit = pre.resolve_into(&defects, &mut matching);
+        self.predecode_scratch = defects;
+        if !hit {
+            return None;
+        }
+        debug_assert!(
+            self.driver.dual_phase_pristine(),
+            "LUT fast path taken after the dual phase started"
+        );
+        self.predecoded_shots += 1;
+        Some(matching)
+    }
+
+    /// Escalation of a deferred stream shot: resets the dual state and
+    /// re-drives every logged round exactly as the unconditional
+    /// configuration would have on arrival, so escalated shots are
+    /// bit-identical — matching, dual objective *and* latency breakdown —
+    /// to the pre-decoder-off path. The driver's bus counters restart from
+    /// the reset (accelerator cycle counters are lifetime-cumulative but
+    /// the breakdown is a delta, so the measured window matches too).
+    fn replay_logged_rounds(&mut self) -> (PerfectMatching, LatencyBreakdown) {
+        use mb_blossom::DualModule;
+        self.driver.reset();
+        self.primal.clear();
+        let rounds = std::mem::take(&mut self.round_log);
+        let last = self.rounds_logged - 1;
+        for defects in &rounds[..last] {
+            self.driver.load_round(defects);
+            self.materialize_if_configured(defects);
+            self.drive_dual_phase();
+        }
+        self.driver.load_round(&rounds[last]);
+        self.materialize_if_configured(&rounds[last]);
+        let mut snapshot = self.counters();
+        snapshot.bus_writes -= 1;
+        if self.drive_dual_phase() {
+            self.zero_defect_shots += 1;
+        }
+        let result = self.complete_matching(snapshot);
+        self.round_log = rounds;
+        result
     }
 
     /// Runs the dual phase unless the shot is (so far) defect-free, in which
@@ -247,14 +398,19 @@ impl MicroBlossomDecoder {
                 PrematchPartner::Boundary(boundary) => matching.boundary.push((vertex, boundary)),
             }
         }
+        let breakdown = self.breakdown_since(snapshot);
+        (matching, breakdown)
+    }
+
+    /// Counter delta from `snapshot` to now, as a latency breakdown.
+    fn breakdown_since(&self, snapshot: LatencyBreakdown) -> LatencyBreakdown {
         let end = self.counters();
-        let breakdown = LatencyBreakdown {
+        LatencyBreakdown {
             hardware_cycles: end.hardware_cycles - snapshot.hardware_cycles,
             bus_reads: end.bus_reads - snapshot.bus_reads,
             bus_writes: end.bus_writes - snapshot.bus_writes,
             cpu_obstacles: end.cpu_obstacles - snapshot.cpu_obstacles,
-        };
-        (matching, breakdown)
+        }
     }
 
     /// Assembles the [`DecodeOutcome`] of a finished decode from its
@@ -375,6 +531,8 @@ impl DecoderBackend for MicroBlossomDecoder {
         use mb_blossom::DualModule;
         self.driver.reset();
         self.primal.clear();
+        self.escalated = false;
+        self.rounds_logged = 0;
     }
 
     fn deterministic_latency(&self) -> bool {
@@ -393,6 +551,7 @@ impl DecoderBackend for MicroBlossomDecoder {
     }
 
     fn finish_rounds(&mut self, layer: usize, defects: &[VertexIndex]) -> DecodeOutcome {
+        self.accel_shots += 1;
         let (matching, breakdown) = self.finish_session(layer, defects);
         self.outcome_from(matching, breakdown)
     }
@@ -403,6 +562,8 @@ impl DecoderBackend for MicroBlossomDecoder {
             active_peak: accel.active_peak(),
             pus_touched: accel.pus_touched(),
             zero_defect_shots: self.zero_defect_shots,
+            predecoded_shots: self.predecoded_shots,
+            accel_shots: self.accel_shots,
         })
     }
 }
@@ -617,7 +778,12 @@ mod tests {
     #[test]
     fn sparse_activity_counters_grow_with_defects_not_lattice() {
         let graph = Arc::new(PhenomenologicalCode::rotated(5, 5, 0.004).decoding_graph());
-        let mut decoder = MicroBlossomDecoder::full(Arc::clone(&graph), Some(5));
+        // disable the LUT fast path: this test observes the *dual phase's*
+        // sparse activation, so the shot must actually reach the PU array
+        let mut decoder = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::full(&graph, Some(5)).without_predecoder(),
+        );
         let sampler = ErrorSampler::new(&graph);
         let mut rng = ChaCha8Rng::seed_from_u64(17);
         let shot = loop {
@@ -637,6 +803,94 @@ mod tests {
             graph.vertex_count()
         );
         assert!(obs.pus_touched > 0);
+    }
+
+    #[test]
+    fn lut_fast_path_is_taken_and_stays_exact() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.01).decoding_graph());
+        let sampler = ErrorSampler::new(&graph);
+        let mut with = MicroBlossomDecoder::full(Arc::clone(&graph), Some(3));
+        let mut without = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::full(&graph, Some(3)).without_predecoder(),
+        );
+        assert!(without.accel_observability().unwrap().predecoded_shots == 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for _ in 0..60 {
+            let shot = sampler.sample(&mut rng);
+            let (m1, _) = with.decode_matching(&shot.syndrome);
+            let (m2, _) = without.decode_matching(&shot.syndrome);
+            assert!(m1.is_valid_for(&shot.syndrome.defects));
+            assert_eq!(
+                m1.weight(&graph),
+                m2.weight(&graph),
+                "fast path diverged on {:?}",
+                shot.syndrome
+            );
+        }
+        let on = with.accel_observability().unwrap();
+        let off = without.accel_observability().unwrap();
+        assert_eq!(on.accel_shots, 60);
+        assert_eq!(off.accel_shots, 60);
+        assert!(on.predecoded_shots > 0, "low-p shots should hit the table");
+        assert_eq!(off.predecoded_shots, 0);
+        // a LUT-resolved shot bypasses the hardware: the measured window of
+        // a stream fast-path shot is the final round's load instruction only
+        let easy = loop {
+            let shot = sampler.sample(&mut rng);
+            let before = with.accel_observability().unwrap().predecoded_shots;
+            let (_, breakdown) = with.decode_matching(&shot.syndrome);
+            if with.accel_observability().unwrap().predecoded_shots > before {
+                break breakdown;
+            }
+        };
+        assert_eq!(easy.bus_reads, 0);
+        assert_eq!(easy.bus_writes, 1);
+        assert_eq!(easy.cpu_obstacles, 0);
+    }
+
+    #[test]
+    fn escalated_stream_shots_are_bit_identical_to_predecoder_off() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.08).decoding_graph());
+        let sampler = ErrorSampler::new(&graph);
+        let mut with = MicroBlossomDecoder::full(Arc::clone(&graph), Some(3));
+        let mut without = MicroBlossomDecoder::new(
+            Arc::clone(&graph),
+            MicroBlossomConfig::full(&graph, Some(3)).without_predecoder(),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut escalated = 0;
+        for _ in 0..60 {
+            let shot = sampler.sample(&mut rng);
+            let pre = with.accel_observability().unwrap();
+            let got = with.decode(&shot.syndrome);
+            let post = with.accel_observability().unwrap();
+            let want = without.decode(&shot.syndrome);
+            let fast = post.predecoded_shots > pre.predecoded_shots
+                || post.zero_defect_shots > pre.zero_defect_shots;
+            if fast {
+                // fast-path shots produce the same correction (the matching
+                // up to pair ordering) — only the latency breakdown differs
+                assert_eq!(got.observable, want.observable);
+                let canonical = |m: &PerfectMatching| {
+                    let mut pairs: Vec<_> =
+                        m.pairs.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+                    pairs.sort_unstable();
+                    let mut boundary = m.boundary.clone();
+                    boundary.sort_unstable();
+                    (pairs, boundary)
+                };
+                assert_eq!(
+                    canonical(got.matching.as_ref().unwrap()),
+                    canonical(want.matching.as_ref().unwrap()),
+                    "fast-path correction diverged from the unconditional path"
+                );
+            } else {
+                escalated += 1;
+                assert_eq!(got, want, "escalated shot must replay identically");
+            }
+        }
+        assert!(escalated > 0, "p=0.08 should produce hard shots");
     }
 
     #[test]

@@ -315,11 +315,18 @@ struct AccelTelemetry {
     active_peak: AtomicU64,
     pus_touched: AtomicU64,
     zero_defect_shots: AtomicU64,
+    predecoded_shots: AtomicU64,
+    accel_shots: AtomicU64,
 }
 
 impl AccelTelemetry {
     /// Folds the delta a finished job produced on one backend. `before` is
     /// `None` the first time a worker touches a freshly built backend.
+    ///
+    /// Backends without accelerator observability (`after == None`, e.g.
+    /// the parity-blossom and union-find baselines) are skipped entirely —
+    /// their shots do not enter `accel_shots`, so mixed-backend runs do not
+    /// dilute the per-accel-shot averages and the fast-path rate.
     fn fold(&self, before: Option<AccelObservability>, after: Option<AccelObservability>) {
         let Some(after) = after else { return };
         let before = before.unwrap_or_default();
@@ -333,6 +340,16 @@ impl AccelTelemetry {
             after
                 .zero_defect_shots
                 .saturating_sub(before.zero_defect_shots),
+            Ordering::Relaxed,
+        );
+        self.predecoded_shots.fetch_add(
+            after
+                .predecoded_shots
+                .saturating_sub(before.predecoded_shots),
+            Ordering::Relaxed,
+        );
+        self.accel_shots.fetch_add(
+            after.accel_shots.saturating_sub(before.accel_shots),
             Ordering::Relaxed,
         );
     }
@@ -522,6 +539,31 @@ impl DecodePool {
     /// was empty (the zero-defect fast path).
     pub fn accel_zero_defect_shots(&self) -> u64 {
         self.telemetry.zero_defect_shots.load(Ordering::Relaxed)
+    }
+
+    /// Shots the LUT pre-decoder resolved from its local match table
+    /// without entering the dual phase (see [`mb_accel::predecoder`]).
+    pub fn accel_predecoded_shots(&self) -> u64 {
+        self.telemetry.predecoded_shots.load(Ordering::Relaxed)
+    }
+
+    /// Total shots decoded by *accelerator-backed* backends of this pool —
+    /// the denominator for per-shot accelerator averages. Shots served by
+    /// backends without accelerator observability (parity blossom,
+    /// union-find) are excluded, so mixed-backend runs don't dilute the
+    /// averages.
+    pub fn accel_shots(&self) -> u64 {
+        self.telemetry.accel_shots.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of accelerator shots that skipped the dual phase — the
+    /// zero-defect skip plus the LUT pre-decoder fast path. `None` until an
+    /// accelerator-backed backend has decoded at least one shot.
+    pub fn accel_fast_path_rate(&self) -> Option<f64> {
+        let shots = self.accel_shots();
+        (shots > 0).then(|| {
+            (self.accel_zero_defect_shots() + self.accel_predecoded_shots()) as f64 / shots as f64
+        })
     }
 
     /// How many of this pool's workers a job with the given worker budget
@@ -1041,6 +1083,35 @@ mod tests {
             .with_pool(Arc::clone(&pool));
         parity.evaluate(10, 9);
         assert!(pool.backends_built() > built_after_first);
+    }
+
+    #[test]
+    fn non_accel_backends_do_not_dilute_pool_accel_counters() {
+        // parity-blossom and union-find report no AccelObservability; their
+        // shots must not enter the accel denominators, or mixed-backend
+        // runs would drag the per-shot averages and fast_path_rate down
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.005).decoding_graph());
+        let pool = Arc::new(DecodePool::new(2));
+        let micro = ShardedPipeline::new(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .with_pool(Arc::clone(&pool))
+            .with_shards(2);
+        micro.evaluate(40, 3);
+        let accel_shots = pool.accel_shots();
+        assert_eq!(accel_shots, 40, "every micro shot is an accel shot");
+        let rate = pool.accel_fast_path_rate().expect("accel shots were run");
+        assert!(rate > 0.0, "p=0.005 shots should hit a fast path");
+        for spec in [BackendSpec::Parity, BackendSpec::union_find()] {
+            ShardedPipeline::new(spec, Arc::clone(&graph))
+                .with_pool(Arc::clone(&pool))
+                .with_shards(2)
+                .evaluate(40, 3);
+        }
+        assert_eq!(
+            pool.accel_shots(),
+            accel_shots,
+            "non-accel shots must not enter the accel denominator"
+        );
+        assert_eq!(pool.accel_fast_path_rate(), Some(rate));
     }
 
     #[test]
