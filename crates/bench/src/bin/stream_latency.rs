@@ -1,26 +1,30 @@
 //! Streaming front-end benchmark: sustained throughput of the channel-fed
 //! [`StreamDecoder`] against the batch pipeline on the same uniform
-//! workload, and submit-to-result latency under Poisson arrivals — queue
-//! depth, latency percentiles, and sustained shots/s.
+//! workload, submit-to-result latency under Poisson arrivals (queue depth,
+//! latency percentiles, sustained shots/s), and context-multiplexed
+//! round ingestion from thousands of concurrent logical-qubit streams.
 //!
 //! Every measurement is also emitted as one machine-readable JSON line
 //! (prefix `{"bench":"stream_latency",...}`) so the trajectory can be
 //! tracked across PRs; the `saturated` lines carry the stream/batch
-//! throughput ratio the acceptance criterion watches (≥ 0.9 on the uniform
-//! workload).
+//! throughput ratio the acceptance criterion watches, and the
+//! `multi_stream` lines carry the concurrent-stream scaling figures
+//! (contexts peak, bank switches, rounds routed, finish p99).
 //!
-//! Usage: `cargo run -r -p bench --bin stream_latency [shots] [d] [p] [rate_per_sec]`
+//! Usage: `cargo run -r -p bench --bin stream_latency [shots] [d] [p] [rate_per_sec] [streams]`
 //!
 //! `rate_per_sec = 0` (the default) derives the Poisson arrival rate from
 //! the measured saturated stream throughput (60% of it, a loaded-but-stable
-//! operating point).
+//! operating point). `streams` (default 10000) is the largest concurrent
+//! logical-qubit stream count the multi-stream section drives.
 
 use bench::{render_table, BenchReport};
-use mb_decoder::pipeline::{DecodePool, ShardedPipeline};
-use mb_decoder::stream::StreamDecoder;
-use mb_decoder::BackendSpec;
+use mb_decoder::pipeline::{shot_rng, DecodePool, ShardedPipeline};
+use mb_decoder::stream::{RoundFeeder, StreamDecoder, Ticket};
+use mb_decoder::{BackendSpec, MicroBlossomConfig};
 use mb_graph::codes::PhenomenologicalCode;
-use mb_graph::DecodingGraph;
+use mb_graph::syndrome::{ErrorSampler, Shot};
+use mb_graph::{DecodingGraph, VertexIndex};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::{mpsc, Arc};
@@ -76,12 +80,104 @@ fn saturated_stream_rate(
     (shots as f64 / elapsed.max(1e-9), stats.decoded)
 }
 
+/// Drives `streams` concurrent logical-qubit streams through one
+/// [`StreamDecoder`]: every stream holds a round-fed shot open at once
+/// (so the [`mb_decoder::stream::ContextPool`] peaks at `streams`
+/// contexts), rounds are routed round-robin across the streams layer by
+/// layer, and `waves` such generations run back to back. Returns the shots
+/// decoded and the fast-path rate over this section's accelerator shots.
+fn multi_stream_run(
+    spec: &BackendSpec,
+    label: &str,
+    graph: &Arc<DecodingGraph>,
+    streams: usize,
+    waves: usize,
+    seed: u64,
+    report: &mut BenchReport,
+) -> (u64, f64, Vec<String>) {
+    let pool = DecodePool::global();
+    let before_fast = pool.accel_zero_defect_shots() + pool.accel_predecoded_shots();
+    let before_shots = pool.accel_shots();
+    let sampler = ErrorSampler::new(graph);
+    let num_layers = graph.num_layers();
+    let stream = StreamDecoder::builder(spec.clone(), Arc::clone(graph))
+        .queue_capacity(streams.clamp(64, 16384))
+        .start();
+    let workers = stream.workers();
+    let start = Instant::now();
+    for wave in 0..waves {
+        let shots: Vec<Shot> = (0..streams)
+            .map(|i| sampler.sample(&mut shot_rng(seed, (wave * streams + i) as u64)))
+            .collect();
+        let layers: Vec<Vec<Vec<VertexIndex>>> = shots
+            .iter()
+            .map(|s| s.syndrome.split_by_layer(graph))
+            .collect();
+        let mut feeders: Vec<RoundFeeder> = shots
+            .iter()
+            .map(|shot| stream.begin_shot(shot.observable))
+            .collect();
+        // round-robin: one measurement round per stream per pass, the
+        // arrival order a real-time multi-qubit source produces
+        for layer in 0..num_layers {
+            for (shot_layers, feeder) in layers.iter().zip(feeders.iter_mut()) {
+                feeder.push_round(&shot_layers[layer]);
+            }
+        }
+        let tickets: Vec<Ticket> = feeders.drain(..).map(RoundFeeder::finish).collect();
+        for ticket in tickets {
+            ticket.recv();
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = stream.close();
+    let decoded = (streams * waves) as u64;
+    assert_eq!(stats.decoded, decoded, "every multi-stream shot completes");
+    assert_eq!(
+        stats.contexts_peak, streams as u64,
+        "all streams hold contexts open concurrently"
+    );
+    let p99_us = stats
+        .finish_p99_us
+        .expect("round-fed shots completed, p99 is measured");
+    assert!(
+        p99_us < 2_000_000.0,
+        "finish-to-outcome p99 unbounded at {streams} streams: {p99_us:.0} us"
+    );
+    let section_shots = pool.accel_shots() - before_shots;
+    let fast_path_rate = (pool.accel_zero_defect_shots() + pool.accel_predecoded_shots()
+        - before_fast) as f64
+        / section_shots.max(1) as f64;
+    let rounds_per_sec = stats.rounds_routed as f64 / elapsed;
+    let shots_per_sec = decoded as f64 / elapsed;
+    report.line(format!(
+        "{{\"bench\":\"stream_latency\",\"workload\":\"multi_stream\",\"backend\":\"{label}\",\
+         \"streams\":{streams},\"waves\":{waves},\"workers\":{workers},\
+         \"contexts_peak\":{},\"bank_switches\":{},\"rounds_routed\":{},\
+         \"finish_p99_us\":{p99_us:.1},\"rounds_per_sec\":{rounds_per_sec:.1},\
+         \"shots_per_sec\":{shots_per_sec:.1},\"fast_path_rate\":{fast_path_rate:.4}}}",
+        stats.contexts_peak, stats.bank_switches, stats.rounds_routed,
+    ));
+    let row = vec![
+        label.to_string(),
+        streams.to_string(),
+        stats.contexts_peak.to_string(),
+        stats.bank_switches.to_string(),
+        stats.rounds_routed.to_string(),
+        format!("{p99_us:.0}"),
+        format!("{shots_per_sec:.0}"),
+        format!("{fast_path_rate:.3}"),
+    ];
+    (decoded, fast_path_rate, row)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let shots: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2000);
     let d: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(5);
     let p: f64 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(0.002);
     let rate_arg: f64 = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(0.0);
+    let max_streams: usize = args.get(5).and_then(|a| a.parse().ok()).unwrap_or(10_000);
     let seed = 0xBE9C; // the pipeline_throughput uniform-workload seed
     let mut report = BenchReport::new("stream_latency");
 
@@ -98,6 +194,7 @@ fn main() {
     // overhead) — same backend, same seeded shots, same worker budgets
     let worker_counts = [1usize, 2, 4, 8];
     let mut rows = Vec::new();
+    let mut stream_rates = Vec::new();
     let mut default_stream_rate = 0.0f64;
     // actual shots decoded on the shared pool, accumulated per section so
     // the per-shot observability figures below cannot drift from the
@@ -113,6 +210,7 @@ fn main() {
         decoded_total += stream_decoded;
         let effective = DecodePool::global().effective_workers(workers, shots);
         default_stream_rate = default_stream_rate.max(stream_rate);
+        stream_rates.push((workers, stream_rate));
         let ratio = stream_rate / batch_rate.max(1e-9);
         report.line(format!(
             "{{\"bench\":\"stream_latency\",\"workload\":\"saturated\",\"backend\":\"{}\",\
@@ -136,6 +234,70 @@ fn main() {
         )
     );
     println!("ratio is stream/batch on the identical seeded workload (target: >= 0.9).\n");
+    // regression guard: adding workers must not collapse stream throughput
+    // (the chunked dequeue keeps per-shot queue overhead flat, and pinned
+    // workers still drain the shared queue). Noise tolerance 2x.
+    for pair in stream_rates.windows(2) {
+        let (w0, r0) = pair[0];
+        let (w1, r1) = pair[1];
+        assert!(
+            r1 >= 0.5 * r0,
+            "stream throughput regressed going from {w0} to {w1} workers: {r0:.0} -> {r1:.0} shots/s"
+        );
+    }
+
+    // context multiplexing: thousands of concurrent logical-qubit streams
+    // interleaved on one stream's workers. The armed LUT pre-decoder defers
+    // round driving (fast-path shots never occupy a context bank); with the
+    // pre-decoder off the backend banks contexts eagerly, exercising
+    // save/restore on every interleaved switch.
+    let stream_counts = if max_streams >= 10 {
+        vec![max_streams / 10, max_streams]
+    } else {
+        vec![max_streams.max(1)]
+    };
+    let eager_spec =
+        BackendSpec::Micro(MicroBlossomConfig::full(&graph, Some(d)).without_predecoder());
+    let mut ms_rows = Vec::new();
+    for &streams in &stream_counts {
+        for (section_spec, label) in [(&spec, "micro-full"), (&eager_spec, "micro-nopredecoder")] {
+            let (decoded, fast_path_rate, row) = multi_stream_run(
+                section_spec,
+                label,
+                &graph,
+                streams,
+                2,
+                seed ^ streams as u64,
+                &mut report,
+            );
+            decoded_total += decoded;
+            if label == "micro-full" {
+                assert!(
+                    fast_path_rate > 0.0,
+                    "pre-decoder stream section must take the fast path at p = {p}"
+                );
+            }
+            ms_rows.push(row);
+        }
+    }
+    println!(
+        "{} concurrent round-fed streams, 2 waves each:\n{}",
+        stream_counts.last().unwrap(),
+        render_table(
+            &[
+                "backend",
+                "streams",
+                "ctx peak",
+                "bank switches",
+                "rounds",
+                "finish p99 us",
+                "shots/s",
+                "fast path"
+            ],
+            &ms_rows
+        )
+    );
+    println!("every stream holds a context open concurrently; p99 is finish-to-outcome.\n");
 
     // Poisson arrivals: submit-to-result latency and queue depth at a
     // loaded-but-stable operating point
@@ -234,20 +396,23 @@ fn main() {
         "{{\"bench\":\"stream_latency\",\"workload\":\"accel_observability\",\
          \"accel_shots\":{accel_shots},\"active_peak\":{},\"pus_touched\":{},\
          \"pus_touched_per_shot\":{pus_per_shot:.1},\"zero_defect_shots\":{},\
-         \"predecoded_shots\":{},\"fast_path_rate\":{fast_path_rate:.4}}}",
+         \"predecoded_shots\":{},\"bank_switches\":{},\"fast_path_rate\":{fast_path_rate:.4}}}",
         pool.accel_active_peak(),
         pool.accel_pus_touched(),
         pool.accel_zero_defect_shots(),
         pool.accel_predecoded_shots(),
+        pool.accel_bank_switches(),
     ));
     println!(
         "sparse activation: peak {} vertex PUs awake of {} ({:.1} PU visits/shot; {} shots took \
-         the zero-defect fast path, {} the LUT pre-decoder; fast-path rate {fast_path_rate:.3})",
+         the zero-defect fast path, {} the LUT pre-decoder; {} context-bank switches; \
+         fast-path rate {fast_path_rate:.3})",
         pool.accel_active_peak(),
         graph.vertex_count(),
         pus_per_shot,
         pool.accel_zero_defect_shots(),
         pool.accel_predecoded_shots(),
+        pool.accel_bank_switches(),
     );
 
     let path = report.finish().expect("bench report is writable");

@@ -464,6 +464,34 @@ pub struct AcceleratorStats {
     pub pus_touched: u64,
 }
 
+/// One context's persistent accelerator state, banked out between rounds —
+/// the software analog of the hardware's `Mem[VertexPersistent]` bank
+/// selected by `contextBits` when one PU array serves many logical qubits.
+///
+/// Only the *authoritative* state is banked: the per-defect rows
+/// `(vertex, residual, speed, node)` (a defect always touches itself), the
+/// CPU-owned flags, and which fusion layers have been loaded. Everything
+/// else a vPU stores — the covers of non-defect vertices, the freezes and
+/// pre-match flags — is a fixed point of the local update rules and is
+/// recomputed bit-identically by the next Update/Pre-Match pass, so a bank
+/// is O(defects) in size and a switch is O(active), not O(|V|).
+#[derive(Debug, Clone, Default)]
+pub struct AcceleratorContext {
+    /// `(vertex, residual, speed, node)` per loaded defect, in load order.
+    defects: Vec<(VertexIndex, Weight, i8, HwNodeId)>,
+    /// Vertices with the CPU-owned flag set, in set order.
+    cpu_owned: Vec<VertexIndex>,
+    /// Fusion layers already loaded (ascending in stream decoding).
+    loaded_layers: Vec<u32>,
+}
+
+impl AcceleratorContext {
+    /// Number of defects the banked context had loaded.
+    pub fn defect_count(&self) -> usize {
+        self.defects.len()
+    }
+}
+
 /// The accelerator simulator.
 ///
 /// Steady-state decoding is **allocation-free**: all per-decode working
@@ -852,6 +880,64 @@ impl MicroBlossomAccelerator {
         self.scratch.touched.clear();
         self.scratch.tight_list.clear();
         self.scratch.candidates.clear();
+        self.dirty = true;
+    }
+
+    /// Banks the authoritative per-context state into `ctx`, the software
+    /// analog of writing back `Mem[VertexPersistent]` before the hardware
+    /// switches `contextBits`. O(defects); reuses `ctx`'s capacity.
+    ///
+    /// Only defect rows, CPU-owned flags, and loaded layers are saved: a
+    /// defect's `(residual, speed, node)` triple is the authoritative dual
+    /// state ([`Instruction::SetCover`] only ever retargets `node`, so
+    /// `touch[d] == d` is an invariant for defects), and every other vertex's
+    /// cover is re-derived bit-identically by the next Update pass.
+    pub fn save_context_into(&self, ctx: &mut AcceleratorContext) {
+        ctx.defects.clear();
+        ctx.defects.reserve(self.defects.len());
+        for &d in &self.defects {
+            debug_assert_eq!(self.vs.touch[d], d as u32, "defects touch themselves");
+            ctx.defects
+                .push((d, self.vs.residual[d], self.vs.speed[d], self.vs.node[d]));
+        }
+        ctx.cpu_owned.clear();
+        ctx.cpu_owned.extend_from_slice(&self.cpu_owned_list);
+        ctx.loaded_layers.clear();
+        for (layer, &loaded) in self.fusion.layer_loaded.iter().enumerate() {
+            if loaded {
+                ctx.loaded_layers.push(layer as u32);
+            }
+        }
+    }
+
+    /// Restores a previously banked context — the `Mem[VertexPersistent]`
+    /// fetch of a context switch. O(active + defects of `ctx`): the sparse
+    /// reset clears only the PUs the outgoing context had awake, then the
+    /// incoming defect rows are reinstalled and the derived state (covers,
+    /// freezes, pre-matches) is rebuilt lazily by the next Update/Pre-Match
+    /// pass, exactly as it would have been had the context never left.
+    pub fn restore_context(&mut self, ctx: &AcceleratorContext) {
+        // not an `Instruction`, so no cycle/instruction accounting: the
+        // banked reset models the fetch stage, not a broadcast message
+        self.reset_state();
+        for &(d, residual, speed, node) in &ctx.defects {
+            self.vs.defect.set(d);
+            self.vs.node[d] = node;
+            self.vs.touch[d] = d as u32;
+            self.vs.residual[d] = residual;
+            self.vs.speed[d] = speed;
+            self.defects.push(d);
+            self.active.insert(d);
+        }
+        for &v in &ctx.cpu_owned {
+            if !self.vs.cpu_owned.get(v) {
+                self.vs.cpu_owned.set(v);
+                self.cpu_owned_list.push(v);
+            }
+        }
+        for &layer in &ctx.loaded_layers {
+            self.fusion.mark_loaded(layer as usize);
+        }
         self.dirty = true;
     }
 

@@ -15,7 +15,9 @@
 //!   blossoms);
 //! * counting bus transactions, which dominate the CPU↔accelerator latency.
 
-use crate::accelerator::{HwResponse, MicroBlossomAccelerator, PrematchPartner};
+use crate::accelerator::{
+    AcceleratorContext, HwResponse, MicroBlossomAccelerator, PrematchPartner,
+};
 use crate::instruction::{HwDirection, HwNodeId, Instruction};
 use mb_blossom::{DualModule, DualReport, GrowDirection, Obstacle};
 use mb_graph::{NodeIndex, VertexIndex, Weight};
@@ -57,6 +59,31 @@ struct HostNode {
     parent: Option<NodeIndex>,
     children: Vec<NodeIndex>,
     defects: Vec<VertexIndex>,
+}
+
+/// One context's banked driver state: the accelerator's
+/// [`AcceleratorContext`] plus the host-side bookkeeping that must survive a
+/// context switch (CPU node table, hardware-id mapping, bus counters).
+///
+/// Opaque by design — a bank is only meaningful to the `AcceleratedDual`
+/// that produced it. Save/restore swap the node table's allocations in and
+/// out, so repeated switching over a fixed set of contexts is
+/// allocation-free in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct DualContext {
+    accel: AcceleratorContext,
+    nodes: Vec<HostNode>,
+    node_of_hw: HashMap<HwNodeId, NodeIndex>,
+    next_blossom_hw: HwNodeId,
+    rounds_loaded: usize,
+    io: IoStats,
+}
+
+impl DualContext {
+    /// Number of defects the banked context had loaded.
+    pub fn defect_count(&self) -> usize {
+        self.accel.defect_count()
+    }
 }
 
 /// The accelerator plus its host-side driver.
@@ -151,6 +178,39 @@ impl AcceleratedDual {
     /// Number of measurement rounds loaded since the last reset.
     pub fn rounds_loaded(&self) -> usize {
         self.rounds_loaded
+    }
+
+    /// Banks the driver's per-context state into `ctx` so another context
+    /// can take over the engine; restore with [`Self::restore_context`].
+    ///
+    /// The CPU node table and hardware-id map are *swapped* into the bank
+    /// rather than copied, so a save immediately followed by a restore of a
+    /// different bank shuffles allocations between banks without heap
+    /// traffic. Whatever the bank held before the swap is stale state of an
+    /// earlier save and is never read: every restore overwrites it with the
+    /// engine's state at the matching save.
+    pub fn save_context_into(&mut self, ctx: &mut DualContext) {
+        self.accel.save_context_into(&mut ctx.accel);
+        std::mem::swap(&mut self.nodes, &mut ctx.nodes);
+        std::mem::swap(&mut self.node_of_hw, &mut ctx.node_of_hw);
+        ctx.next_blossom_hw = self.next_blossom_hw;
+        ctx.rounds_loaded = self.rounds_loaded;
+        ctx.io = self.io.clone();
+    }
+
+    /// Restores a context previously banked with [`Self::save_context_into`]
+    /// — the software `Mem[VertexPersistent]` fetch. O(active + defects):
+    /// the accelerator's sparse reset clears the outgoing context's awake
+    /// PUs and the incoming defect rows are reinstalled; bus counters come
+    /// back too, so per-shot latency breakdowns (counter deltas) are
+    /// unaffected by how often the shot was switched in and out.
+    pub fn restore_context(&mut self, ctx: &mut DualContext) {
+        self.accel.restore_context(&ctx.accel);
+        std::mem::swap(&mut self.nodes, &mut ctx.nodes);
+        std::mem::swap(&mut self.node_of_hw, &mut ctx.node_of_hw);
+        self.next_blossom_hw = ctx.next_blossom_hw;
+        self.rounds_loaded = ctx.rounds_loaded;
+        self.io = ctx.io.clone();
     }
 
     /// Whether the primal module already knows about this hardware node.

@@ -52,9 +52,10 @@ pub mod resource;
 pub mod timing;
 
 pub use accelerator::{
-    AcceleratorConfig, AcceleratorStats, HwResponse, MicroBlossomAccelerator, PrematchPartner,
+    AcceleratorConfig, AcceleratorContext, AcceleratorStats, HwResponse, MicroBlossomAccelerator,
+    PrematchPartner,
 };
-pub use driver::{AcceleratedDual, IoStats, PollEvent};
+pub use driver::{AcceleratedDual, DualContext, IoStats, PollEvent};
 pub use instruction::{HwDirection, HwNodeId, Instruction};
 pub use predecoder::{PreDecoder, PredecoderConfig};
 pub use resource::{estimate_resources, ResourceEstimate};

@@ -79,6 +79,46 @@ pub trait DecoderBackend: Send {
         panic!("{} does not support round-wise ingestion", self.name());
     }
 
+    /// Whether this backend can bank its in-flight round-wise state per
+    /// context and switch between banks — the software analog of the
+    /// hardware's `contextBits`-selected `Mem[VertexPersistent]` memory.
+    /// When `true`, the streaming scheduler may interleave many partially
+    /// ingested shots on one backend instance via
+    /// [`DecoderBackend::context_save`]/[`DecoderBackend::context_restore`];
+    /// when `false`, it buffers each context's rounds and decodes only
+    /// complete shots.
+    fn supports_context_switching(&self) -> bool {
+        false
+    }
+
+    /// Banks the current in-flight round-wise state under `slot`. The
+    /// engine's working state is undefined afterwards until the next
+    /// [`DecoderBackend::begin_rounds`], [`DecoderBackend::context_restore`],
+    /// or full-shot [`DecoderBackend::decode`].
+    fn context_save(&mut self, _slot: usize) {
+        panic!("{} does not support context switching", self.name());
+    }
+
+    /// Restores the state banked under `slot`; subsequent
+    /// [`DecoderBackend::ingest_round`]/[`DecoderBackend::finish_rounds`]
+    /// calls continue that shot bit-identically to an uninterrupted one.
+    fn context_restore(&mut self, _slot: usize) {
+        panic!("{} does not support context switching", self.name());
+    }
+
+    /// Discards the state banked under `slot` (the shot was abandoned),
+    /// freeing the bank for reuse by another context.
+    fn context_discard(&mut self, _slot: usize) {}
+
+    /// Whether [`DecoderBackend::ingest_round`] merely *logs* rounds instead
+    /// of driving the engine (the LUT pre-decoder's arm-then-replay shape).
+    /// Such a backend gains nothing from eager per-round context switching —
+    /// the scheduler buffers its rounds and plays the whole shot at finish,
+    /// which also lets fast-path shots retire without ever occupying a bank.
+    fn defers_round_driving(&self) -> bool {
+        false
+    }
+
     /// Cumulative accelerator-activity counters of this backend, when it is
     /// backed by the simulated PU array (`None` for pure-software decoders).
     /// The decode pool folds per-job deltas of these into its own
@@ -102,6 +142,10 @@ pub struct AccelObservability {
     /// Shots the LUT pre-decoder resolved from its local match table
     /// without entering the dual phase (see [`mb_accel::predecoder`]).
     pub predecoded_shots: u64,
+    /// Context-bank restores performed by the streaming scheduler (each one
+    /// a software `Mem[VertexPersistent]` fetch; see
+    /// [`DecoderBackend::context_restore`]).
+    pub bank_switches: u64,
     /// Total shots this backend decoded. The denominator for
     /// `fast_path_rate = (zero_defect_shots + predecoded_shots) /
     /// accel_shots`; tracked here (rather than reusing the pool's decode

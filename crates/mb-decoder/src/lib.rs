@@ -76,7 +76,7 @@ pub use micro::{MicroBlossomConfig, MicroBlossomDecoder};
 pub use outcome::{DecodeOutcome, LatencyBreakdown};
 pub use parity::ParityBlossomDecoder;
 pub use pipeline::{DecodePool, ShardedPipeline, ShotOutcome};
-pub use stream::{RoundFeeder, StreamDecoder, StreamStats, Ticket};
+pub use stream::{ContextPool, RoundFeeder, StreamDecoder, StreamStats, Ticket};
 pub use uf::{HeliosLatencyModel, UnionFindDecoderAdapter};
 
 /// Backwards-compatible alias: the decoder interface was renamed to

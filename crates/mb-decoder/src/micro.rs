@@ -14,8 +14,8 @@
 use crate::backend::{AccelObservability, DecoderBackend};
 use crate::outcome::{DecodeOutcome, LatencyBreakdown};
 use mb_accel::{
-    AcceleratedDual, AcceleratorConfig, MicroBlossomAccelerator, PollEvent, PreDecoder,
-    PredecoderConfig, PrematchPartner, TimingModel,
+    AcceleratedDual, AcceleratorConfig, DualContext, MicroBlossomAccelerator, PollEvent,
+    PreDecoder, PredecoderConfig, PrematchPartner, TimingModel,
 };
 use mb_blossom::{PerfectMatching, PrimalModule};
 use mb_graph::{DecodingGraph, SyndromePattern, VertexIndex};
@@ -104,6 +104,20 @@ impl MicroBlossomConfig {
     }
 }
 
+/// One banked context of an in-flight stream shot: the driver-level
+/// [`DualContext`] plus the decoder-level per-shot state (CPU primal trees,
+/// escalation flag, replay log). A bank is everything
+/// [`DecoderBackend::context_restore`] needs to continue the shot
+/// bit-identically to one that never left the engine.
+#[derive(Debug, Clone)]
+struct MicroContextBank {
+    dual: DualContext,
+    primal: PrimalModule,
+    escalated: bool,
+    round_log: Vec<Vec<VertexIndex>>,
+    rounds_logged: usize,
+}
+
 /// The Micro Blossom heterogeneous decoder.
 #[derive(Debug, Clone)]
 pub struct MicroBlossomDecoder {
@@ -135,6 +149,13 @@ pub struct MicroBlossomDecoder {
     predecoded_shots: u64,
     /// Total shots decoded (the fast-path-rate denominator).
     accel_shots: u64,
+    /// Context banks indexed by the scheduler's slot id (`None` = free).
+    /// Banks survive [`DecoderBackend::reset`]: they belong to *other*
+    /// in-flight shots, not the one being cleared.
+    banks: Vec<Option<Box<MicroContextBank>>>,
+    /// Context restores performed (cumulative; see
+    /// [`AccelObservability::bank_switches`]).
+    bank_switches: u64,
 }
 
 impl MicroBlossomDecoder {
@@ -167,6 +188,8 @@ impl MicroBlossomDecoder {
             zero_defect_shots: 0,
             predecoded_shots: 0,
             accel_shots: 0,
+            banks: Vec::new(),
+            bank_switches: 0,
         }
     }
 
@@ -556,6 +579,62 @@ impl DecoderBackend for MicroBlossomDecoder {
         self.outcome_from(matching, breakdown)
     }
 
+    /// A stream decoder can bank its round-wise state per context: the
+    /// accelerator's authoritative defect rows (O(active) to switch, thanks
+    /// to the sparse active set), the driver's CPU node table, and the
+    /// decoder-level primal trees and escalation state.
+    fn supports_context_switching(&self) -> bool {
+        self.config.stream_decoding
+    }
+
+    fn context_save(&mut self, slot: usize) {
+        if self.banks.len() <= slot {
+            self.banks.resize_with(slot + 1, || None);
+        }
+        let bank = self.banks[slot].get_or_insert_with(|| {
+            Box::new(MicroContextBank {
+                dual: DualContext::default(),
+                primal: PrimalModule::new(),
+                escalated: false,
+                round_log: Vec::new(),
+                rounds_logged: 0,
+            })
+        });
+        self.driver.save_context_into(&mut bank.dual);
+        std::mem::swap(&mut self.primal, &mut bank.primal);
+        std::mem::swap(&mut self.round_log, &mut bank.round_log);
+        bank.escalated = self.escalated;
+        bank.rounds_logged = self.rounds_logged;
+    }
+
+    fn context_restore(&mut self, slot: usize) {
+        let bank = self
+            .banks
+            .get_mut(slot)
+            .and_then(|bank| bank.as_mut())
+            .expect("context_restore of a slot that was never saved");
+        self.driver.restore_context(&mut bank.dual);
+        std::mem::swap(&mut self.primal, &mut bank.primal);
+        std::mem::swap(&mut self.round_log, &mut bank.round_log);
+        self.escalated = bank.escalated;
+        self.rounds_logged = bank.rounds_logged;
+        self.bank_switches += 1;
+    }
+
+    fn context_discard(&mut self, slot: usize) {
+        if let Some(bank) = self.banks.get_mut(slot) {
+            *bank = None;
+        }
+    }
+
+    /// While the LUT pre-decoder is armed, `ingest_round` only loads and
+    /// logs — the dual phase starts at the final round (or not at all, on
+    /// the fast path). Buffering such shots outside the engine is strictly
+    /// cheaper than banking them.
+    fn defers_round_driving(&self) -> bool {
+        self.predecoder.is_some()
+    }
+
     fn accel_observability(&self) -> Option<AccelObservability> {
         let accel = self.driver.accelerator();
         Some(AccelObservability {
@@ -563,6 +642,7 @@ impl DecoderBackend for MicroBlossomDecoder {
             pus_touched: accel.pus_touched(),
             zero_defect_shots: self.zero_defect_shots,
             predecoded_shots: self.predecoded_shots,
+            bank_switches: self.bank_switches,
             accel_shots: self.accel_shots,
         })
     }

@@ -43,12 +43,14 @@
 use crate::backend::{AccelObservability, BackendSpec, DecoderBackend};
 use crate::evaluation::EvaluationResult;
 use crate::outcome::LatencyBreakdown;
+use crate::stream::ServeOutcome;
 use mb_graph::circuit::{CircuitErrorSampler, CompiledCircuit};
 use mb_graph::syndrome::{ErrorSampler, Shot};
 use mb_graph::{DecodingGraph, ObservableMask};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -316,6 +318,7 @@ struct AccelTelemetry {
     pus_touched: AtomicU64,
     zero_defect_shots: AtomicU64,
     predecoded_shots: AtomicU64,
+    bank_switches: AtomicU64,
     accel_shots: AtomicU64,
 }
 
@@ -346,6 +349,10 @@ impl AccelTelemetry {
             after
                 .predecoded_shots
                 .saturating_sub(before.predecoded_shots),
+            Ordering::Relaxed,
+        );
+        self.bank_switches.fetch_add(
+            after.bank_switches.saturating_sub(before.bank_switches),
             Ordering::Relaxed,
         );
         self.accel_shots.fetch_add(
@@ -379,6 +386,11 @@ struct BackendCache {
     entries: Vec<CacheEntry>,
     tick: u64,
     capacity: usize,
+    /// Entry protected from eviction while a stream job is live on this
+    /// worker: its backend holds the stream's context banks, and evicting
+    /// it (e.g. from batch jobs run inline during a stream idle phase)
+    /// would silently drop in-flight decode state.
+    pinned: Option<BackendKey>,
     /// Shared counter of cache misses (backend constructions), for
     /// observability and tests.
     builds: Arc<AtomicU64>,
@@ -390,22 +402,40 @@ impl BackendCache {
             entries: Vec::new(),
             tick: 0,
             capacity: capacity.max(1),
+            pinned: None,
             builds,
         }
     }
 
+    fn key_for(spec: &BackendSpec, graph: &Arc<DecodingGraph>) -> BackendKey {
+        BackendKey {
+            spec: spec.cache_key(),
+            graph: Arc::as_ptr(graph) as usize,
+        }
+    }
+
+    /// Protects the `(spec, graph)` entry from LRU eviction until
+    /// [`Self::unpin`]. At most one entry is pinned per worker (one live
+    /// stream job at a time).
+    fn pin(&mut self, spec: &BackendSpec, graph: &Arc<DecodingGraph>) {
+        self.pinned = Some(Self::key_for(spec, graph));
+    }
+
+    fn unpin(&mut self) {
+        self.pinned = None;
+    }
+
     /// Returns the cached backend for `(spec, graph)`, building (and caching)
-    /// it on a miss; evicts the least recently used entry at capacity.
+    /// it on a miss; evicts the least recently used unpinned entry at
+    /// capacity (temporarily exceeding capacity rather than evicting the
+    /// pinned entry).
     fn get_or_build(
         &mut self,
         spec: &BackendSpec,
         graph: &Arc<DecodingGraph>,
     ) -> &mut dyn DecoderBackend {
         self.tick += 1;
-        let key = BackendKey {
-            spec: spec.cache_key(),
-            graph: Arc::as_ptr(graph) as usize,
-        };
+        let key = Self::key_for(spec, graph);
         let pos = match self.entries.iter().position(|e| e.key == key) {
             Some(pos) => pos,
             None => {
@@ -414,10 +444,12 @@ impl BackendCache {
                         .entries
                         .iter()
                         .enumerate()
+                        .filter(|(_, e)| Some(&e.key) != self.pinned.as_ref())
                         .min_by_key(|(_, e)| e.last_used)
-                        .map(|(i, _)| i)
-                        .expect("cache at capacity is non-empty");
-                    self.entries.swap_remove(lru);
+                        .map(|(i, _)| i);
+                    if let Some(lru) = lru {
+                        self.entries.swap_remove(lru);
+                    }
                 }
                 self.builds.fetch_add(1, Ordering::Relaxed);
                 self.entries.push(CacheEntry {
@@ -547,6 +579,13 @@ impl DecodePool {
         self.telemetry.predecoded_shots.load(Ordering::Relaxed)
     }
 
+    /// Context-bank restores accelerator-backed backends of this pool
+    /// performed while serving context-multiplexed streams (see
+    /// [`crate::stream::ContextPool`]). Zero for purely batch workloads.
+    pub fn accel_bank_switches(&self) -> u64 {
+        self.telemetry.bank_switches.load(Ordering::Relaxed)
+    }
+
     /// Total shots decoded by *accelerator-backed* backends of this pool —
     /// the denominator for per-shot accelerator averages. Shots served by
     /// backends without accelerator observability (parity blossom,
@@ -578,8 +617,9 @@ impl DecodePool {
     /// in-flight accounting balanced).
     ///
     /// Placement avoids workers pinned by a live stream whenever enough
-    /// unpinned workers exist — a job routed behind a stream would wait for
-    /// its close. Among the candidates, a lone submitter always starts at
+    /// unpinned workers exist — a stream-serving worker only runs other jobs
+    /// in its idle gaps, so an unpinned worker starts sooner. Among the
+    /// candidates, a lone submitter always starts at
     /// the first one, keeping a stable participant set whose backend caches
     /// stay warm across repeated calls; only when another job is already in
     /// flight do partial-width jobs rotate their starting worker, so
@@ -593,7 +633,8 @@ impl DecodePool {
             .filter(|&index| !self.stream_pinned[index].load(Ordering::Relaxed))
             .collect();
         // fall back to blind placement when streams pin too much of the
-        // pool: the job then queues behind a stream until it closes
+        // pool: a stream-serving worker runs the job inline during its
+        // next idle gap, so the job still completes before the close
         let candidates: Vec<usize> = if unpinned.len() >= participants {
             unpinned
         } else {
@@ -707,39 +748,97 @@ fn worker_main(
     telemetry: Arc<AccelTelemetry>,
 ) {
     let mut cache = BackendCache::new(BACKEND_CACHE_CAPACITY, builds);
-    while let Ok(job) = receiver.recv() {
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            let backend = cache.get_or_build(&job.spec, &job.graph);
-            let before = backend.accel_observability();
-            let sampler = ErrorSampler::new(&job.graph);
-            match &job.source {
-                WorkSource::Batch(batch) => batch.decode_all(backend, &sampler),
-                WorkSource::Stream(stream) => stream.serve(backend, &sampler, &job.graph),
+    let mut deferred: VecDeque<Arc<JobState>> = VecDeque::new();
+    loop {
+        let job = match deferred.pop_front() {
+            Some(job) => job,
+            None => match receiver.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            },
+        };
+        run_job(&mut cache, &telemetry, &job, &receiver, &mut deferred);
+    }
+}
+
+/// Runs one job to completion on this worker, including its completion
+/// accounting. A stream job does not monopolize the worker: whenever the
+/// stream reports [`ServeOutcome::Idle`], queued batch jobs are pulled off
+/// the channel and run inline (a second stream job arriving meanwhile is
+/// deferred until this one closes — serving two streams from one loop would
+/// starve whichever one came second).
+fn run_job(
+    cache: &mut BackendCache,
+    telemetry: &AccelTelemetry,
+    job: &Arc<JobState>,
+    receiver: &mpsc::Receiver<Arc<JobState>>,
+    deferred: &mut VecDeque<Arc<JobState>>,
+) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let sampler = ErrorSampler::new(&job.graph);
+        match &job.source {
+            WorkSource::Batch(batch) => {
+                let backend = cache.get_or_build(&job.spec, &job.graph);
+                let before = backend.accel_observability();
+                batch.decode_all(backend, &sampler);
+                telemetry.fold(before, backend.accel_observability());
             }
-            telemetry.fold(before, backend.accel_observability());
-        }));
-        let mut done = job.done.lock().expect("decode pool mutex poisoned");
-        if let Err(payload) = result {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            done.panic.get_or_insert(message);
-        }
-        done.remaining -= 1;
-        let last_participant = done.remaining == 0;
-        if last_participant {
-            job.finished.notify_all();
-        }
-        drop(done);
-        if last_participant {
-            if let WorkSource::Stream(stream) = &job.source {
-                // if every participant died on a panic, undecodable shots may
-                // remain queued: drop them so their tickets resolve instead
-                // of blocking a producer forever
-                stream.abandon_pending();
+            WorkSource::Stream(stream) => {
+                let server = stream.register_server();
+                // the stream's backend holds live context banks — protect it
+                // from eviction by batch jobs run inline below
+                cache.pin(&job.spec, &job.graph);
+                loop {
+                    let status = {
+                        let backend = cache.get_or_build(&job.spec, &job.graph);
+                        let before = backend.accel_observability();
+                        let status = stream.serve(server, backend, &sampler, &job.graph);
+                        // fold per serve pass so pool-level counters stay
+                        // live while the stream is open
+                        telemetry.fold(before, backend.accel_observability());
+                        status
+                    };
+                    match status {
+                        ServeOutcome::Closed => break,
+                        ServeOutcome::Idle => {
+                            while let Ok(next) = receiver.try_recv() {
+                                if matches!(next.source, WorkSource::Stream(_)) {
+                                    deferred.push_back(next);
+                                } else {
+                                    run_job(cache, telemetry, &next, receiver, deferred);
+                                }
+                            }
+                        }
+                    }
+                }
             }
+        }
+    }));
+    if matches!(job.source, WorkSource::Stream(_)) {
+        // also on a panicked serve: the banks are gone either way
+        cache.unpin();
+    }
+    let mut done = job.done.lock().expect("decode pool mutex poisoned");
+    if let Err(payload) = result {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        done.panic.get_or_insert(message);
+    }
+    done.remaining -= 1;
+    let last_participant = done.remaining == 0;
+    if last_participant {
+        job.finished.notify_all();
+    }
+    drop(done);
+    if last_participant {
+        if let WorkSource::Stream(stream) = &job.source {
+            // if every participant died on a panic, undecodable shots may
+            // remain queued: drop them so their tickets resolve instead
+            // of blocking a producer forever
+            stream.abandon_pending();
         }
     }
 }
@@ -1176,6 +1275,29 @@ mod tests {
             }
         });
         // the stream still works and drains cleanly afterwards
+        let outcome = stream.submit_seeded(3).recv();
+        assert_eq!(outcome.shot_index, 0);
+        stream.close();
+    }
+
+    #[test]
+    fn batch_jobs_complete_even_when_a_stream_pins_every_worker() {
+        use crate::stream::StreamDecoder;
+        // a single-worker pool fully pinned by an open stream: batch jobs
+        // must still complete (run inline during the stream's idle gaps)
+        // rather than stall until the stream closes
+        let graph = rotated();
+        let pool = Arc::new(DecodePool::new(1));
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::clone(&pool))
+            .workers(1)
+            .start();
+        let pipeline = ShardedPipeline::new(BackendSpec::union_find(), Arc::clone(&graph))
+            .with_pool(Arc::clone(&pool))
+            .with_shards(1);
+        // would deadlock permanently if the pinned worker never yielded
+        assert_eq!(pipeline.run_sampled(20, 7).len(), 20);
+        // the stream is still live and serves after the interleaved batch
         let outcome = stream.submit_seeded(3).recv();
         assert_eq!(outcome.shot_index, 0);
         stream.close();

@@ -1,5 +1,5 @@
 //! Streaming decode front-end: a channel-fed [`StreamDecoder`] over the
-//! persistent [`DecodePool`].
+//! persistent [`DecodePool`], with context-multiplexed round ingestion.
 //!
 //! The batch pipeline ([`crate::pipeline::ShardedPipeline`]) needs the whole
 //! shot list up front; a real-time syndrome source produces shots — and
@@ -10,30 +10,40 @@
 //!   a queue of configurable capacity; when it is full, `submit` blocks
 //!   (backpressure) until a worker frees a slot, so an over-driven producer
 //!   cannot grow memory without bound. [`StreamDecoder::try_submit`] is the
-//!   non-blocking variant.
+//!   non-blocking variant. Workers drain the queue in chunks (up to
+//!   [`MAX_STEAL_CHUNK`] items per lock acquisition), so per-shot queue
+//!   overhead stays far below decode cost at saturation.
 //! * **per-shot tickets** — every submission returns a [`Ticket`]; its
 //!   [`Ticket::recv`] blocks until that shot's [`ShotOutcome`] is decoded.
 //!   Producers and consumers can live on different threads.
-//! * **round-wise ingestion** — [`StreamDecoder::begin_shot`] opens a
-//!   [`RoundFeeder`]: the producer pushes measurement rounds as they arrive
-//!   and the decoding worker folds each round into its running solution
-//!   (§6 fusion) via [`DecoderBackend::ingest_round`], so dual-phase work
-//!   starts before the last round lands. Backends without native round
-//!   support are fed the assembled syndrome instead — same result, no
-//!   early start.
+//! * **context multiplexing** — [`StreamDecoder::begin_shot`] opens a
+//!   [`RoundFeeder`] backed by one slot of a [`ContextPool`], the software
+//!   analog of the hardware's context memory (`contextBits` selecting a
+//!   `Mem[VertexPersistent]` row set). Thousands of logical-qubit streams
+//!   can hold shots open concurrently: a pushed round routes to the worker
+//!   owning that context, which swaps the context's state bank into its
+//!   engine ([`DecoderBackend::context_restore`]), folds the round in
+//!   (§6 fusion via [`DecoderBackend::ingest_round`]), and banks the state
+//!   again when another context needs the engine. Shots complete out of
+//!   order; zero-defect shots and shots a backend defers (the LUT
+//!   pre-decoder's arm-then-replay shape) never occupy a bank. Backends
+//!   without native round support buffer the rounds and decode the
+//!   assembled syndrome — same result, no early start.
 //! * **bit-identical to batch** — a shot decodes to exactly the same
-//!   [`ShotOutcome`] the batch pipeline produces for it (backends reset per
-//!   shot and, for deterministic-latency backends, model their latency), and
+//!   [`ShotOutcome`] the batch pipeline produces for it, regardless of how
+//!   its rounds interleave with other contexts (restoring a bank rebuilds
+//!   precisely the state the pinned-stream order would have had), and
 //!   [`StreamDecoder::submit_seeded`] reuses the per-shot seeded RNG so a
 //!   stream of `n` seeded submissions equals `run_sampled(n, seed)` bit for
-//!   bit. Verified across worker counts by `tests/stream_equals_pipeline.rs`.
+//!   bit. Verified across worker counts by `tests/stream_equals_pipeline.rs`
+//!   and the interleaving differential test in this module.
 //!
-//! A stream occupies its worker budget on the pool for its whole lifetime:
-//! the participating workers block on the live queue until
-//! [`StreamDecoder::close`] drains them. Batch jobs submitted to the same
-//! pool while a stream holds all its workers queue up behind it — give a
-//! long-lived stream a dedicated pool, or leave it fewer workers than the
-//! pool has.
+//! A stream reserves its worker budget on the pool for its whole lifetime,
+//! but no longer monopolizes it: while the stream is idle (no queued shots,
+//! no routable rounds), its workers run batch jobs queued on the same pool
+//! inline and return to the stream afterwards. [`StreamDecoder::close`]
+//! drains all in-flight work — including thousands of still-open feeders,
+//! force-finished in O(contexts) — and releases the workers.
 //!
 //! ```
 //! use mb_decoder::stream::StreamDecoder;
@@ -54,21 +64,22 @@
 //! ```
 
 use crate::backend::{BackendSpec, DecoderBackend};
-use crate::pipeline::{decode_one, default_shards, shot_rng, DecodePool, JobState, ShotOutcome};
+use crate::outcome::DecodeOutcome;
+use crate::pipeline::{
+    decode_one, default_shards, shot_rng, DecodePool, JobState, ShotOutcome, MAX_STEAL_CHUNK,
+};
 use mb_graph::syndrome::{ErrorSampler, Shot, SyndromePattern};
 use mb_graph::{DecodingGraph, ObservableMask, VertexIndex};
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// A measurement-round message from a [`RoundFeeder`] to the worker decoding
-/// its shot.
-enum RoundMsg {
-    /// The defect vertices observed in the next round.
-    Round(Vec<VertexIndex>),
-    /// No more rounds: complete the decode.
-    Finish,
-}
+/// How long an idle serving worker parks on the work condvar before
+/// reporting [`ServeOutcome::Idle`] to its caller, which then runs queued
+/// batch jobs inline. Bounds the latency a batch job can see behind a
+/// fully-pinned pool without burning CPU on a spin loop.
+const IDLE_POLL: Duration = Duration::from_micros(500);
 
 /// How one queued shot is produced.
 enum Request {
@@ -79,12 +90,95 @@ enum Request {
     /// [`crate::pipeline::ShardedPipeline::run_sampled`] uses, so seeded
     /// streams are bit-identical to sampled batches.
     Seeded { seed: u64 },
-    /// An incrementally fed shot: rounds arrive on the channel while the
-    /// worker decodes.
-    Rounds {
-        expected: ObservableMask,
-        rounds: mpsc::Receiver<RoundMsg>,
-    },
+    /// An incrementally fed shot: claims ownership of context `slot` for
+    /// the popping worker. The rounds themselves route through the
+    /// [`ContextPool`], not the queue.
+    OpenRounds { slot: usize },
+}
+
+/// One-shot outcome hand-off between a decoding worker and its
+/// [`Ticket`] — a single-allocation replacement for an `mpsc` channel pair.
+///
+/// `mpsc::channel()` defers its first block allocation to the first `send`,
+/// which puts that allocation (and, under a paging-heavy host, its page
+/// faults) inside the worker's decode loop; `sync_channel(1)` allocates up
+/// front but still costs several heap allocations per shot on the producer
+/// thread, which dominates the submit path at saturation. This cell is one
+/// `Arc` holding the outcome slot inline; mutex and condvar initialize
+/// without further allocation.
+struct OutcomeCell {
+    state: Mutex<CellState>,
+    ready: Condvar,
+    /// Live [`OutcomeSender`] handles; the last one to drop without
+    /// delivering marks the shot [`CellState::Abandoned`] so a blocked
+    /// `recv` panics instead of hanging.
+    senders: AtomicUsize,
+    /// Receivers blocked in `recv` — incremented under the state lock
+    /// before waiting, so `deliver` can skip the condvar entirely when no
+    /// one waits (Rust's futex condvar pays a wake syscall on every notify,
+    /// waiters or not, and that syscall would land in the worker's decode
+    /// loop once per shot).
+    waiters: AtomicUsize,
+}
+
+enum CellState {
+    Pending,
+    Ready(ShotOutcome),
+    /// Every sender handle dropped without delivering (workers panicked or
+    /// the stream was torn down), or the outcome was already taken.
+    Abandoned,
+}
+
+impl OutcomeCell {
+    fn pair() -> (OutcomeSender, Arc<OutcomeCell>) {
+        let cell = Arc::new(OutcomeCell {
+            state: Mutex::new(CellState::Pending),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            waiters: AtomicUsize::new(0),
+        });
+        (OutcomeSender(Arc::clone(&cell)), cell)
+    }
+}
+
+/// Worker-side handle of an [`OutcomeCell`]; delivers at most one outcome.
+struct OutcomeSender(Arc<OutcomeCell>);
+
+impl OutcomeSender {
+    /// Hands the outcome to the ticket; a second delivery (or one after
+    /// abandonment) is ignored.
+    fn deliver(&self, outcome: ShotOutcome) {
+        let mut state = self.0.state.lock().expect("outcome cell mutex poisoned");
+        if matches!(*state, CellState::Pending) {
+            *state = CellState::Ready(outcome);
+            drop(state);
+            if self.0.waiters.load(Ordering::Relaxed) > 0 {
+                self.0.ready.notify_all();
+            }
+        }
+    }
+}
+
+impl Clone for OutcomeSender {
+    fn clone(&self) -> Self {
+        self.0.senders.fetch_add(1, Ordering::Relaxed);
+        OutcomeSender(Arc::clone(&self.0))
+    }
+}
+
+impl Drop for OutcomeSender {
+    fn drop(&mut self) {
+        if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut state = self.0.state.lock().expect("outcome cell mutex poisoned");
+            if matches!(*state, CellState::Pending) {
+                *state = CellState::Abandoned;
+                drop(state);
+                if self.0.waiters.load(Ordering::Relaxed) > 0 {
+                    self.0.ready.notify_all();
+                }
+            }
+        }
+    }
 }
 
 /// One queued submission.
@@ -93,7 +187,236 @@ struct StreamItem {
     /// RNG derivation index).
     index: usize,
     request: Request,
-    reply: mpsc::Sender<ShotOutcome>,
+    reply: OutcomeSender,
+}
+
+/// One in-flight round-fed shot: the producer side buffers rounds here and
+/// the owning worker drains them into its engine.
+struct ContextSlot {
+    /// Submission index (becomes [`ShotOutcome::shot_index`]).
+    index: usize,
+    /// Ground-truth observable recorded in the outcome.
+    expected: ObservableMask,
+    reply: OutcomeSender,
+    /// Rounds pushed but not yet applied by the owning worker.
+    rounds: VecDeque<Vec<VertexIndex>>,
+    /// Total defects pushed so far (after per-round dedupe) — the shot's
+    /// tally in [`ShotOutcome::defects`].
+    defect_count: usize,
+    /// The feeder finished (or was force-finished): no more rounds.
+    finished: bool,
+    /// When the finish landed, for the finish→outcome latency histogram.
+    finished_at: Option<Instant>,
+    /// Serving worker that claimed this context, `None` until its
+    /// [`Request::OpenRounds`] item is popped.
+    owner: Option<usize>,
+    /// Already enqueued in the owner's mailbox (dedupes wake-ups).
+    queued: bool,
+    /// Owner-side progress, mirrored by [`Progress`] while the owner pumps
+    /// outside the lock: whether the engine has begun this shot, whether
+    /// its state currently sits in a bank, and how many layers have been
+    /// ingested (including deferred all-empty ones).
+    started: bool,
+    banked: bool,
+    ingested: usize,
+}
+
+struct SlotEntry {
+    /// Bumped whenever the slot is recycled; a feeder holding a stale
+    /// generation can no longer touch the slot's next tenant.
+    generation: u64,
+    ctx: Option<ContextSlot>,
+}
+
+/// The software analog of the accelerator's hardware context memory
+/// (`contextBits` selecting a `Mem[VertexPersistent]` row set, §7): a slab
+/// of in-flight round-fed shots ("contexts") multiplexed over the pool
+/// workers serving one stream.
+///
+/// Each open [`RoundFeeder`] owns one slot. Rounds buffer in the slot and
+/// route to the worker that claimed it; that worker save/restores
+/// per-context state banks on its decode engine
+/// ([`DecoderBackend::context_save`] / [`DecoderBackend::context_restore`],
+/// both O(active defects) for the accelerator backends), so thousands of
+/// concurrent logical-qubit streams interleave on a handful of engines.
+/// Slots are recycled through a free list with a generation counter:
+/// allocation, completion and teardown are O(1) per context, and a stale
+/// feeder handle cannot corrupt a recycled slot.
+pub struct ContextPool {
+    entries: Vec<SlotEntry>,
+    free_slots: Vec<usize>,
+    /// Per-server queues of contexts with routable work ("send the round to
+    /// the worker that holds the context's bank").
+    mailboxes: Vec<VecDeque<usize>>,
+    /// Live (allocated) contexts.
+    live: usize,
+    /// Live contexts whose feeder has not finished.
+    unfinished: usize,
+    peak: u64,
+    rounds_routed: u64,
+    /// log2-bucketed finish→outcome latency histogram in nanoseconds:
+    /// bucket `i` counts completions with `2^i ≤ ns < 2^(i+1)`.
+    finish_latency_buckets: [u64; 64],
+}
+
+impl ContextPool {
+    fn new(servers: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            free_slots: Vec::new(),
+            mailboxes: (0..servers).map(|_| VecDeque::new()).collect(),
+            live: 0,
+            unfinished: 0,
+            peak: 0,
+            rounds_routed: 0,
+            finish_latency_buckets: [0; 64],
+        }
+    }
+
+    /// Allocates a context slot for a newly begun shot, reusing a freed
+    /// slot when one exists.
+    fn allocate(
+        &mut self,
+        index: usize,
+        expected: ObservableMask,
+        reply: OutcomeSender,
+    ) -> (usize, u64) {
+        let slot = match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                self.entries.push(SlotEntry {
+                    generation: 0,
+                    ctx: None,
+                });
+                self.entries.len() - 1
+            }
+        };
+        let entry = &mut self.entries[slot];
+        debug_assert!(entry.ctx.is_none(), "allocated an occupied slot");
+        entry.ctx = Some(ContextSlot {
+            index,
+            expected,
+            reply,
+            rounds: VecDeque::new(),
+            defect_count: 0,
+            finished: false,
+            finished_at: None,
+            owner: None,
+            queued: false,
+            started: false,
+            banked: false,
+            ingested: 0,
+        });
+        self.live += 1;
+        self.unfinished += 1;
+        self.peak = self.peak.max(self.live as u64);
+        (slot, entry.generation)
+    }
+
+    /// The context in `slot`, if the slot is occupied (worker side: slot
+    /// ownership guarantees the tenant, but the context may be gone after
+    /// an abandon).
+    fn ctx_mut(&mut self, slot: usize) -> Option<&mut ContextSlot> {
+        self.entries.get_mut(slot).and_then(|e| e.ctx.as_mut())
+    }
+
+    /// The context in `slot` only when `generation` still matches (feeder
+    /// side: a stale handle to a recycled slot resolves to `None`).
+    fn ctx_mut_checked(&mut self, slot: usize, generation: u64) -> Option<&mut ContextSlot> {
+        self.entries
+            .get_mut(slot)
+            .filter(|e| e.generation == generation)
+            .and_then(|e| e.ctx.as_mut())
+    }
+
+    /// Recycles a completed context's slot and returns the context (its
+    /// reply channel outlives the slot).
+    fn release(&mut self, slot: usize) -> Option<ContextSlot> {
+        let entry = self.entries.get_mut(slot)?;
+        let ctx = entry.ctx.take()?;
+        entry.generation += 1;
+        self.free_slots.push(slot);
+        self.live -= 1;
+        Some(ctx)
+    }
+
+    /// Force-finishes every unfinished context (used by `close()`): one
+    /// pass over the slab, so tearing down thousands of open feeders stays
+    /// O(contexts).
+    fn force_finish_all(&mut self, now: Instant) {
+        let ContextPool {
+            entries,
+            mailboxes,
+            unfinished,
+            ..
+        } = self;
+        for (slot, entry) in entries.iter_mut().enumerate() {
+            let Some(ctx) = entry.ctx.as_mut() else {
+                continue;
+            };
+            if ctx.finished {
+                continue;
+            }
+            ctx.finished = true;
+            ctx.finished_at = Some(now);
+            *unfinished -= 1;
+            if let Some(owner) = ctx.owner {
+                if !ctx.queued {
+                    ctx.queued = true;
+                    mailboxes[owner].push_back(slot);
+                }
+            }
+        }
+    }
+
+    /// Drops every context and invalidates every outstanding feeder handle
+    /// (used by `abandon_pending` when all serving workers died).
+    fn clear(&mut self) {
+        let ContextPool {
+            entries,
+            free_slots,
+            mailboxes,
+            live,
+            unfinished,
+            ..
+        } = self;
+        for (slot, entry) in entries.iter_mut().enumerate() {
+            if entry.ctx.take().is_some() {
+                entry.generation += 1;
+                free_slots.push(slot);
+            }
+        }
+        for mailbox in mailboxes.iter_mut() {
+            mailbox.clear();
+        }
+        *live = 0;
+        *unfinished = 0;
+    }
+
+    fn record_finish_latency(&mut self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().clamp(1, u64::MAX as u128) as u64;
+        let bucket = 63 - ns.leading_zeros() as usize;
+        self.finish_latency_buckets[bucket] += 1;
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) of the finish→outcome latency
+    /// in microseconds, from the log2 histogram (upper bucket bound).
+    /// `None` before any round-fed shot has completed.
+    fn finish_latency_quantile_us(&self, q: f64) -> Option<f64> {
+        let total: u64 = self.finish_latency_buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.finish_latency_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(2f64.powi(i as i32 + 1) / 1_000.0);
+            }
+        }
+        None
+    }
 }
 
 /// Queue state guarded by the mutex.
@@ -108,10 +431,57 @@ struct StreamState {
     waiting_workers: usize,
     /// Producers parked on the `space` condvar (same reasoning, pop side).
     waiting_producers: usize,
-    /// Round channels of the still-open [`RoundFeeder`]s, keyed by
-    /// submission index. `close()` force-finishes them so a worker blocked
-    /// on an open feeder's rounds cannot deadlock the closing thread.
-    open_rounds: HashMap<usize, mpsc::Sender<RoundMsg>>,
+    /// The in-flight round-fed contexts and their per-server mailboxes.
+    contexts: ContextPool,
+}
+
+/// Outcome of one [`StreamShared::serve`] call.
+pub(crate) enum ServeOutcome {
+    /// The stream is closed and this worker's share of it is drained.
+    Closed,
+    /// No stream work right now: the caller may run other queued jobs and
+    /// must call `serve` again afterwards. Any engine-resident context was
+    /// banked before returning, so the engine is free for other work.
+    Idle,
+}
+
+/// What the serving worker found to do in one pass over the shared state.
+enum Work {
+    /// Drained a chunk of queued submissions.
+    Items,
+    /// A context in this worker's mailbox has routable rounds or finished.
+    Context(usize),
+    Closed,
+    Idle,
+}
+
+/// Worker-local view of which context currently occupies the decode engine.
+struct EngineSeat<'a> {
+    backend: &'a mut dyn DecoderBackend,
+    current: Option<usize>,
+}
+
+impl EngineSeat<'_> {
+    /// Banks the engine-resident context, if any, freeing the engine for a
+    /// different context (or a plain batch shot, or an idle return).
+    fn park(&mut self, shared: &StreamShared) {
+        if let Some(slot) = self.current.take() {
+            self.backend.context_save(slot);
+            let mut state = shared.state.lock().expect("stream queue mutex poisoned");
+            if let Some(ctx) = state.contexts.ctx_mut(slot) {
+                ctx.banked = true;
+            }
+        }
+    }
+}
+
+/// The owner-side ingestion progress of one context, cached outside the
+/// lock while its worker pumps it. Only the owning worker reads or writes
+/// these fields, so caching them across engine calls is race-free.
+struct Progress {
+    started: bool,
+    banked: bool,
+    ingested: usize,
 }
 
 /// The live work queue shared between producers and the pool workers
@@ -119,19 +489,39 @@ struct StreamState {
 /// source.
 pub(crate) struct StreamShared {
     state: Mutex<StreamState>,
-    /// Signalled when an item is queued or the stream closes (workers wait).
+    /// Signalled when an item is queued, a round routes to a mailbox, or
+    /// the stream closes (workers wait).
     work: Condvar,
-    /// Signalled when a slot frees up or the stream closes (producers wait).
+    /// Signalled when queue slots free up or the stream closes (producers
+    /// wait).
     space: Condvar,
     capacity: usize,
+    /// Serving workers this stream was submitted to (= mailbox count).
+    servers: usize,
+    /// Hands each serving worker a stable mailbox id.
+    next_server: AtomicUsize,
+    /// Whether the serving backends interleave contexts eagerly (banked
+    /// round ingestion). Decides if a pushed round wakes the owner
+    /// immediately or just buffers until the feeder finishes. Written by
+    /// workers at serve entry — all participants share one backend spec, so
+    /// they agree on the value.
+    eager_routing: AtomicBool,
+    /// Bumped whenever work a worker could act on appears (queue push,
+    /// mailbox push, close). Workers spin on this — lock-free — between
+    /// finding the queue dry and parking on the condvar, so a spinning
+    /// worker never contends on the state mutex against the producers'
+    /// submit path.
+    events: AtomicU64,
     /// Shots submitted so far.
     submitted: AtomicU64,
     /// Shots decoded so far.
     decoded: AtomicU64,
+    /// Context-bank restores performed by the serving workers.
+    bank_switches: AtomicU64,
 }
 
 impl StreamShared {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, servers: usize) -> Self {
         Self {
             state: Mutex::new(StreamState {
                 queue: VecDeque::with_capacity(capacity),
@@ -139,19 +529,31 @@ impl StreamShared {
                 next_index: 0,
                 waiting_workers: 0,
                 waiting_producers: 0,
-                open_rounds: HashMap::new(),
+                contexts: ContextPool::new(servers),
             }),
             work: Condvar::new(),
             space: Condvar::new(),
             capacity,
+            servers,
+            next_server: AtomicUsize::new(0),
+            eager_routing: AtomicBool::new(false),
+            events: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             decoded: AtomicU64::new(0),
+            bank_switches: AtomicU64::new(0),
         }
     }
 
     /// Enqueues a request, blocking while the queue is at capacity.
+    ///
+    /// The reply channel is a rendezvous-free `sync_channel(1)`: exactly one
+    /// outcome is ever sent per ticket, and the bounded flavor allocates its
+    /// slot buffer *here*, on the producer thread. An unbounded `channel()`
+    /// defers its first block allocation to the first `send` — which would
+    /// put that allocation (and its page faults) inside the worker's decode
+    /// loop, where it dominates per-shot cost at saturation.
     fn push(&self, request: Request) -> Ticket {
-        let (reply, rx) = mpsc::channel();
+        let (reply, cell) = OutcomeCell::pair();
         let mut state = self.state.lock().expect("stream queue mutex poisoned");
         while state.queue.len() >= self.capacity && !state.closed {
             state.waiting_producers += 1;
@@ -170,18 +572,19 @@ impl StreamShared {
             reply,
         });
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.events.fetch_add(1, Ordering::Relaxed);
         let wake_worker = state.waiting_workers > 0;
         drop(state);
         if wake_worker {
             self.work.notify_one();
         }
-        Ticket { index, rx }
+        Ticket { index, cell }
     }
 
     /// Enqueues a request if a slot is free; hands the request back when the
     /// queue is full.
     fn try_push(&self, request: Request) -> Result<Ticket, Request> {
-        let (reply, rx) = mpsc::channel();
+        let (reply, cell) = OutcomeCell::pair();
         let mut state = self.state.lock().expect("stream queue mutex poisoned");
         assert!(
             !state.closed,
@@ -198,45 +601,140 @@ impl StreamShared {
             reply,
         });
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.events.fetch_add(1, Ordering::Relaxed);
         let wake_worker = state.waiting_workers > 0;
         drop(state);
         if wake_worker {
             self.work.notify_one();
         }
-        Ok(Ticket { index, rx })
+        Ok(Ticket { index, cell })
+    }
+
+    /// Allocates a context slot and enqueues its ownership claim, blocking
+    /// while the queue is at capacity. Returns the ticket plus the slot
+    /// handle `(slot, generation)` for the feeder.
+    fn push_open_rounds(&self, expected: ObservableMask) -> (Ticket, usize, u64) {
+        let (reply, cell) = OutcomeCell::pair();
+        let mut state = self.state.lock().expect("stream queue mutex poisoned");
+        while state.queue.len() >= self.capacity && !state.closed {
+            state.waiting_producers += 1;
+            state = self.space.wait(state).expect("stream queue mutex poisoned");
+            state.waiting_producers -= 1;
+        }
+        assert!(
+            !state.closed,
+            "submit on a closed stream (closed by close(), or every serving worker panicked)"
+        );
+        let index = state.next_index;
+        state.next_index += 1;
+        let (slot, generation) = state.contexts.allocate(index, expected, reply.clone());
+        state.queue.push_back(StreamItem {
+            index,
+            request: Request::OpenRounds { slot },
+            reply,
+        });
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.events.fetch_add(1, Ordering::Relaxed);
+        let wake_worker = state.waiting_workers > 0;
+        drop(state);
+        if wake_worker {
+            self.work.notify_one();
+        }
+        (Ticket { index, cell }, slot, generation)
+    }
+
+    /// Routes one measurement round to context `slot`: buffers it and, when
+    /// the serving backends ingest eagerly and the context has an owner,
+    /// wakes that owner through its mailbox. Rounds for a closed stream or
+    /// a recycled slot are silently dropped (the shot already completed).
+    fn push_context_round(&self, slot: usize, generation: u64, round: Vec<VertexIndex>) {
+        let mut state = self.state.lock().expect("stream queue mutex poisoned");
+        if state.closed {
+            return;
+        }
+        let eager = self.eager_routing.load(Ordering::Relaxed);
+        let owner_to_wake = {
+            let Some(ctx) = state.contexts.ctx_mut_checked(slot, generation) else {
+                return;
+            };
+            if ctx.finished {
+                return;
+            }
+            ctx.defect_count += round.len();
+            ctx.rounds.push_back(round);
+            match ctx.owner {
+                Some(owner) if eager && !ctx.queued => {
+                    ctx.queued = true;
+                    Some(owner)
+                }
+                _ => None,
+            }
+        };
+        state.contexts.rounds_routed += 1;
+        let wake = match owner_to_wake {
+            Some(owner) => {
+                state.contexts.mailboxes[owner].push_back(slot);
+                self.events.fetch_add(1, Ordering::Relaxed);
+                state.waiting_workers > 0
+            }
+            None => false,
+        };
+        drop(state);
+        if wake {
+            // notify_all: the owner must wake, and the condvar is shared by
+            // all servers — a notify_one could land on a different server
+            // that re-parks without draining this mailbox
+            self.work.notify_all();
+        }
+    }
+
+    /// Marks context `slot` finished (no more rounds) and hands it to its
+    /// owner for completion. Idempotent; a stale feeder handle is a no-op.
+    fn finish_context(&self, slot: usize, generation: u64) {
+        let mut state = self.state.lock().expect("stream queue mutex poisoned");
+        let owner_to_wake = {
+            let Some(ctx) = state.contexts.ctx_mut_checked(slot, generation) else {
+                return;
+            };
+            if ctx.finished {
+                return;
+            }
+            ctx.finished = true;
+            ctx.finished_at = Some(Instant::now());
+            match ctx.owner {
+                Some(owner) if !ctx.queued => {
+                    ctx.queued = true;
+                    Some(owner)
+                }
+                _ => None,
+            }
+        };
+        state.contexts.unfinished -= 1;
+        if let Some(owner) = owner_to_wake {
+            state.contexts.mailboxes[owner].push_back(slot);
+        }
+        self.events.fetch_add(1, Ordering::Relaxed);
+        let wake = state.waiting_workers > 0;
+        drop(state);
+        if wake {
+            self.work.notify_all();
+        }
     }
 
     /// Marks the stream closed and wakes everyone: workers drain the queue
-    /// and leave, blocked producers fail their `submit`. Any still-open
-    /// [`RoundFeeder`] is force-finished (its shot completes with the rounds
-    /// pushed so far) — a worker blocked on an open feeder's next round
-    /// would otherwise deadlock the closing thread against itself.
+    /// and their mailboxes and leave, blocked producers fail their
+    /// `submit`. Every still-open [`RoundFeeder`]'s context is
+    /// force-finished in one O(contexts) pass — its shot completes with the
+    /// rounds pushed so far — so a closing thread holding thousands of open
+    /// feeders cannot deadlock against the workers waiting for more rounds.
     fn close(&self) {
         let mut state = self.state.lock().expect("stream queue mutex poisoned");
         state.closed = true;
-        for (_, rounds) in state.open_rounds.drain() {
-            // the serving worker may already have finished this shot (the
-            // receiver is gone): nothing to force then
-            let _ = rounds.send(RoundMsg::Finish);
-        }
+        state.contexts.force_finish_all(Instant::now());
+        self.events.fetch_add(1, Ordering::Relaxed);
         drop(state);
         self.work.notify_all();
         self.space.notify_all();
-    }
-
-    /// Records an open [`RoundFeeder`]'s channel so `close()` can
-    /// force-finish it.
-    fn register_feeder(&self, index: usize, rounds: mpsc::Sender<RoundMsg>) {
-        let mut state = self.state.lock().expect("stream queue mutex poisoned");
-        if !state.closed {
-            state.open_rounds.insert(index, rounds);
-        }
-    }
-
-    /// Forgets a feeder that finished (or dropped) on its own.
-    fn unregister_feeder(&self, index: usize) {
-        let mut state = self.state.lock().expect("stream queue mutex poisoned");
-        state.open_rounds.remove(&index);
     }
 
     /// Open round feeders (shots begun but not finished).
@@ -244,8 +742,17 @@ impl StreamShared {
         self.state
             .lock()
             .expect("stream queue mutex poisoned")
-            .open_rounds
-            .len()
+            .contexts
+            .unfinished
+    }
+
+    /// Live round-fed contexts (shots begun but not completed).
+    fn open_contexts(&self) -> usize {
+        self.state
+            .lock()
+            .expect("stream queue mutex poisoned")
+            .contexts
+            .live
     }
 
     /// Number of submissions waiting in the queue (not yet claimed by a
@@ -258,148 +765,454 @@ impl StreamShared {
             .len()
     }
 
-    /// Marks the stream closed and drops every still-queued item. Called by
-    /// the last participant to leave the job, so that when all workers died
-    /// on panics (a) the pending tickets resolve (with a disconnect) instead
-    /// of blocking forever and (b) producers fail fast on their next
-    /// `submit` — with no worker left to pop, a blocking submit against the
-    /// refilled queue could never return. After a normal close the stream is
-    /// already closed and drained, making this a no-op.
+    /// Aggregate counters; see [`StreamStats`].
+    fn stats_snapshot(&self) -> StreamStats {
+        let state = self.state.lock().expect("stream queue mutex poisoned");
+        StreamStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            decoded: self.decoded.load(Ordering::Relaxed),
+            contexts_peak: state.contexts.peak,
+            bank_switches: self.bank_switches.load(Ordering::Relaxed),
+            rounds_routed: state.contexts.rounds_routed,
+            finish_p99_us: state.contexts.finish_latency_quantile_us(0.99),
+        }
+    }
+
+    /// Marks the stream closed, drops every still-queued item and every
+    /// live context. Called by the last participant to leave the job, so
+    /// that when all workers died on panics (a) the pending tickets resolve
+    /// (with a disconnect) instead of blocking forever and (b) producers
+    /// fail fast on their next `submit` — with no worker left to pop, a
+    /// blocking submit against the refilled queue could never return. After
+    /// a normal close the stream is already closed and drained, making this
+    /// a no-op.
     pub(crate) fn abandon_pending(&self) {
         let mut state = self.state.lock().expect("stream queue mutex poisoned");
         state.closed = true;
         state.queue.clear();
+        state.contexts.clear();
+        self.events.fetch_add(1, Ordering::Relaxed);
         drop(state);
         self.work.notify_all();
         self.space.notify_all();
     }
 
-    /// One worker's service loop: pull submissions until the stream is
-    /// closed *and* drained.
+    /// Assigns the calling worker its mailbox id; called once per serving
+    /// worker when it picks up the stream job.
+    pub(crate) fn register_server(&self) -> usize {
+        let server = self.next_server.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            server < self.servers,
+            "more servers registered than stream participants"
+        );
+        server
+    }
+
+    /// One scheduling pass of a serving worker: drain queued submissions in
+    /// chunks, pump contexts routed to this worker's mailbox (switching
+    /// engine banks as needed), and return [`ServeOutcome::Idle`] after
+    /// [`IDLE_POLL`] without work — the caller may then run queued batch
+    /// jobs inline and call `serve` again. Returns
+    /// [`ServeOutcome::Closed`] once the stream is closed and this worker's
+    /// share of it is drained.
     pub(crate) fn serve(
         &self,
+        server: usize,
         backend: &mut dyn DecoderBackend,
         sampler: &ErrorSampler<'_>,
         graph: &Arc<DecodingGraph>,
-    ) {
+    ) -> ServeOutcome {
+        let supports_rounds = backend.supports_round_ingestion();
+        // eager = interleave contexts on the engine via state banks. A
+        // backend that defers round driving (the LUT pre-decoder's
+        // arm-then-replay shape) gains nothing from early ingestion, so its
+        // shots buffer in the slot and replay at finish — they never
+        // occupy a bank.
+        let eager = supports_rounds
+            && backend.supports_context_switching()
+            && !backend.defers_round_driving();
+        self.eager_routing.store(eager, Ordering::Relaxed);
+        let num_layers = graph.num_layers();
+        let mut seat = EngineSeat {
+            backend,
+            current: None,
+        };
+        let mut items: Vec<StreamItem> = Vec::new();
+        let mut scratch: VecDeque<Vec<VertexIndex>> = VecDeque::new();
         loop {
-            let item = {
-                let mut state = self.state.lock().expect("stream queue mutex poisoned");
-                let item = loop {
-                    if let Some(item) = state.queue.pop_front() {
-                        break item;
+            let work = self.next_work(server, &mut items);
+            match work {
+                Work::Closed => return ServeOutcome::Closed,
+                Work::Idle => {
+                    seat.park(self);
+                    return ServeOutcome::Idle;
+                }
+                Work::Context(slot) => {
+                    self.pump(
+                        &mut seat,
+                        slot,
+                        eager,
+                        supports_rounds,
+                        num_layers,
+                        &mut scratch,
+                    );
+                }
+                Work::Items => {
+                    for item in items.drain(..) {
+                        match item.request {
+                            Request::Shot(shot) => {
+                                seat.park(self);
+                                let outcome = decode_one(seat.backend, item.index, &shot);
+                                self.decoded.fetch_add(1, Ordering::Relaxed);
+                                // the ticket may have been dropped; the
+                                // decode still counts
+                                item.reply.deliver(outcome);
+                            }
+                            Request::Seeded { seed } => {
+                                seat.park(self);
+                                let mut rng = shot_rng(seed, item.index as u64);
+                                let shot = sampler.sample(&mut rng);
+                                let outcome = decode_one(seat.backend, item.index, &shot);
+                                self.decoded.fetch_add(1, Ordering::Relaxed);
+                                item.reply.deliver(outcome);
+                            }
+                            Request::OpenRounds { slot } => {
+                                {
+                                    let mut state =
+                                        self.state.lock().expect("stream queue mutex poisoned");
+                                    if let Some(ctx) = state.contexts.ctx_mut(slot) {
+                                        ctx.owner = Some(server);
+                                    }
+                                }
+                                // rounds (or a finish) may already have
+                                // buffered before the claim: process them now
+                                self.pump(
+                                    &mut seat,
+                                    slot,
+                                    eager,
+                                    supports_rounds,
+                                    num_layers,
+                                    &mut scratch,
+                                );
+                            }
+                        }
                     }
-                    if state.closed {
-                        return;
-                    }
-                    state.waiting_workers += 1;
-                    state = self.work.wait(state).expect("stream queue mutex poisoned");
-                    state.waiting_workers -= 1;
-                };
-                if state.waiting_producers > 0 {
-                    drop(state);
-                    self.space.notify_one();
                 }
-                item
-            };
-            let outcome = match item.request {
-                Request::Shot(shot) => decode_one(backend, item.index, &shot),
-                Request::Seeded { seed } => {
-                    let mut rng = shot_rng(seed, item.index as u64);
-                    let shot = sampler.sample(&mut rng);
-                    decode_one(backend, item.index, &shot)
-                }
-                Request::Rounds { expected, rounds } => {
-                    decode_rounds(backend, graph, item.index, expected, &rounds)
-                }
-            };
-            self.decoded.fetch_add(1, Ordering::Relaxed);
-            // the ticket may have been dropped; the decode still counts
-            let _ = item.reply.send(outcome);
+            }
         }
     }
-}
 
-/// Decodes a round-fed shot. Round-capable backends fold each round into
-/// their running solution as it arrives; the rest buffer the rounds and
-/// decode the assembled syndrome — both paths produce the outcome batch
-/// decoding of the full syndrome would.
-fn decode_rounds(
-    backend: &mut dyn DecoderBackend,
-    graph: &Arc<DecodingGraph>,
-    index: usize,
-    expected: ObservableMask,
-    rounds: &mpsc::Receiver<RoundMsg>,
-) -> ShotOutcome {
-    let num_layers = graph.num_layers();
-    if !backend.supports_round_ingestion() {
-        let mut defects = Vec::new();
-        // a dropped feeder ends the shot like an explicit Finish
-        while let Ok(RoundMsg::Round(round)) = rounds.recv() {
-            defects.extend(round);
+    /// Finds this worker's next piece of stream work: a context routed to
+    /// its mailbox, a chunk of queued submissions (drained into `items`),
+    /// the close signal, or — after [`IDLE_POLL`] without any of those —
+    /// [`Work::Idle`].
+    ///
+    /// When the queue runs dry the worker first spins on the lock-free
+    /// `events` epoch (cheap CPU hints, then scheduler yields) before
+    /// parking on the condvar. At saturation the producer refills the queue
+    /// within microseconds, and a spinning worker catches the refill
+    /// without touching the state mutex (no contention against the submit
+    /// path) and without ever registering in `waiting_workers` — so the
+    /// producer's submit skips its futex-wake syscall and neither side
+    /// pays the park/wake context switch that would otherwise dominate
+    /// per-shot cost whenever the worker outruns the producer.
+    fn next_work(&self, server: usize, items: &mut Vec<StreamItem>) -> Work {
+        const SPIN_CHEAP: u32 = 64;
+        const SPIN_TOTAL: u32 = 256;
+        loop {
+            let seen = {
+                let mut state = self.state.lock().expect("stream queue mutex poisoned");
+                if let Some(slot) = state.contexts.mailboxes[server].pop_front() {
+                    return Work::Context(slot);
+                }
+                if !state.queue.is_empty() {
+                    let take = state.queue.len().min(MAX_STEAL_CHUNK);
+                    items.extend(state.queue.drain(..take));
+                    if state.waiting_producers > 0 {
+                        self.space.notify_all();
+                    }
+                    return Work::Items;
+                }
+                if state.closed {
+                    return Work::Closed;
+                }
+                self.events.load(Ordering::Relaxed)
+            };
+            // lock-free patience: nothing to do until `events` moves
+            let mut spins = 0u32;
+            while self.events.load(Ordering::Relaxed) == seen {
+                spins += 1;
+                if spins <= SPIN_CHEAP {
+                    std::hint::spin_loop();
+                } else if spins <= SPIN_TOTAL {
+                    std::thread::yield_now();
+                } else {
+                    // park; producers notify once waiting_workers is set
+                    let mut state = self.state.lock().expect("stream queue mutex poisoned");
+                    if self.events.load(Ordering::Relaxed) != seen {
+                        break; // work raced in while acquiring the lock
+                    }
+                    state.waiting_workers += 1;
+                    let (next, result) = self
+                        .work
+                        .wait_timeout(state, IDLE_POLL)
+                        .expect("stream queue mutex poisoned");
+                    let mut state = next;
+                    state.waiting_workers -= 1;
+                    if result.timed_out()
+                        && state.contexts.mailboxes[server].is_empty()
+                        && state.queue.is_empty()
+                        && !state.closed
+                    {
+                        return Work::Idle;
+                    }
+                    break;
+                }
+            }
         }
-        let syndrome = SyndromePattern::new(defects);
-        let outcome = backend.decode(&syndrome);
-        return ShotOutcome {
-            shot_index: index,
-            defects: syndrome.len(),
+    }
+
+    /// Processes whatever work context `slot` has pending, on the path the
+    /// backend supports.
+    fn pump(
+        &self,
+        seat: &mut EngineSeat<'_>,
+        slot: usize,
+        eager: bool,
+        supports_rounds: bool,
+        num_layers: usize,
+        scratch: &mut VecDeque<Vec<VertexIndex>>,
+    ) {
+        if eager {
+            self.pump_eager(seat, slot, num_layers, scratch);
+        } else {
+            self.finish_buffered(seat, slot, supports_rounds, num_layers, scratch);
+        }
+    }
+
+    /// Eager (banked) path: applies the context's buffered rounds through
+    /// the engine — swapping context banks when the engine holds a
+    /// different context — and completes the shot once its feeder has
+    /// finished.
+    fn pump_eager(
+        &self,
+        seat: &mut EngineSeat<'_>,
+        slot: usize,
+        num_layers: usize,
+        scratch: &mut VecDeque<Vec<VertexIndex>>,
+    ) {
+        debug_assert!(scratch.is_empty());
+        let (finished, mut prog) = {
+            let mut state = self.state.lock().expect("stream queue mutex poisoned");
+            let Some(ctx) = state.contexts.ctx_mut(slot) else {
+                return; // abandoned mid-flight
+            };
+            ctx.queued = false;
+            std::mem::swap(&mut ctx.rounds, scratch);
+            (
+                ctx.finished,
+                Progress {
+                    started: ctx.started,
+                    banked: ctx.banked,
+                    ingested: ctx.ingested,
+                },
+            )
+        };
+        if !finished {
+            // one round of lookahead: a round is only known to be non-final
+            // once its successor (or the finish) has arrived
+            while scratch.len() > 1 {
+                let round = scratch.pop_front().expect("len checked");
+                self.apply_nonfinal(seat, slot, &mut prog, &round, num_layers);
+            }
+            let leftover = scratch.pop_front();
+            let mut state = self.state.lock().expect("stream queue mutex poisoned");
+            if let Some(ctx) = state.contexts.ctx_mut(slot) {
+                if let Some(round) = leftover {
+                    ctx.rounds.push_front(round);
+                }
+                ctx.started = prog.started;
+                ctx.banked = prog.banked;
+                ctx.ingested = prog.ingested;
+            }
+            return;
+        }
+        while scratch.len() > 1 {
+            let round = scratch.pop_front().expect("len checked");
+            self.apply_nonfinal(seat, slot, &mut prog, &round, num_layers);
+        }
+        let last = scratch.pop_front();
+        let outcome = match last {
+            Some(ref final_round) if prog.ingested + 1 == num_layers => {
+                // the final layer carries the latency-measurement snapshot
+                self.ensure_loaded(seat, slot, &mut prog);
+                seat.backend.finish_rounds(prog.ingested, final_round)
+            }
+            last => {
+                if let Some(ref round) = last {
+                    self.apply_nonfinal(seat, slot, &mut prog, round, num_layers);
+                }
+                // fewer rounds than layers: pad with empty rounds so the
+                // result is bit-identical to batch-decoding the same
+                // (partial) syndrome
+                self.ensure_loaded(seat, slot, &mut prog);
+                for t in prog.ingested..num_layers - 1 {
+                    seat.backend.ingest_round(t, &[]);
+                }
+                seat.backend.finish_rounds(num_layers - 1, &[])
+            }
+        };
+        // the engine now holds completed-shot state, owned by no context
+        seat.current = None;
+        self.complete_context(slot, outcome);
+    }
+
+    /// Feeds one non-final round into the engine. While the prefix is
+    /// all-empty the engine claim is deferred (the empties are counted and
+    /// replayed on first contact), so zero-defect shots never occupy the
+    /// engine or a bank.
+    fn apply_nonfinal(
+        &self,
+        seat: &mut EngineSeat<'_>,
+        slot: usize,
+        prog: &mut Progress,
+        round: &[VertexIndex],
+        num_layers: usize,
+    ) {
+        assert!(
+            prog.ingested + 1 < num_layers,
+            "round feeder pushed more rounds than the graph has layers ({num_layers})"
+        );
+        if !prog.started && round.is_empty() {
+            prog.ingested += 1;
+            return;
+        }
+        self.ensure_loaded(seat, slot, prog);
+        seat.backend.ingest_round(prog.ingested, round);
+        prog.ingested += 1;
+    }
+
+    /// Makes `slot` the engine-resident context: banks whichever context
+    /// holds the engine, then restores `slot`'s bank — or begins it fresh,
+    /// replaying any deferred all-empty prefix so the instruction sequence
+    /// is identical to uninterrupted ingestion.
+    fn ensure_loaded(&self, seat: &mut EngineSeat<'_>, slot: usize, prog: &mut Progress) {
+        if seat.current == Some(slot) {
+            return;
+        }
+        seat.park(self);
+        if prog.banked {
+            seat.backend.context_restore(slot);
+            self.bank_switches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            seat.backend.begin_rounds();
+            for t in 0..prog.ingested {
+                seat.backend.ingest_round(t, &[]);
+            }
+            prog.started = true;
+        }
+        seat.current = Some(slot);
+    }
+
+    /// Completion path for backends that do not interleave contexts:
+    /// nothing runs until the feeder finishes, then the buffered rounds
+    /// play in one sitting (round-ingesting backends, e.g. with an armed
+    /// LUT pre-decoder) or assemble into one syndrome (the rest). The
+    /// engine is never banked, so fast-path shots retire without ever
+    /// occupying a context bank.
+    fn finish_buffered(
+        &self,
+        seat: &mut EngineSeat<'_>,
+        slot: usize,
+        supports_rounds: bool,
+        num_layers: usize,
+        scratch: &mut VecDeque<Vec<VertexIndex>>,
+    ) {
+        debug_assert!(scratch.is_empty());
+        {
+            let mut state = self.state.lock().expect("stream queue mutex poisoned");
+            let Some(ctx) = state.contexts.ctx_mut(slot) else {
+                return;
+            };
+            ctx.queued = false;
+            if !ctx.finished {
+                return; // rounds keep buffering until the feeder finishes
+            }
+            std::mem::swap(&mut ctx.rounds, scratch);
+        }
+        let backend = &mut *seat.backend;
+        let outcome = if !supports_rounds {
+            let defects: Vec<VertexIndex> = scratch.drain(..).flatten().collect();
+            backend.decode(&SyndromePattern::new(defects))
+        } else {
+            backend.begin_rounds();
+            let mut layer = 0usize;
+            while scratch.len() > 1 {
+                let round = scratch.pop_front().expect("len checked");
+                assert!(
+                    layer + 1 < num_layers,
+                    "round feeder pushed more rounds than the graph has layers ({num_layers})"
+                );
+                backend.ingest_round(layer, &round);
+                layer += 1;
+            }
+            match scratch.pop_front() {
+                Some(last) if layer + 1 == num_layers => backend.finish_rounds(layer, &last),
+                last => {
+                    if let Some(round) = last {
+                        backend.ingest_round(layer, &round);
+                        layer += 1;
+                    }
+                    for t in layer..num_layers - 1 {
+                        backend.ingest_round(t, &[]);
+                    }
+                    backend.finish_rounds(num_layers - 1, &[])
+                }
+            }
+        };
+        self.complete_context(slot, outcome);
+    }
+
+    /// Retires a completed context: records its finish→outcome latency,
+    /// recycles its slot (freeing the bank id for reuse) and sends the
+    /// outcome to the ticket.
+    fn complete_context(&self, slot: usize, outcome: DecodeOutcome) {
+        let ctx = {
+            let mut state = self.state.lock().expect("stream queue mutex poisoned");
+            let Some(ctx) = state.contexts.release(slot) else {
+                return; // abandoned while decoding
+            };
+            if let Some(at) = ctx.finished_at {
+                state.contexts.record_finish_latency(at.elapsed());
+            }
+            ctx
+        };
+        let shot = ShotOutcome {
+            shot_index: ctx.index,
+            defects: ctx.defect_count,
             decoded_observable: outcome.observable,
-            expected_observable: expected,
+            expected_observable: ctx.expected,
             latency_ns: outcome.latency_ns,
             breakdown: outcome.breakdown,
         };
-    }
-    backend.begin_rounds();
-    let mut layer = 0usize;
-    let mut defect_count = 0usize;
-    // one round of lookahead: a round is ingested as non-final once its
-    // successor (or Finish) arrives, because only then is it known not to be
-    // the graph's last layer
-    let mut pending: Option<Vec<VertexIndex>> = None;
-    while let Ok(RoundMsg::Round(round)) = rounds.recv() {
-        if let Some(prev) = pending.take() {
-            assert!(
-                layer + 1 < num_layers,
-                "round feeder pushed more rounds than the graph has layers ({num_layers})"
-            );
-            backend.ingest_round(layer, &prev);
-            layer += 1;
-        }
-        defect_count += round.len();
-        pending = Some(round);
-    }
-    let outcome = match pending.take() {
-        // exactly num_layers rounds pushed: the held-back round is the final
-        // layer, so it carries the latency-measurement snapshot
-        Some(last) if layer + 1 == num_layers => backend.finish_rounds(layer, &last),
-        pending => {
-            // fewer rounds than layers: pad with empty rounds so the result
-            // is bit-identical to batch-decoding the same (partial) syndrome
-            if let Some(prev) = pending {
-                backend.ingest_round(layer, &prev);
-                layer += 1;
-            }
-            for t in layer..num_layers - 1 {
-                backend.ingest_round(t, &[]);
-            }
-            backend.finish_rounds(num_layers - 1, &[])
-        }
-    };
-    ShotOutcome {
-        shot_index: index,
-        defects: defect_count,
-        decoded_observable: outcome.observable,
-        expected_observable: expected,
-        latency_ns: outcome.latency_ns,
-        breakdown: outcome.breakdown,
+        self.decoded.fetch_add(1, Ordering::Relaxed);
+        // the ticket may have been dropped; the decode still counts
+        ctx.reply.deliver(shot);
     }
 }
 
 /// A claim on one submitted shot's outcome.
-#[derive(Debug)]
 pub struct Ticket {
     index: usize,
-    rx: mpsc::Receiver<ShotOutcome>,
+    cell: Arc<OutcomeCell>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("index", &self.index)
+            .finish()
+    }
 }
 
 impl Ticket {
@@ -415,22 +1228,45 @@ impl Ticket {
     /// If the shot was abandoned: every worker serving the stream panicked,
     /// or the stream was dropped before this shot was decoded.
     pub fn recv(self) -> ShotOutcome {
-        match self.rx.recv() {
-            Ok(outcome) => outcome,
-            Err(_) => panic!("stream shot {} was abandoned before decoding", self.index),
+        let mut state = self.cell.state.lock().expect("outcome cell mutex poisoned");
+        loop {
+            match std::mem::replace(&mut *state, CellState::Abandoned) {
+                CellState::Ready(outcome) => return outcome,
+                CellState::Abandoned => {
+                    panic!("stream shot {} was abandoned before decoding", self.index)
+                }
+                CellState::Pending => {
+                    *state = CellState::Pending;
+                    // under the lock: a deliverer that misses this increment
+                    // has not yet taken the lock, so it will see `Ready`
+                    // published before we release it in `wait`
+                    self.cell.waiters.fetch_add(1, Ordering::Relaxed);
+                    state = self
+                        .cell
+                        .ready
+                        .wait(state)
+                        .expect("outcome cell mutex poisoned");
+                    self.cell.waiters.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
     /// Returns the outcome if it is already available, `None` otherwise.
     ///
     /// # Panics
-    /// Like [`Self::recv`], if the shot was abandoned.
+    /// Like [`Self::recv`], if the shot was abandoned (or its outcome was
+    /// already taken by an earlier call).
     pub fn try_recv(&self) -> Option<ShotOutcome> {
-        match self.rx.try_recv() {
-            Ok(outcome) => Some(outcome),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => {
+        let mut state = self.cell.state.lock().expect("outcome cell mutex poisoned");
+        match std::mem::replace(&mut *state, CellState::Abandoned) {
+            CellState::Ready(outcome) => Some(outcome),
+            CellState::Abandoned => {
                 panic!("stream shot {} was abandoned before decoding", self.index)
+            }
+            CellState::Pending => {
+                *state = CellState::Pending;
+                None
             }
         }
     }
@@ -443,16 +1279,18 @@ pub struct QueueFull(pub Shot);
 
 /// Incremental submission of one shot, round by round.
 ///
-/// Created by [`StreamDecoder::begin_shot`]; the shot occupies a queue slot
-/// from that moment. Push each measurement round as it arrives, then call
-/// [`RoundFeeder::finish`] for the ticket. Rounds are the decoding graph's
-/// fusion layers, in order; pushing fewer rounds than the graph has layers
-/// leaves the remaining layers empty, pushing more panics the decoding
-/// worker. Dropping the feeder without `finish` — or closing the stream
-/// while the feeder is open — completes the shot with the rounds pushed so
-/// far.
+/// Created by [`StreamDecoder::begin_shot`]; the shot occupies a
+/// [`ContextPool`] slot from that moment (and, briefly, a queue slot for
+/// its ownership claim). Push each measurement round as it arrives, then
+/// call [`RoundFeeder::finish`] for the ticket. Rounds are the decoding
+/// graph's fusion layers, in order; pushing fewer rounds than the graph has
+/// layers leaves the remaining layers empty, pushing more panics the
+/// decoding worker. Dropping the feeder without `finish` — or closing the
+/// stream while the feeder is open — completes the shot with the rounds
+/// pushed so far and frees its context slot (and bank) for reuse.
 pub struct RoundFeeder {
-    tx: mpsc::Sender<RoundMsg>,
+    slot: usize,
+    generation: u64,
     ticket: Option<Ticket>,
     shared: Arc<StreamShared>,
 }
@@ -460,6 +1298,7 @@ pub struct RoundFeeder {
 impl std::fmt::Debug for RoundFeeder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RoundFeeder")
+            .field("slot", &self.slot)
             .field("ticket", &self.ticket)
             .finish_non_exhaustive()
     }
@@ -482,37 +1321,50 @@ impl RoundFeeder {
                 round.push(d);
             }
         }
-        // a send error means the serving worker died; the ticket will report
-        let _ = self.tx.send(RoundMsg::Round(round));
+        self.shared
+            .push_context_round(self.slot, self.generation, round);
     }
 
     /// Marks the shot complete and returns its ticket.
     pub fn finish(mut self) -> Ticket {
         let ticket = self.ticket.take().expect("finish consumes the feeder");
-        let _ = self.tx.send(RoundMsg::Finish);
-        self.shared.unregister_feeder(ticket.index());
+        self.shared.finish_context(self.slot, self.generation);
         ticket
     }
 }
 
 impl Drop for RoundFeeder {
     fn drop(&mut self) {
-        if let Some(ticket) = &self.ticket {
+        if self.ticket.is_some() {
             // an abandoned feeder still completes its shot (with the rounds
-            // pushed so far) so the serving worker cannot block forever
-            let _ = self.tx.send(RoundMsg::Finish);
-            self.shared.unregister_feeder(ticket.index());
+            // pushed so far), freeing its context slot and bank for reuse
+            self.shared.finish_context(self.slot, self.generation);
         }
     }
 }
 
 /// Aggregate counters returned by [`StreamDecoder::close`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamStats {
     /// Shots submitted over the stream's lifetime.
     pub submitted: u64,
     /// Shots decoded (equals `submitted` after a clean close).
     pub decoded: u64,
+    /// Peak number of concurrently open round-fed contexts — how much of
+    /// the [`ContextPool`] was ever in use at once.
+    pub contexts_peak: u64,
+    /// Context-bank restores performed by the serving workers
+    /// ([`DecoderBackend::context_restore`] calls). Zero when the backend
+    /// buffers or defers round driving — those shots never bank.
+    pub bank_switches: u64,
+    /// Measurement rounds routed into context slots over the stream's
+    /// lifetime (rounds pushed after a close or force-finish are dropped
+    /// and not counted).
+    pub rounds_routed: u64,
+    /// Approximate p99 of the finish→outcome latency of round-fed shots in
+    /// microseconds (from a log2 histogram, upper bucket bound). `None`
+    /// when no round-fed shot completed.
+    pub finish_p99_us: Option<f64>,
 }
 
 /// Configuration builder for a [`StreamDecoder`].
@@ -550,7 +1402,8 @@ impl StreamBuilder {
     }
 
     /// Spawns the stream: submits the long-lived job to the pool, whose
-    /// participating workers start blocking on the queue.
+    /// participating workers start serving the queue and the context
+    /// mailboxes.
     pub fn start(self) -> StreamDecoder {
         let pool_ref = match &self.pool {
             Some(pool) => pool.as_ref(),
@@ -558,7 +1411,7 @@ impl StreamBuilder {
         };
         let participants = self.workers.clamp(1, pool_ref.workers());
         let capacity = self.capacity.unwrap_or_else(|| (2 * participants).max(8));
-        let shared = Arc::new(StreamShared::new(capacity));
+        let shared = Arc::new(StreamShared::new(capacity, participants));
         let job = Arc::new(JobState::new_stream(
             self.spec.clone(),
             Arc::clone(&self.graph),
@@ -596,6 +1449,7 @@ impl std::fmt::Debug for StreamDecoder {
             .field("workers", &self.workers)
             .field("queue_capacity", &self.shared.capacity)
             .field("queue_depth", &self.shared.depth())
+            .field("open_contexts", &self.shared.open_contexts())
             .finish()
     }
 }
@@ -649,19 +1503,20 @@ impl StreamDecoder {
         self.shared.push(Request::Seeded { seed })
     }
 
-    /// Opens a round-wise submission: the shot enters the queue immediately
-    /// (blocking while it is full) and the worker that claims it folds each
-    /// pushed round into its running solution as it arrives.
+    /// Opens a round-wise submission: allocates a [`ContextPool`] slot and
+    /// queues its ownership claim (blocking while the queue is full). The
+    /// worker that claims the context folds each pushed round into that
+    /// context's banked state as it arrives; any number of feeders may be
+    /// open concurrently, their shots completing out of order.
     ///
     /// `expected` is the ground-truth observable recorded in the outcome
     /// (pass 0 when unknown; [`ShotOutcome::is_logical_error`] is then
     /// meaningless for this shot).
     pub fn begin_shot(&self, expected: ObservableMask) -> RoundFeeder {
-        let (tx, rounds) = mpsc::channel();
-        let ticket = self.shared.push(Request::Rounds { expected, rounds });
-        self.shared.register_feeder(ticket.index(), tx.clone());
+        let (ticket, slot, generation) = self.shared.push_open_rounds(expected);
         RoundFeeder {
-            tx,
+            slot,
+            generation,
             ticket: Some(ticket),
             shared: Arc::clone(&self.shared),
         }
@@ -670,6 +1525,17 @@ impl StreamDecoder {
     /// Round feeders currently open (shots begun but not finished).
     pub fn open_feeders(&self) -> usize {
         self.shared.open_feeders()
+    }
+
+    /// Round-fed contexts currently live (shots begun but not completed) —
+    /// the occupancy of the stream's [`ContextPool`].
+    pub fn open_contexts(&self) -> usize {
+        self.shared.open_contexts()
+    }
+
+    /// Context-bank restores performed by the serving workers so far.
+    pub fn bank_switches(&self) -> u64 {
+        self.shared.bank_switches.load(Ordering::Relaxed)
     }
 
     /// Submissions waiting in the queue, not yet claimed by a worker. The
@@ -710,6 +1576,12 @@ impl StreamDecoder {
         self.shared.decoded.load(Ordering::Relaxed)
     }
 
+    /// A snapshot of the aggregate counters [`Self::close`] returns, without
+    /// closing the stream.
+    pub fn stats(&self) -> StreamStats {
+        self.shared.stats_snapshot()
+    }
+
     fn pool(&self) -> &DecodePool {
         match &self.pool {
             Some(pool) => pool,
@@ -719,10 +1591,10 @@ impl StreamDecoder {
 
     /// Closes the queue, waits until every in-flight and queued shot has
     /// been decoded, and releases the workers back to the pool. Outstanding
-    /// tickets stay receivable after the close. A [`RoundFeeder`] still open
-    /// at this point is force-finished: its shot completes with the rounds
-    /// pushed so far (waiting for more rounds would deadlock the closing
-    /// thread against itself).
+    /// tickets stay receivable after the close. Every [`RoundFeeder`] still
+    /// open at this point is force-finished in one O(contexts) pass: its
+    /// shot completes with the rounds pushed so far (waiting for more
+    /// rounds would deadlock the closing thread against itself).
     ///
     /// # Panics
     /// If a worker panicked while serving the stream.
@@ -730,10 +1602,7 @@ impl StreamDecoder {
         if let Some(message) = self.close_and_wait() {
             panic!("decode pool worker panicked: {message}");
         }
-        StreamStats {
-            submitted: self.submitted(),
-            decoded: self.decoded(),
-        }
+        self.shared.stats_snapshot()
     }
 
     /// Shared shutdown path of `close` and `Drop`: returns a worker panic
@@ -759,6 +1628,7 @@ impl Drop for StreamDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::micro::MicroBlossomConfig;
     use crate::pipeline::ShardedPipeline;
     use mb_graph::codes::{CodeCapacityRotatedCode, PhenomenologicalCode};
     use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -987,9 +1857,9 @@ mod tests {
 
     #[test]
     fn closing_with_an_open_feeder_force_finishes_its_shot() {
-        // a worker may be blocked waiting for this feeder's next round;
-        // close() must force-finish the shot instead of deadlocking against
-        // the thread that holds the feeder
+        // a worker may be waiting for this feeder's next round; close()
+        // must force-finish the shot instead of deadlocking against the
+        // thread that holds the feeder
         let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.02).decoding_graph());
         let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
             .pool(Arc::new(DecodePool::new(1)))
@@ -1078,5 +1948,205 @@ mod tests {
             .start();
         assert_eq!(stream.workers(), 2);
         stream.close();
+    }
+
+    /// Everything except `shot_index` (a pinned single-shot stream always
+    /// indexes its shot 0).
+    fn assert_outcome_eq(got: &ShotOutcome, want: &ShotOutcome) {
+        assert_eq!(got.defects, want.defects);
+        assert_eq!(got.decoded_observable, want.decoded_observable);
+        assert_eq!(got.expected_observable, want.expected_observable);
+        assert_eq!(got.latency_ns, want.latency_ns);
+        assert_eq!(got.breakdown, want.breakdown);
+    }
+
+    #[test]
+    fn interleaved_streams_match_pinned_streams_and_batch() {
+        // the context-multiplexing differential: K streams round-robined
+        // (with a per-layer shuffle) through one stream must be
+        // bit-identical to K independent single-shot streams and to batch
+        // decoding, across backends (eager banked, deferring predecoder,
+        // buffering) and worker counts
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.05).decoding_graph());
+        let k = 12;
+        let shots = sample_shots(&graph, k, 31);
+        let layers: Vec<Vec<Vec<VertexIndex>>> = shots
+            .iter()
+            .map(|s| s.syndrome.split_by_layer(&graph))
+            .collect();
+        let num_layers = graph.num_layers();
+        let specs = [
+            // LUT pre-decoder armed: shots defer round driving, never bank
+            BackendSpec::micro_full(Some(3)),
+            // predecoder off: eager banked context interleaving
+            BackendSpec::Micro(MicroBlossomConfig::full(&graph, Some(3)).without_predecoder()),
+            // no round ingestion: rounds buffer, decode at finish
+            BackendSpec::union_find(),
+        ];
+        for workers in [1usize, 2, 8] {
+            let pool = Arc::new(DecodePool::new(workers));
+            for spec in &specs {
+                let reference =
+                    ShardedPipeline::new(spec.clone(), Arc::clone(&graph)).run_shots(&shots);
+                let stream = StreamDecoder::builder(spec.clone(), Arc::clone(&graph))
+                    .pool(Arc::clone(&pool))
+                    .workers(workers)
+                    .queue_capacity(k.max(8))
+                    .start();
+                let mut feeders: Vec<RoundFeeder> = shots
+                    .iter()
+                    .map(|shot| stream.begin_shot(shot.observable))
+                    .collect();
+                #[allow(clippy::needless_range_loop)] // `layer` also drives the shuffle
+                for layer in 0..num_layers {
+                    // deterministic shuffle: rotate by layer, reverse odd
+                    // layers, so contexts interleave in varying order
+                    let mut order: Vec<usize> = (0..k).collect();
+                    order.rotate_left(layer % k);
+                    if layer % 2 == 1 {
+                        order.reverse();
+                    }
+                    for &s in &order {
+                        feeders[s].push_round(&layers[s][layer]);
+                    }
+                }
+                let tickets: Vec<Ticket> = feeders.drain(..).map(RoundFeeder::finish).collect();
+                let mut interleaved: Vec<ShotOutcome> =
+                    tickets.into_iter().map(Ticket::recv).collect();
+                interleaved.sort_by_key(|o| o.shot_index);
+                let stats = stream.close();
+                assert_eq!(stats.contexts_peak, k as u64);
+                assert_eq!(stats.rounds_routed, (k * num_layers) as u64);
+                assert_eq!(interleaved, reference, "interleaved != batch");
+                // K independent pinned streams, one shot each, fed alone
+                for (i, shot) in shots.iter().enumerate() {
+                    let pinned_stream = StreamDecoder::builder(spec.clone(), Arc::clone(&graph))
+                        .pool(Arc::clone(&pool))
+                        .workers(workers)
+                        .start();
+                    let mut feeder = pinned_stream.begin_shot(shot.observable);
+                    for round in &layers[i] {
+                        feeder.push_round(round);
+                    }
+                    let pinned = feeder.finish().recv();
+                    pinned_stream.close();
+                    assert_outcome_eq(&interleaved[i], &pinned);
+                }
+            }
+        }
+    }
+
+    /// Rounds buffered in context slots, not yet consumed by a pump (a
+    /// non-finished context retains at most its one-round lookahead).
+    fn pending_rounds(stream: &StreamDecoder) -> usize {
+        let state = stream
+            .shared
+            .state
+            .lock()
+            .expect("stream queue mutex poisoned");
+        state
+            .contexts
+            .entries
+            .iter()
+            .filter_map(|e| e.ctx.as_ref())
+            .map(|c| c.rounds.len())
+            .sum()
+    }
+
+    #[test]
+    fn interleaving_banked_contexts_actually_switches_banks() {
+        // sanity for the differential above: the eager backend really is
+        // exercising save/restore, not serializing shots. Two contexts push
+        // a non-empty round every layer; waiting until the buffered rounds
+        // drain to the one-round lookahead before pushing the next layer
+        // guarantees both contexts alternate on the single engine, so a
+        // restore (bank switch) is forced by construction.
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 4, 0.02).decoding_graph());
+        let num_layers = graph.num_layers();
+        assert!(num_layers >= 3, "needs enough layers to force a re-load");
+        let by_layer: Vec<VertexIndex> = (0..num_layers)
+            .map(|layer| {
+                (0..graph.vertex_count())
+                    .find(|&v| !graph.is_virtual(v) && graph.layer_of(v) == layer)
+                    .expect("every layer has a physical vertex")
+            })
+            .collect();
+        let spec =
+            BackendSpec::Micro(MicroBlossomConfig::full(&graph, Some(3)).without_predecoder());
+        let stream = StreamDecoder::builder(spec, Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .workers(1)
+            .queue_capacity(16)
+            .start();
+        let mut feeders = [stream.begin_shot(0), stream.begin_shot(0)];
+        for &vertex in &by_layer {
+            for feeder in feeders.iter_mut() {
+                feeder.push_round(&[vertex]);
+            }
+            // both contexts keep at most their lookahead round buffered
+            // before the next layer goes in: every earlier round was
+            // genuinely applied, interleaved on the one engine
+            while pending_rounds(&stream) > 2 {
+                std::thread::yield_now();
+            }
+        }
+        for feeder in feeders {
+            feeder.finish().recv();
+        }
+        let stats = stream.close();
+        assert!(
+            stats.bank_switches > 0,
+            "interleaved non-empty contexts on one engine must bank-switch"
+        );
+        assert!(stats.finish_p99_us.is_some());
+    }
+
+    #[test]
+    fn closing_with_thousands_of_open_feeders_drains_without_deadlock() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.02).decoding_graph());
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(2)))
+            .workers(2)
+            .queue_capacity(4096)
+            .start();
+        let n = 3000usize;
+        let mut feeders: Vec<RoundFeeder> = (0..n).map(|_| stream.begin_shot(0)).collect();
+        for feeder in feeders.iter_mut() {
+            feeder.push_round(&[]);
+        }
+        assert_eq!(stream.open_feeders(), n);
+        let stats = stream.close();
+        assert_eq!(stats.decoded, n as u64);
+        assert_eq!(stats.contexts_peak, n as u64);
+        // stale finishes after the teardown are ignored, not corrupting
+        // recycled slots
+        drop(feeders);
+    }
+
+    #[test]
+    fn dropping_a_feeder_mid_stream_frees_its_context_slot() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.02).decoding_graph());
+        let defect = (0..graph.vertex_count())
+            .find(|&v| !graph.is_virtual(v) && graph.layer_of(v) == 0)
+            .unwrap();
+        let spec =
+            BackendSpec::Micro(MicroBlossomConfig::full(&graph, Some(3)).without_predecoder());
+        let stream = StreamDecoder::builder(spec, Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .workers(1)
+            .start();
+        for i in 0..100u64 {
+            let mut feeder = stream.begin_shot(0);
+            feeder.push_round(&[defect]);
+            drop(feeder); // mid-stream drop completes the shot
+            while stream.decoded() < i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        let stats = stream.close();
+        assert_eq!(stats.decoded, 100);
+        // sequential feeders recycled one slot instead of growing the pool:
+        // a dropped feeder frees its context (and bank id) for reuse
+        assert_eq!(stats.contexts_peak, 1);
     }
 }
