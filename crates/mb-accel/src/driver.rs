@@ -663,6 +663,53 @@ mod tests {
     }
 
     #[test]
+    fn accelerated_dual_is_exact_on_a_window_view_with_per_window_reset() {
+        // Window views are how the parallel-window front-end presents work
+        // to the accelerator: a sub-graph with *seam virtual* vertices
+        // carrying the §6.3 open-boundary treatment at both seams. One
+        // engine decodes consecutive windows with a reset in between, the
+        // reuse pattern of a pool worker; each window must match the
+        // software dual on the same view, with no state bleeding across
+        // the reset.
+        let full = Arc::new(PhenomenologicalCode::rotated(3, 9, 0.06).decoding_graph());
+        let view = mb_graph::WindowView::build(&full, 3, 7);
+        assert!(view.seam_count() > 0, "interior window has open seams");
+        let graph = Arc::clone(view.graph());
+        let sampler = ErrorSampler::new(&full);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let mut driver = driver_without_prematch(&graph);
+        let mut nontrivial = 0;
+        for _ in 0..60 {
+            let shot = sampler.sample(&mut rng);
+            let defects: Vec<_> = shot
+                .syndrome
+                .defects
+                .iter()
+                .filter_map(|&d| view.sub_of_full(d))
+                .collect();
+            if defects.is_empty() {
+                continue;
+            }
+            nontrivial += 1;
+            let syndrome = SyndromePattern::new(defects);
+            driver.reset();
+            load_everything(&mut driver, &syndrome);
+            let mut primal = PrimalModule::new();
+            let accel_matching = primal.run(&syndrome, &mut driver);
+            let mut serial = DualModuleSerial::new(Arc::clone(&graph));
+            let mut primal = PrimalModule::new();
+            let serial_matching = primal.run(&syndrome, &mut serial);
+            assert_eq!(
+                accel_matching.weight(&graph),
+                serial_matching.weight(&graph),
+                "syndrome {syndrome:?}"
+            );
+            assert!(accel_matching.is_valid_for(&syndrome.defects));
+        }
+        assert!(nontrivial > 20);
+    }
+
+    #[test]
     fn reset_restores_a_clean_driver() {
         let graph = Arc::new(CodeCapacityRepetitionCode::new(7, 0.1).decoding_graph());
         let mut driver = driver_without_prematch(&graph);

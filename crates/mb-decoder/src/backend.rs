@@ -131,6 +131,15 @@ pub trait DecoderBackend: Send {
 
 /// Activity counters of an accelerator-backed backend, cumulative since the
 /// backend was built (monotone, so per-job deltas are meaningful).
+///
+/// Windowed-decoding counters (`windows_decoded`, `seam_redecodes`,
+/// `max_resident_rounds`) are *not* part of this struct: windows are a
+/// front-end concept the backend never sees (each window decode looks like
+/// an ordinary shot on a sub-graph). They live at the level that observes
+/// them — [`crate::DecodePool::windows_decoded`] /
+/// [`crate::DecodePool::seam_redecodes`] on the pool, and
+/// [`crate::StreamStats`] for sessions opened through
+/// [`crate::StreamDecoder::begin_windowed_shot`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccelObservability {
     /// Peak active-set size (most vertex PUs awake at once).

@@ -66,6 +66,7 @@ pub mod parity;
 pub mod pipeline;
 pub mod stream;
 pub mod uf;
+pub mod window;
 
 pub use backend::{AccelObservability, BackendSpec, DecoderBackend};
 pub use evaluation::{
@@ -78,6 +79,9 @@ pub use parity::ParityBlossomDecoder;
 pub use pipeline::{DecodePool, ShardedPipeline, ShotOutcome};
 pub use stream::{ContextPool, RoundFeeder, StreamDecoder, StreamStats, Ticket};
 pub use uf::{HeliosLatencyModel, UnionFindDecoderAdapter};
+pub use window::{
+    CommittedCorrection, WindowConfig, WindowOutcome, WindowPlan, WindowedDecoder, WindowedFeeder,
+};
 
 /// Backwards-compatible alias: the decoder interface was renamed to
 /// [`DecoderBackend`] when construction/reset/stats moved into the trait.

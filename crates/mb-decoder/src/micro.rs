@@ -712,6 +712,40 @@ mod tests {
     }
 
     #[test]
+    fn every_configuration_is_exact_on_a_window_view() {
+        // A window view is an ordinary decoding graph whose seam virtuals
+        // carry the §6.3 open-boundary treatment; the decoder needs no
+        // window awareness, but certify that the accelerator pipeline stays
+        // an exact MWPM decoder on the seam-virtual topology (both seams
+        // open, rebased t coordinates, virtual-only extra final layer).
+        let full = Arc::new(PhenomenologicalCode::rotated(3, 8, 0.05).decoding_graph());
+        let view = mb_graph::WindowView::build(&full, 2, 6);
+        let graph = Arc::clone(view.graph());
+        let sampler = ErrorSampler::new(&full);
+        for (c, config) in all_configs(&graph).into_iter().enumerate() {
+            let mut decoder = MicroBlossomDecoder::new(Arc::clone(&graph), config);
+            let mut rng = ChaCha8Rng::seed_from_u64(17 + c as u64);
+            for _ in 0..60 {
+                let shot = sampler.sample(&mut rng);
+                let defects: Vec<VertexIndex> = shot
+                    .syndrome
+                    .defects
+                    .iter()
+                    .filter_map(|&d| view.sub_of_full(d))
+                    .collect();
+                if defects.len() > 10 {
+                    continue;
+                }
+                let syndrome = SyndromePattern::new(defects);
+                let (matching, _) = decoder.decode_matching(&syndrome);
+                assert!(matching.is_valid_for(&syndrome.defects), "config {c}");
+                let expected = minimum_matching_weight(&graph, &syndrome.defects).unwrap();
+                assert_eq!(matching.weight(&graph), expected, "config {c}");
+            }
+        }
+    }
+
+    #[test]
     fn prematching_reduces_cpu_interactions_for_sparse_syndromes() {
         let graph = Arc::new(PhenomenologicalCode::rotated(5, 5, 0.002).decoding_graph());
         let sampler = ErrorSampler::new(&graph);

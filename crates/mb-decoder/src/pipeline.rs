@@ -42,10 +42,10 @@
 
 use crate::backend::{AccelObservability, BackendSpec, DecoderBackend};
 use crate::evaluation::EvaluationResult;
-use crate::outcome::LatencyBreakdown;
+use crate::outcome::{DecodeOutcome, LatencyBreakdown};
 use crate::stream::ServeOutcome;
 use mb_graph::circuit::{CircuitErrorSampler, CompiledCircuit};
-use mb_graph::syndrome::{ErrorSampler, Shot};
+use mb_graph::syndrome::{ErrorSampler, Shot, SyndromePattern};
 use mb_graph::{DecodingGraph, ObservableMask};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -205,6 +205,18 @@ struct JobDone {
 enum WorkSource {
     Batch(BatchSource),
     Stream(Arc<crate::stream::StreamShared>),
+    Window(WindowSource),
+}
+
+/// One window (or seam) of a windowed decode: a single syndrome decoded on
+/// the window's sub-graph view, with the outcome handed back through the
+/// job. The windowed front-end ([`crate::window`]) submits these as
+/// independent single-participant jobs, so windows of one stream run on
+/// different workers — temporal parallelism composing with the shot
+/// parallelism of batch jobs.
+struct WindowSource {
+    syndrome: SyndromePattern,
+    outcome: Mutex<Option<DecodeOutcome>>,
 }
 
 /// A pre-sized batch of shots, claimed chunk-wise through an atomic cursor.
@@ -306,6 +318,19 @@ impl JobState {
     ) -> Self {
         Self::new(spec, graph, WorkSource::Stream(shared), participants)
     }
+
+    /// Builds a single-decode window job (one syndrome on a window view).
+    fn new_window(spec: BackendSpec, graph: Arc<DecodingGraph>, syndrome: SyndromePattern) -> Self {
+        Self::new(
+            spec,
+            graph,
+            WorkSource::Window(WindowSource {
+                syndrome,
+                outcome: Mutex::new(None),
+            }),
+            1,
+        )
+    }
 }
 
 /// Pool-wide accelerator-activity counters, folded from per-job deltas of
@@ -320,6 +345,15 @@ struct AccelTelemetry {
     predecoded_shots: AtomicU64,
     bank_switches: AtomicU64,
     accel_shots: AtomicU64,
+    /// Window (and seam) decode jobs executed by this pool's workers — the
+    /// unit of temporal parallelism (see [`crate::window`]). Counted at the
+    /// pool because windows are a front-end concept: a backend only ever
+    /// sees an ordinary decode on a window-view graph.
+    windows_decoded: AtomicU64,
+    /// Seam re-decodes windowed sessions on this pool performed (reported
+    /// by the sessions via [`DecodePool::note_seam_redecodes`]; seam decodes
+    /// also count into `windows_decoded` when they run as pool jobs).
+    seam_redecodes: AtomicU64,
 }
 
 impl AccelTelemetry {
@@ -595,6 +629,28 @@ impl DecodePool {
         self.telemetry.accel_shots.load(Ordering::Relaxed)
     }
 
+    /// Window (and seam) decode jobs this pool's workers executed for
+    /// windowed sessions (see [`crate::window::WindowedDecoder`]). Zero for
+    /// purely batch/stream workloads.
+    pub fn windows_decoded(&self) -> u64 {
+        self.telemetry.windows_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Seam re-decodes windowed sessions on this pool performed — deferred
+    /// matchings re-decoded in an overlap region around a window boundary
+    /// (each widening retry counts again).
+    pub fn seam_redecodes(&self) -> u64 {
+        self.telemetry.seam_redecodes.load(Ordering::Relaxed)
+    }
+
+    /// Folds a windowed session's seam re-decode tally into the pool-level
+    /// counter.
+    pub(crate) fn note_seam_redecodes(&self, count: u64) {
+        self.telemetry
+            .seam_redecodes
+            .fetch_add(count, Ordering::Relaxed);
+    }
+
     /// Fraction of accelerator shots that skipped the dual phase — the
     /// zero-defect skip plus the LUT pre-decoder fast path. `None` until an
     /// accelerator-backed backend has decoded at least one shot.
@@ -677,6 +733,53 @@ impl DecodePool {
             self.stream_pinned[index].store(false, Ordering::Relaxed);
         }
         panic
+    }
+
+    /// Submits one window (or seam) decode as an independent
+    /// single-participant job and returns its handle. The caller must later
+    /// call [`Self::wait_window`] exactly once per submitted job.
+    pub(crate) fn submit_window(
+        &self,
+        spec: &BackendSpec,
+        graph: &Arc<DecodingGraph>,
+        syndrome: SyndromePattern,
+    ) -> Arc<JobState> {
+        let job = Arc::new(JobState::new_window(
+            spec.clone(),
+            Arc::clone(graph),
+            syndrome,
+        ));
+        self.submit_job(&job, 1);
+        job
+    }
+
+    /// Whether a window job has completed (its outcome is ready to collect
+    /// without blocking). The job still must be waited on.
+    pub(crate) fn window_job_done(&self, job: &JobState) -> bool {
+        job.done
+            .lock()
+            .expect("decode pool mutex poisoned")
+            .remaining
+            == 0
+    }
+
+    /// Blocks until a window job completes and returns its outcome.
+    ///
+    /// # Panics
+    /// If the worker panicked while decoding the window.
+    pub(crate) fn wait_window(&self, job: &JobState) -> DecodeOutcome {
+        if let Some(message) = self.wait_job(job) {
+            panic!("decode pool worker panicked: {message}");
+        }
+        let WorkSource::Window(window) = &job.source else {
+            unreachable!("wait_window called on a non-window job");
+        };
+        window
+            .outcome
+            .lock()
+            .expect("window outcome mutex poisoned")
+            .take()
+            .expect("window job completed without producing an outcome")
     }
 
     /// Runs a batch job on up to `participants` workers and returns the
@@ -782,6 +885,17 @@ fn run_job(
                 let before = backend.accel_observability();
                 batch.decode_all(backend, &sampler);
                 telemetry.fold(before, backend.accel_observability());
+            }
+            WorkSource::Window(window) => {
+                let backend = cache.get_or_build(&job.spec, &job.graph);
+                let before = backend.accel_observability();
+                let outcome = backend.decode(&window.syndrome);
+                telemetry.fold(before, backend.accel_observability());
+                telemetry.windows_decoded.fetch_add(1, Ordering::Relaxed);
+                *window
+                    .outcome
+                    .lock()
+                    .expect("window outcome mutex poisoned") = Some(outcome);
             }
             WorkSource::Stream(stream) => {
                 let server = stream.register_server();

@@ -433,7 +433,18 @@ struct StreamState {
     waiting_producers: usize,
     /// The in-flight round-fed contexts and their per-server mailboxes.
     contexts: ContextPool,
+    /// Recycled round buffers: [`StreamShared::push_context_round`] pops one
+    /// here instead of allocating (the producer-side hot path is then
+    /// allocation-free at steady state), and the serving workers return
+    /// drained buffers in batches. Capped at [`ROUND_POOL_CAP`].
+    round_pool: Vec<Vec<VertexIndex>>,
 }
+
+/// Most recycled round buffers retained; beyond this, drained buffers are
+/// simply dropped. Sized for a saturated stream: (buffered rounds per
+/// context) × (open contexts) rarely exceeds this with eager routing, and a
+/// miss only costs the allocation the pool exists to amortize.
+const ROUND_POOL_CAP: usize = 64;
 
 /// Outcome of one [`StreamShared::serve`] call.
 pub(crate) enum ServeOutcome {
@@ -518,6 +529,10 @@ pub(crate) struct StreamShared {
     decoded: AtomicU64,
     /// Context-bank restores performed by the serving workers.
     bank_switches: AtomicU64,
+    /// Aggregated counters of windowed shots opened through
+    /// [`StreamDecoder::begin_windowed_shot`]; each finished (or abandoned)
+    /// [`crate::WindowedFeeder`] folds its session totals in here.
+    windowed: Arc<crate::window::WindowCounters>,
 }
 
 impl StreamShared {
@@ -530,6 +545,7 @@ impl StreamShared {
                 waiting_workers: 0,
                 waiting_producers: 0,
                 contexts: ContextPool::new(servers),
+                round_pool: Vec::new(),
             }),
             work: Condvar::new(),
             space: Condvar::new(),
@@ -541,6 +557,7 @@ impl StreamShared {
             submitted: AtomicU64::new(0),
             decoded: AtomicU64::new(0),
             bank_switches: AtomicU64::new(0),
+            windowed: Arc::new(crate::window::WindowCounters::default()),
         }
     }
 
@@ -643,14 +660,23 @@ impl StreamShared {
         (Ticket { index, cell }, slot, generation)
     }
 
-    /// Routes one measurement round to context `slot`: buffers it and, when
-    /// the serving backends ingest eagerly and the context has an owner,
-    /// wakes that owner through its mailbox. Rounds for a closed stream or
-    /// a recycled slot are silently dropped (the shot already completed).
-    fn push_context_round(&self, slot: usize, generation: u64, round: Vec<VertexIndex>) {
+    /// Routes one measurement round to context `slot`: buffers it (into a
+    /// recycled round buffer — no allocation at steady state, with
+    /// duplicate defects within the round dropped) and, when the serving
+    /// backends ingest eagerly and the context has an owner, wakes that
+    /// owner through its mailbox. Rounds for a closed stream or a recycled
+    /// slot are silently dropped (the shot already completed).
+    fn push_context_round(&self, slot: usize, generation: u64, defects: &[VertexIndex]) {
         let mut state = self.state.lock().expect("stream queue mutex poisoned");
         if state.closed {
             return;
+        }
+        let mut round = state.round_pool.pop().unwrap_or_default();
+        round.clear();
+        for &d in defects {
+            if !round.contains(&d) {
+                round.push(d);
+            }
         }
         let eager = self.eager_routing.load(Ordering::Relaxed);
         let owner_to_wake = {
@@ -686,6 +712,25 @@ impl StreamShared {
             // that re-parks without draining this mailbox
             self.work.notify_all();
         }
+    }
+
+    /// Returns drained round buffers to the recycle pool in one batch (one
+    /// lock acquisition per pump pass, not per round).
+    fn recycle_rounds(&self, used: &mut Vec<Vec<VertexIndex>>) {
+        if used.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock().expect("stream queue mutex poisoned");
+        while state.round_pool.len() < ROUND_POOL_CAP {
+            match used.pop() {
+                Some(mut round) => {
+                    round.clear();
+                    state.round_pool.push(round);
+                }
+                None => break,
+            }
+        }
+        used.clear();
     }
 
     /// Marks context `slot` finished (no more rounds) and hands it to its
@@ -775,6 +820,9 @@ impl StreamShared {
             bank_switches: self.bank_switches.load(Ordering::Relaxed),
             rounds_routed: state.contexts.rounds_routed,
             finish_p99_us: state.contexts.finish_latency_quantile_us(0.99),
+            windows_decoded: self.windowed.windows_decoded.load(Ordering::Relaxed),
+            seam_redecodes: self.windowed.seam_redecodes.load(Ordering::Relaxed),
+            max_resident_rounds: self.windowed.max_resident_rounds.load(Ordering::Relaxed),
         }
     }
 
@@ -839,6 +887,7 @@ impl StreamShared {
         };
         let mut items: Vec<StreamItem> = Vec::new();
         let mut scratch: VecDeque<Vec<VertexIndex>> = VecDeque::new();
+        let mut used: Vec<Vec<VertexIndex>> = Vec::new();
         loop {
             let work = self.next_work(server, &mut items);
             match work {
@@ -855,6 +904,7 @@ impl StreamShared {
                         supports_rounds,
                         num_layers,
                         &mut scratch,
+                        &mut used,
                     );
                 }
                 Work::Items => {
@@ -893,6 +943,7 @@ impl StreamShared {
                                     supports_rounds,
                                     num_layers,
                                     &mut scratch,
+                                    &mut used,
                                 );
                             }
                         }
@@ -974,6 +1025,7 @@ impl StreamShared {
 
     /// Processes whatever work context `slot` has pending, on the path the
     /// backend supports.
+    #[allow(clippy::too_many_arguments)]
     fn pump(
         &self,
         seat: &mut EngineSeat<'_>,
@@ -982,12 +1034,14 @@ impl StreamShared {
         supports_rounds: bool,
         num_layers: usize,
         scratch: &mut VecDeque<Vec<VertexIndex>>,
+        used: &mut Vec<Vec<VertexIndex>>,
     ) {
         if eager {
-            self.pump_eager(seat, slot, num_layers, scratch);
+            self.pump_eager(seat, slot, num_layers, scratch, used);
         } else {
-            self.finish_buffered(seat, slot, supports_rounds, num_layers, scratch);
+            self.finish_buffered(seat, slot, supports_rounds, num_layers, scratch, used);
         }
+        self.recycle_rounds(used);
     }
 
     /// Eager (banked) path: applies the context's buffered rounds through
@@ -1000,6 +1054,7 @@ impl StreamShared {
         slot: usize,
         num_layers: usize,
         scratch: &mut VecDeque<Vec<VertexIndex>>,
+        used: &mut Vec<Vec<VertexIndex>>,
     ) {
         debug_assert!(scratch.is_empty());
         let (finished, mut prog) = {
@@ -1024,6 +1079,7 @@ impl StreamShared {
             while scratch.len() > 1 {
                 let round = scratch.pop_front().expect("len checked");
                 self.apply_nonfinal(seat, slot, &mut prog, &round, num_layers);
+                used.push(round);
             }
             let leftover = scratch.pop_front();
             let mut state = self.state.lock().expect("stream queue mutex poisoned");
@@ -1040,16 +1096,17 @@ impl StreamShared {
         while scratch.len() > 1 {
             let round = scratch.pop_front().expect("len checked");
             self.apply_nonfinal(seat, slot, &mut prog, &round, num_layers);
+            used.push(round);
         }
         let last = scratch.pop_front();
-        let outcome = match last {
-            Some(ref final_round) if prog.ingested + 1 == num_layers => {
+        let outcome = match &last {
+            Some(final_round) if prog.ingested + 1 == num_layers => {
                 // the final layer carries the latency-measurement snapshot
                 self.ensure_loaded(seat, slot, &mut prog);
                 seat.backend.finish_rounds(prog.ingested, final_round)
             }
             last => {
-                if let Some(ref round) = last {
+                if let Some(round) = last {
                     self.apply_nonfinal(seat, slot, &mut prog, round, num_layers);
                 }
                 // fewer rounds than layers: pad with empty rounds so the
@@ -1062,6 +1119,7 @@ impl StreamShared {
                 seat.backend.finish_rounds(num_layers - 1, &[])
             }
         };
+        used.extend(last);
         // the engine now holds completed-shot state, owned by no context
         seat.current = None;
         self.complete_context(slot, outcome);
@@ -1127,6 +1185,7 @@ impl StreamShared {
         supports_rounds: bool,
         num_layers: usize,
         scratch: &mut VecDeque<Vec<VertexIndex>>,
+        used: &mut Vec<Vec<VertexIndex>>,
     ) {
         debug_assert!(scratch.is_empty());
         {
@@ -1142,7 +1201,11 @@ impl StreamShared {
         }
         let backend = &mut *seat.backend;
         let outcome = if !supports_rounds {
-            let defects: Vec<VertexIndex> = scratch.drain(..).flatten().collect();
+            let mut defects: Vec<VertexIndex> = Vec::new();
+            for round in scratch.drain(..) {
+                defects.extend_from_slice(&round);
+                used.push(round);
+            }
             backend.decode(&SyndromePattern::new(defects))
         } else {
             backend.begin_rounds();
@@ -1155,12 +1218,16 @@ impl StreamShared {
                 );
                 backend.ingest_round(layer, &round);
                 layer += 1;
+                used.push(round);
             }
-            match scratch.pop_front() {
-                Some(last) if layer + 1 == num_layers => backend.finish_rounds(layer, &last),
+            let last = scratch.pop_front();
+            let outcome = match &last {
+                Some(final_round) if layer + 1 == num_layers => {
+                    backend.finish_rounds(layer, final_round)
+                }
                 last => {
                     if let Some(round) = last {
-                        backend.ingest_round(layer, &round);
+                        backend.ingest_round(layer, round);
                         layer += 1;
                     }
                     for t in layer..num_layers - 1 {
@@ -1168,7 +1235,9 @@ impl StreamShared {
                     }
                     backend.finish_rounds(num_layers - 1, &[])
                 }
-            }
+            };
+            used.extend(last);
+            outcome
         };
         self.complete_context(slot, outcome);
     }
@@ -1314,15 +1383,13 @@ impl RoundFeeder {
     ///
     /// Rounds pushed after the stream was closed (which force-finishes the
     /// shot) are silently dropped.
+    ///
+    /// Allocation-free at steady state: the round buffers cycle through a
+    /// free list shared with the serving workers, so a long-running feeder
+    /// does not allocate per round.
     pub fn push_round(&mut self, defects: &[VertexIndex]) {
-        let mut round = Vec::with_capacity(defects.len());
-        for &d in defects {
-            if !round.contains(&d) {
-                round.push(d);
-            }
-        }
         self.shared
-            .push_context_round(self.slot, self.generation, round);
+            .push_context_round(self.slot, self.generation, defects);
     }
 
     /// Marks the shot complete and returns its ticket.
@@ -1365,6 +1432,17 @@ pub struct StreamStats {
     /// microseconds (from a log2 histogram, upper bucket bound). `None`
     /// when no round-fed shot completed.
     pub finish_p99_us: Option<f64>,
+    /// Windows decoded across every [`StreamDecoder::begin_windowed_shot`]
+    /// session (empty windows included; folded in when each windowed shot
+    /// finishes).
+    pub windows_decoded: u64,
+    /// Seam re-decodes performed across every windowed session.
+    pub seam_redecodes: u64,
+    /// Peak rounds staged by any windowed session before its window was
+    /// handed to the pool — at most `commit_rounds + 2·overlap_rounds`,
+    /// independent of the stream length (the bounded-memory guarantee,
+    /// observable).
+    pub max_resident_rounds: u64,
 }
 
 /// Configuration builder for a [`StreamDecoder`].
@@ -1427,6 +1505,7 @@ impl StreamBuilder {
             pool: self.pool,
             workers: participants,
             closed: false,
+            windowed_plans: Mutex::new(Vec::new()),
         }
     }
 }
@@ -1440,6 +1519,10 @@ pub struct StreamDecoder {
     pool: Option<Arc<DecodePool>>,
     workers: usize,
     closed: bool,
+    /// Window plans built by [`Self::begin_windowed_shot`], cached per
+    /// config so repeated windowed shots share sub-graph views (and the
+    /// backend caches keyed on them).
+    windowed_plans: Mutex<Vec<(crate::WindowConfig, Arc<crate::WindowPlan>)>>,
 }
 
 impl std::fmt::Debug for StreamDecoder {
@@ -1520,6 +1603,47 @@ impl StreamDecoder {
             ticket: Some(ticket),
             shared: Arc::clone(&self.shared),
         }
+    }
+
+    /// Opens a *windowed* round submission: rounds pushed into the returned
+    /// [`crate::WindowedFeeder`] are split into overlapping windows per
+    /// `config`, each decoded as an independent job on this stream's pool
+    /// (on any worker — windowed shots ride the pool directly rather than a
+    /// [`ContextPool`] slot) and fused at the seams. Resident state is
+    /// bounded by the window size, so the stream may run for any number of
+    /// rounds; committed corrections flow out of the feeder incrementally
+    /// and the session's counters fold into [`Self::stats`] when it
+    /// finishes. See [`crate::WindowedDecoder`] for the one-shot front-end.
+    ///
+    /// The window plan for `config` is built on first use and cached on the
+    /// decoder, so per-shot cost does not include view construction.
+    pub fn begin_windowed_shot(
+        &self,
+        config: crate::WindowConfig,
+        expected: ObservableMask,
+    ) -> crate::WindowedFeeder {
+        let plan = {
+            let mut plans = self
+                .windowed_plans
+                .lock()
+                .expect("windowed plan cache mutex poisoned");
+            match plans.iter().find(|(c, _)| *c == config) {
+                Some((_, plan)) => Arc::clone(plan),
+                None => {
+                    let plan = Arc::new(crate::WindowPlan::new(Arc::clone(&self.graph), config));
+                    plans.push((config, Arc::clone(&plan)));
+                    plan
+                }
+            }
+        };
+        crate::WindowedFeeder::new(
+            self.spec.clone(),
+            Arc::clone(&self.graph),
+            plan,
+            self.pool.clone(),
+            expected,
+            Some(Arc::clone(&self.shared.windowed)),
+        )
     }
 
     /// Round feeders currently open (shots begun but not finished).
@@ -2148,5 +2272,45 @@ mod tests {
         // sequential feeders recycled one slot instead of growing the pool:
         // a dropped feeder frees its context (and bank id) for reuse
         assert_eq!(stats.contexts_peak, 1);
+    }
+
+    #[test]
+    fn windowed_shots_fold_into_stream_stats() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 9, 0.04).decoding_graph());
+        let pool = Arc::new(DecodePool::new(2));
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .workers(1)
+            .pool(Arc::clone(&pool))
+            .start();
+        let shots = sample_shots(&graph, 4, 11);
+        let reference: Vec<u64> = {
+            let decoder = crate::WindowedDecoder::new(
+                BackendSpec::micro_full(Some(3)),
+                Arc::clone(&graph),
+                crate::WindowConfig::new(3, 1),
+            )
+            .with_pool(Arc::clone(&pool));
+            shots
+                .iter()
+                .map(|shot| decoder.decode_shot(shot).observable)
+                .collect()
+        };
+        for (shot, &expected_obs) in shots.iter().zip(&reference) {
+            let mut feeder =
+                stream.begin_windowed_shot(crate::WindowConfig::new(3, 1), shot.observable);
+            for round in shot.syndrome.split_by_layer(&graph) {
+                feeder.push_round(&round);
+            }
+            let outcome = feeder.finish();
+            assert_eq!(outcome.rounds, 9);
+            // a stream-opened windowed session matches the one-shot front-end
+            assert_eq!(outcome.observable, expected_obs);
+        }
+        let stats = stream.close();
+        // 3 windows per shot × 4 shots, folded in at each session's finish
+        assert_eq!(stats.windows_decoded, 12);
+        assert!(stats.max_resident_rounds <= 5); // commit + 2·overlap
+                                                 // windowed sessions ride the pool directly, not the stream queue
+        assert_eq!(stats.submitted, 0);
     }
 }

@@ -66,6 +66,7 @@ pub mod lattice;
 pub mod syndrome;
 pub mod types;
 pub mod weights;
+pub mod window;
 
 pub use circuit::{CircuitErrorSampler, CircuitLevelCode, CircuitNoiseParams, CompiledCircuit};
 pub use graph::{DecodingGraph, DecodingGraphBuilder, EdgeInfo, VertexInfo};
@@ -73,3 +74,4 @@ pub use lattice::RotatedLattice;
 pub use syndrome::{ErrorPattern, ErrorSampler, Shot, SyndromePattern};
 pub use types::{EdgeIndex, NodeIndex, ObservableMask, Position, VertexIndex, Weight};
 pub use weights::WeightScaler;
+pub use window::{SeamSide, WindowView};
