@@ -80,12 +80,14 @@ fn saturated_stream_rate(
         .queue_capacity(shots.clamp(64, 8192))
         .start();
     let start = Instant::now();
-    let tickets: Vec<_> = (0..shots).map(|_| stream.submit_seeded(seed)).collect();
+    let tickets: Vec<_> = (0..shots)
+        .map(|_| stream.submit_seeded(seed).expect("stream is open"))
+        .collect();
     let stats = stream.close();
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(stats.decoded, shots as u64);
     for ticket in tickets {
-        ticket.recv();
+        ticket.recv().expect("no faults injected");
     }
     (shots as f64 / elapsed.max(1e-9), stats.decoded)
 }
@@ -125,18 +127,20 @@ fn multi_stream_run(
             .collect();
         let mut feeders: Vec<RoundFeeder> = shots
             .iter()
-            .map(|shot| stream.begin_shot(shot.observable))
+            .map(|shot| stream.begin_shot(shot.observable).expect("stream is open"))
             .collect();
         // round-robin: one measurement round per stream per pass, the
         // arrival order a real-time multi-qubit source produces
         for layer in 0..num_layers {
             for (shot_layers, feeder) in layers.iter().zip(feeders.iter_mut()) {
-                feeder.push_round(&shot_layers[layer]);
+                feeder
+                    .push_round(&shot_layers[layer])
+                    .expect("rounds are valid");
             }
         }
         let tickets: Vec<Ticket> = feeders.drain(..).map(RoundFeeder::finish).collect();
         for ticket in tickets {
-            ticket.recv();
+            ticket.recv().expect("no faults injected");
         }
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
@@ -470,7 +474,7 @@ fn main() {
                 // the clock starts at arrival: a full queue (backpressure)
                 // counts against the submit-to-result latency
                 let arrived = Instant::now();
-                let ticket = producer.submit_seeded(seed);
+                let ticket = producer.submit_seeded(seed).expect("stream is open");
                 depths.push(producer.queue_depth());
                 if ticket_tx.send((ticket, arrived)).is_err() {
                     break;
@@ -481,7 +485,7 @@ fn main() {
         let mut latencies: Vec<f64> = ticket_rx
             .into_iter()
             .map(|(ticket, arrived)| {
-                ticket.recv();
+                ticket.recv().expect("no faults injected");
                 arrived.elapsed().as_secs_f64() * 1e6
             })
             .collect();
@@ -558,6 +562,77 @@ fn main() {
         pool.accel_bank_switches(),
     );
 
+    #[cfg(feature = "chaos")]
+    chaos_section(&mut report, &graph, &spec);
+
     let path = report.finish().expect("bench report is writable");
     println!("report written to {}", path.display());
+}
+
+/// Chaos smoke (compiled only with `--features chaos`): drive the stream
+/// through a scripted panic storm plus a mixed-deadline workload on its own
+/// pool (the shared pool's accelerator tallies above must stay untouched),
+/// and emit the robustness counters as one JSON line.
+#[cfg(feature = "chaos")]
+fn chaos_section(report: &mut BenchReport, graph: &Arc<DecodingGraph>, spec: &BackendSpec) {
+    use mb_decoder::{DeadlinePolicy, DecodeError, FaultPlan};
+
+    let shots = 200u64;
+    let plan = Arc::new(FaultPlan::new().panic_worker(0, 3).panic_worker(1, 5));
+    let pool = Arc::new(DecodePool::new(2));
+    let stream = StreamDecoder::builder(spec.clone(), Arc::clone(graph))
+        .pool(Arc::clone(&pool))
+        .workers(2)
+        .queue_capacity(32)
+        .fault_plan(plan)
+        .start();
+    // odd-indexed shots carry an already-expired degrade deadline (a
+    // guaranteed miss that falls back to union-find); even-indexed shots get
+    // a generous one they always make
+    let miss = DeadlinePolicy::degrade_after(Duration::ZERO);
+    let make = DeadlinePolicy::degrade_after(Duration::from_secs(5));
+    let tickets: Vec<Ticket> = (0..shots)
+        .map(|i| {
+            let policy = if i % 2 == 1 { miss } else { make };
+            stream
+                .submit_seeded_with_deadline(0xC405, policy)
+                .expect("stream is open")
+        })
+        .collect();
+    let mut failed = 0u64;
+    for ticket in tickets {
+        match ticket.recv() {
+            Ok(_) => {}
+            Err(DecodeError::WorkerPanic { .. }) => failed += 1,
+            Err(other) => panic!("chaos section: unexpected error {other}"),
+        }
+    }
+    let stats = stream.close();
+    assert_eq!(stats.decoded + failed, shots, "every ticket resolved");
+    assert_eq!(stats.worker_panics, failed, "panics fail typed, never hang");
+    assert!(
+        (1..=2).contains(&failed),
+        "the scripted storm fired {failed} panics"
+    );
+    assert!(pool.worker_respawns() >= failed, "capacity self-heals");
+    let miss_rate = stats.deadline_misses as f64 / shots as f64;
+    report.line(format!(
+        "{{\"bench\":\"stream_latency\",\"workload\":\"chaos\",\"backend\":\"{}\",\
+         \"shots\":{shots},\"failed_shots\":{failed},\"worker_panics\":{},\
+         \"worker_respawns\":{},\"degraded_shots\":{},\"deadline_misses\":{},\
+         \"deadline_miss_rate\":{miss_rate:.4}}}",
+        spec.name(),
+        stats.worker_panics,
+        pool.worker_respawns(),
+        stats.degraded_shots,
+        stats.deadline_misses,
+    ));
+    println!(
+        "\nchaos smoke: {failed} injected panics failed typed (respawns {}), \
+         {} shots degraded to the union-find fallback across {} deadline misses \
+         (miss rate {miss_rate:.3}); the stream drained clean",
+        pool.worker_respawns(),
+        stats.degraded_shots,
+        stats.deadline_misses,
+    );
 }

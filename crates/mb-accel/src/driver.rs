@@ -99,6 +99,12 @@ pub struct AcceleratedDual {
     /// Rounds loaded since the last reset (the next implicit round index of
     /// [`Self::load_round`]).
     rounds_loaded: usize,
+    /// Lifetime count of [`Self::poll`] calls — a monotone generation
+    /// counter callers use to pace coarse periodic work (deadline checks)
+    /// without reading the wall clock every obstacle iteration. Never reset:
+    /// a generation is only compared by masking, so wraparound semantics and
+    /// context switches don't matter.
+    poll_generation: u64,
     /// Bus counters.
     pub io: IoStats,
 }
@@ -114,8 +120,15 @@ impl AcceleratedDual {
             next_blossom_hw,
             prematch_scratch: Vec::new(),
             rounds_loaded: 0,
+            poll_generation: 0,
             io: IoStats::default(),
         }
+    }
+
+    /// Monotone count of [`Self::poll`] calls over this driver's lifetime
+    /// (see the field doc for intended use).
+    pub fn poll_generation(&self) -> u64 {
+        self.poll_generation
     }
 
     /// Immutable access to the accelerator (state inspection, timing).
@@ -304,6 +317,7 @@ impl AcceleratedDual {
     /// Queries the hardware (and the CPU-side `y_S` tracker) for the next
     /// event.
     pub fn poll(&mut self) -> PollEvent {
+        self.poll_generation = self.poll_generation.wrapping_add(1);
         // constraint (2a): shrinking CPU-known node already at zero
         for (index, node) in self.nodes.iter().enumerate() {
             if self.is_outer(index) && node.direction < 0 && node.y == 0 {

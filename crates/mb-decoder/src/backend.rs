@@ -119,6 +119,27 @@ pub trait DecoderBackend: Send {
         false
     }
 
+    /// Arms (or clears, with `None`) a decode deadline. A backend that
+    /// honors deadlines checks the wall clock at a coarse cadence inside its
+    /// hot loop (every few obstacle iterations, gated by a cheap generation
+    /// counter) and *abandons* the exact decode when the deadline passes:
+    /// the decode call returns promptly with a placeholder outcome and
+    /// [`DecoderBackend::deadline_was_hit`] reports `true` until the next
+    /// reset. The caller (the streaming scheduler) then completes the shot
+    /// with a fallback decoder and tags it degraded.
+    ///
+    /// The default implementation ignores deadlines — backends whose decode
+    /// latency is already tightly bounded (Union-Find, the parity baseline)
+    /// never need to abandon.
+    fn set_deadline(&mut self, _deadline: Option<std::time::Instant>) {}
+
+    /// Whether the most recent decode abandoned early because the armed
+    /// deadline passed (see [`DecoderBackend::set_deadline`]). A `true`
+    /// means the last outcome is a placeholder that must not be trusted.
+    fn deadline_was_hit(&self) -> bool {
+        false
+    }
+
     /// Cumulative accelerator-activity counters of this backend, when it is
     /// backed by the simulated PU array (`None` for pure-software decoders).
     /// The decode pool folds per-job deltas of these into its own
@@ -184,16 +205,18 @@ pub enum BackendSpec {
     /// The Union-Find decoder with a Helios-style latency model.
     UnionFind(HeliosLatencyModel),
     /// Test-only: builds a backend that panics on every decode, so the
-    /// pipeline's worker-panic propagation path can be driven end to end.
-    #[cfg(test)]
+    /// pipeline's worker-panic isolation path can be driven end to end.
+    /// Also available under the `chaos` feature for the fault-injection
+    /// suite in `tests/chaos_recovery.rs`.
+    #[cfg(any(test, feature = "chaos"))]
     PanicOnDecode,
 }
 
 /// Test-only backend behind [`BackendSpec::PanicOnDecode`].
-#[cfg(test)]
+#[cfg(any(test, feature = "chaos"))]
 struct PanickingBackend(Arc<DecodingGraph>);
 
-#[cfg(test)]
+#[cfg(any(test, feature = "chaos"))]
 impl DecoderBackend for PanickingBackend {
     fn name(&self) -> &'static str {
         "panic-on-decode"
@@ -232,7 +255,7 @@ impl BackendSpec {
             Self::MicroFull { .. } => "micro-blossom-stream",
             Self::Parity => "parity-blossom-cpu",
             Self::UnionFind(_) => "union-find-helios",
-            #[cfg(test)]
+            #[cfg(any(test, feature = "chaos"))]
             Self::PanicOnDecode => "panic-on-decode",
         }
     }
@@ -269,7 +292,7 @@ impl BackendSpec {
             Self::UnionFind(latency) => {
                 Box::new(UnionFindDecoderAdapter::new(graph).with_latency_model(*latency))
             }
-            #[cfg(test)]
+            #[cfg(any(test, feature = "chaos"))]
             Self::PanicOnDecode => Box::new(PanickingBackend(graph)),
         }
     }

@@ -59,6 +59,9 @@
 //! ```
 
 pub mod backend;
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
+pub mod error;
 pub mod evaluation;
 pub mod micro;
 pub mod outcome;
@@ -69,6 +72,9 @@ pub mod uf;
 pub mod window;
 
 pub use backend::{AccelObservability, BackendSpec, DecoderBackend};
+#[cfg(any(test, feature = "chaos"))]
+pub use chaos::{FaultPlan, RoundFault};
+pub use error::{DecodeError, InvalidDefectReason};
 pub use evaluation::{
     evaluate_circuit, evaluate_circuit_sharded, evaluate_decoder, evaluate_decoder_sharded,
     phase_profile, EvaluationResult, PhaseProfile,
@@ -77,7 +83,10 @@ pub use micro::{MicroBlossomConfig, MicroBlossomDecoder};
 pub use outcome::{DecodeOutcome, LatencyBreakdown};
 pub use parity::ParityBlossomDecoder;
 pub use pipeline::{DecodePool, ShardedPipeline, ShotOutcome};
-pub use stream::{ContextPool, RoundFeeder, StreamDecoder, StreamStats, Ticket};
+pub use stream::{
+    ContextPool, DeadlineFallback, DeadlinePolicy, RoundFeeder, StreamDecoder, StreamStats, Ticket,
+    TrySubmitError,
+};
 pub use uf::{HeliosLatencyModel, UnionFindDecoderAdapter};
 pub use window::{
     CommittedCorrection, WindowConfig, WindowOutcome, WindowPlan, WindowedDecoder, WindowedFeeder,

@@ -156,6 +156,13 @@ pub struct MicroBlossomDecoder {
     /// Context restores performed (cumulative; see
     /// [`AccelObservability::bank_switches`]).
     bank_switches: u64,
+    /// Wall-clock instant after which the current decode abandons the exact
+    /// blossom solve (see [`DecoderBackend::set_deadline`]). Worker-managed:
+    /// survives the per-decode reset so a deadline armed immediately before
+    /// [`DecoderBackend::decode`] applies to that decode.
+    abort_at: Option<std::time::Instant>,
+    /// Whether the current decode abandoned early because `abort_at` passed.
+    aborted: bool,
 }
 
 impl MicroBlossomDecoder {
@@ -190,6 +197,8 @@ impl MicroBlossomDecoder {
             accel_shots: 0,
             banks: Vec::new(),
             bank_switches: 0,
+            abort_at: None,
+            aborted: false,
         }
     }
 
@@ -279,6 +288,11 @@ impl MicroBlossomDecoder {
     fn ingest_one_round(&mut self, layer: usize, defects: &[VertexIndex]) {
         let loaded = self.driver.load_round(defects);
         assert_eq!(loaded, layer, "rounds must be ingested in layer order");
+        if self.aborted {
+            // deadline hit on an earlier round: keep the round counter in
+            // sync but stop feeding the abandoned solve
+            return;
+        }
         self.materialize_if_configured(defects);
         if self.predecoder_armed() {
             self.log_round(defects);
@@ -296,6 +310,13 @@ impl MicroBlossomDecoder {
     ) -> (PerfectMatching, LatencyBreakdown) {
         let loaded = self.driver.load_round(defects);
         assert_eq!(loaded, layer, "rounds must be ingested in layer order");
+        if self.aborted {
+            // the solve was already abandoned mid-stream; hand back a
+            // placeholder immediately — the caller re-decodes with its
+            // fallback backend
+            let snapshot = self.counters();
+            return (PerfectMatching::new(), self.breakdown_since(snapshot));
+        }
         self.materialize_if_configured(defects);
         if self.predecoder_armed() {
             self.log_round(defects);
@@ -412,6 +433,13 @@ impl MicroBlossomDecoder {
         &mut self,
         snapshot: LatencyBreakdown,
     ) -> (PerfectMatching, LatencyBreakdown) {
+        if self.aborted {
+            // the dual phase was abandoned: the primal trees are not solved,
+            // so no matching can be extracted — return a placeholder the
+            // caller replaces via its degradation fallback
+            let breakdown = self.breakdown_since(snapshot);
+            return (PerfectMatching::new(), breakdown);
+        }
         // complete the matching with the pairs the hardware pre-matched and
         // the CPU never saw
         let mut matching = self.primal.perfect_matching();
@@ -463,6 +491,14 @@ impl MicroBlossomDecoder {
         }
     }
 
+    /// Whether the armed deadline (if any) has passed. Only called at the
+    /// coarse cadence of [`Self::DEADLINE_CHECK_MASK`] — this is the one
+    /// place the hot loop reads the wall clock.
+    fn deadline_passed(&self) -> bool {
+        self.abort_at
+            .is_some_and(|at| std::time::Instant::now() >= at)
+    }
+
     fn materialize_if_configured(&mut self, defects: &[VertexIndex]) {
         if !self.config.materialize_all_defects {
             return;
@@ -476,7 +512,16 @@ impl MicroBlossomDecoder {
 
     /// Runs the decode loop until the accelerator reports that nothing is
     /// growing any more.
+    /// How many obstacle-loop iterations pass between wall-clock deadline
+    /// checks: the driver's poll generation counter is compared against this
+    /// mask, so the common no-deadline and not-yet-expired cases cost one
+    /// branch and no syscall per iteration.
+    const DEADLINE_CHECK_MASK: u64 = 0x1F;
+
     fn run_to_completion(&mut self) {
+        if self.aborted {
+            return;
+        }
         let guard = 1000 + 100 * self.graph.vertex_count() * self.graph.vertex_count();
         let mut iterations = 0usize;
         loop {
@@ -485,6 +530,13 @@ impl MicroBlossomDecoder {
                 iterations <= guard,
                 "Micro Blossom decode loop failed to converge"
             );
+            if self.abort_at.is_some()
+                && self.driver.poll_generation() & Self::DEADLINE_CHECK_MASK == 0
+                && self.deadline_passed()
+            {
+                self.aborted = true;
+                return;
+            }
             match self.driver.poll() {
                 PollEvent::Finished => break,
                 PollEvent::GrowLength(length) => {
@@ -556,10 +608,22 @@ impl DecoderBackend for MicroBlossomDecoder {
         self.primal.clear();
         self.escalated = false;
         self.rounds_logged = 0;
+        // `abort_at` deliberately survives: the scheduler arms the deadline
+        // immediately before `decode`, whose implicit reset runs afterwards
+        self.aborted = false;
     }
 
     fn deterministic_latency(&self) -> bool {
         true
+    }
+
+    fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.abort_at = deadline;
+        self.aborted = false;
+    }
+
+    fn deadline_was_hit(&self) -> bool {
+        self.aborted
     }
 
     /// Round-wise fusion is what the stream configuration *is*: the decoder

@@ -41,6 +41,9 @@
 //! ```
 
 use crate::backend::{AccelObservability, BackendSpec, DecoderBackend};
+#[cfg(any(test, feature = "chaos"))]
+use crate::chaos::FaultPlan;
+use crate::error::DecodeError;
 use crate::evaluation::EvaluationResult;
 use crate::outcome::{DecodeOutcome, LatencyBreakdown};
 use crate::stream::ServeOutcome;
@@ -73,6 +76,11 @@ pub struct ShotOutcome {
     pub latency_ns: f64,
     /// Counter breakdown behind `latency_ns`.
     pub breakdown: LatencyBreakdown,
+    /// Whether the shot missed its deadline and was completed by the
+    /// degradation fallback (union-find) instead of the exact blossom
+    /// decode (see [`crate::DeadlinePolicy`]). Always `false` for shots
+    /// submitted without a deadline.
+    pub degraded: bool,
 }
 
 impl ShotOutcome {
@@ -113,24 +121,49 @@ pub const MAX_STEAL_CHUNK: usize = 64;
 /// over many decoding graphs do not hoard PU-array memory.
 pub const BACKEND_CACHE_CAPACITY: usize = 8;
 
-/// Parses an `MB_SHARDS`-style override; `None` when absent or invalid.
-fn shards_from_env(value: Option<&str>) -> Option<usize> {
-    value
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+/// Classification of an `MB_SHARDS`-style override value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ShardsOverride {
+    /// Variable not set: use the machine default silently.
+    Unset,
+    /// A positive-integer override.
+    Valid(usize),
+    /// Present but not a positive integer — the caller warns and falls back
+    /// to the default instead of silently misconfiguring.
+    Invalid(String),
+}
+
+/// Parses an `MB_SHARDS`-style override into its three outcomes.
+fn parse_shards_env(value: Option<&str>) -> ShardsOverride {
+    let Some(raw) = value else {
+        return ShardsOverride::Unset;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => ShardsOverride::Valid(n),
+        _ => ShardsOverride::Invalid(raw.to_string()),
+    }
 }
 
 /// Default shard (worker) count: the `MB_SHARDS` environment variable when
-/// set to a positive integer (invalid values fall back), otherwise the
-/// machine's available parallelism capped at 16 so that small evaluations do
-/// not pay scheduling overhead for idle workers.
+/// set to a positive integer, otherwise the machine's available parallelism
+/// capped at 16 so that small evaluations do not pay scheduling overhead for
+/// idle workers. An `MB_SHARDS` value that is not a positive integer logs a
+/// warning to stderr and falls back to the machine default — it never
+/// panics and never silently misconfigures the pool to zero workers.
 ///
 /// The global [`DecodePool`] is sized with this value the first time it is
 /// used, so `MB_SHARDS` must be set before the first pipeline run to take
 /// effect on the shared pool.
 pub fn default_shards() -> usize {
-    if let Some(n) = shards_from_env(std::env::var("MB_SHARDS").ok().as_deref()) {
-        return n;
+    match parse_shards_env(std::env::var("MB_SHARDS").ok().as_deref()) {
+        ShardsOverride::Valid(n) => return n,
+        ShardsOverride::Invalid(raw) => {
+            eprintln!(
+                "warning: MB_SHARDS={raw:?} is not a positive integer; \
+                 falling back to the default worker count"
+            );
+        }
+        ShardsOverride::Unset => {}
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -179,8 +212,10 @@ enum JobInput {
     Explicit { shots: Arc<[Shot]> },
 }
 
-/// One output slot, written by exactly one worker.
-struct Slot(UnsafeCell<MaybeUninit<ShotOutcome>>);
+/// One output slot, written by exactly one worker. Holds a `Result` so a
+/// panicking shot can record a typed [`DecodeError::WorkerPanic`] without
+/// losing the rest of the batch.
+struct Slot(UnsafeCell<MaybeUninit<Result<ShotOutcome, DecodeError>>>);
 
 // SAFETY: workers write disjoint slots (each index is claimed by exactly one
 // worker through the atomic cursor), and the main thread only reads after
@@ -255,22 +290,15 @@ impl BatchSource {
         };
         // SAFETY: `index` was claimed from the cursor by this worker only,
         // and the submitting thread does not read until we signal completion.
-        unsafe { (*self.slots[index].0.get()).write(outcome) };
+        unsafe { (*self.slots[index].0.get()).write(Ok(outcome)) };
     }
 
-    /// One worker's share of the batch: claim and decode chunks until the
-    /// cursor runs off the end.
-    fn decode_all(&self, backend: &mut dyn DecoderBackend, sampler: &ErrorSampler<'_>) {
-        loop {
-            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
-            if start >= self.total {
-                break;
-            }
-            let end = (start + self.chunk).min(self.total);
-            for index in start..end {
-                self.decode_index(backend, sampler, index);
-            }
-        }
+    /// Records a typed failure for a shot whose decode panicked. Same
+    /// exclusive-slot discipline as [`Self::decode_index`].
+    fn fail_index(&self, index: usize, error: DecodeError) {
+        // SAFETY: as in `decode_index` — the index was claimed by this
+        // worker and nothing was written to the slot before the panic.
+        unsafe { (*self.slots[index].0.get()).write(Err(error)) };
     }
 }
 
@@ -354,6 +382,13 @@ struct AccelTelemetry {
     /// by the sessions via [`DecodePool::note_seam_redecodes`]; seam decodes
     /// also count into `windows_decoded` when they run as pool jobs).
     seam_redecodes: AtomicU64,
+    /// Panics caught inside worker isolation scopes (per-shot batch scopes
+    /// and stream serve passes). Each one poisoned at most the shot that
+    /// raised it.
+    worker_panics: AtomicU64,
+    /// Times a worker discarded its poisoned backend state and rebuilt it
+    /// to keep serving — the pool's capacity self-heal counter.
+    worker_respawns: AtomicU64,
 }
 
 impl AccelTelemetry {
@@ -459,6 +494,15 @@ impl BackendCache {
         self.pinned = None;
     }
 
+    /// Drops the cached backend for `(spec, graph)`. Called after a caught
+    /// panic left the backend in an unknown state: the next `get_or_build`
+    /// constructs a fresh one, so the worker's capacity self-heals instead
+    /// of decoding on poisoned state.
+    fn discard(&mut self, spec: &BackendSpec, graph: &Arc<DecodingGraph>) {
+        let key = Self::key_for(spec, graph);
+        self.entries.retain(|entry| entry.key != key);
+    }
+
     /// Returns the cached backend for `(spec, graph)`, building (and caching)
     /// it on a miss; evicts the least recently used unpinned entry at
     /// capacity (temporarily exceeding capacity rather than evicting the
@@ -533,9 +577,30 @@ impl std::fmt::Debug for DecodePool {
     }
 }
 
+/// The fault-plan handle worker threads carry: a real plan under the chaos
+/// gates, a zero-sized unit otherwise — so the production worker loop has no
+/// injection state at all.
+#[cfg(any(test, feature = "chaos"))]
+type FaultPlanHandle = Option<Arc<FaultPlan>>;
+#[cfg(not(any(test, feature = "chaos")))]
+type FaultPlanHandle = ();
+
 impl DecodePool {
     /// Spawns a pool with `workers` persistent worker threads (at least 1).
     pub fn new(workers: usize) -> Self {
+        #[allow(clippy::unit_arg)] // `FaultPlanHandle` is `()` outside the chaos gates
+        Self::spawn(workers, FaultPlanHandle::default())
+    }
+
+    /// Spawns a pool whose workers consult `faults` at their injection
+    /// points — the chaos harness's entry into the pool (see
+    /// [`crate::chaos::FaultPlan`]).
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn new_with_faults(workers: usize, faults: Arc<FaultPlan>) -> Self {
+        Self::spawn(workers, Some(faults))
+    }
+
+    fn spawn(workers: usize, faults: FaultPlanHandle) -> Self {
         let builds = Arc::new(AtomicU64::new(0));
         let telemetry = Arc::new(AccelTelemetry::default());
         let mut senders = Vec::new();
@@ -544,9 +609,11 @@ impl DecodePool {
             let (sender, receiver) = mpsc::channel::<Arc<JobState>>();
             let builds = Arc::clone(&builds);
             let telemetry = Arc::clone(&telemetry);
+            #[allow(clippy::let_unit_value, clippy::clone_on_copy)] // `()` outside the chaos gates
+            let faults = faults.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("mb-decode-{index}"))
-                .spawn(move || worker_main(receiver, builds, telemetry))
+                .spawn(move || worker_main(index, receiver, builds, telemetry, faults))
                 .expect("failed to spawn decode worker");
             senders.push(sender);
             handles.push(handle);
@@ -782,17 +849,24 @@ impl DecodePool {
             .expect("window job completed without producing an outcome")
     }
 
-    /// Runs a batch job on up to `participants` workers and returns the
-    /// outcomes in shot order. This is the thin batch adapter over the same
-    /// submit/serve path the streaming front-end uses.
-    fn run(
+    /// Runs a batch job on up to `participants` workers and returns one
+    /// `Result` per shot in shot order: `Ok` outcomes for shots that decoded,
+    /// [`DecodeError::WorkerPanic`] for shots whose decode panicked (the
+    /// panic was isolated and the worker recovered). This is the thin batch
+    /// adapter over the same submit/serve path the streaming front-end uses.
+    ///
+    /// # Panics
+    /// Only on a *job-level* panic (infrastructure failure outside any shot,
+    /// e.g. a backend build): the slots may then be uninitialized, so there
+    /// is nothing typed to return.
+    fn run_results(
         &self,
         spec: &BackendSpec,
         graph: &Arc<DecodingGraph>,
         input: JobInput,
         total: usize,
         participants: usize,
-    ) -> Vec<ShotOutcome> {
+    ) -> Vec<Result<ShotOutcome, DecodeError>> {
         if total == 0 {
             return Vec::new();
         }
@@ -819,15 +893,53 @@ impl DecodePool {
             panic!("decode pool worker panicked: {message}");
         }
         let WorkSource::Batch(batch) = &job.source else {
-            unreachable!("run() always builds a batch source");
+            unreachable!("run_results() always builds a batch source");
         };
         // SAFETY: every index in 0..total was claimed by exactly one worker
-        // and written before that worker decremented `remaining`; the mutex
-        // handoff in wait_job makes those writes visible here. Each slot is
-        // read exactly once and `MaybeUninit` suppresses the redundant drop.
+        // and written before that worker decremented `remaining` (a panicked
+        // shot's slot is written by `fail_index`); the mutex handoff in
+        // wait_job makes those writes visible here. Each slot is read exactly
+        // once and `MaybeUninit` suppresses the redundant drop.
         (0..total)
             .map(|i| unsafe { (*batch.slots[i].0.get()).assume_init_read() })
             .collect()
+    }
+
+    /// Infallible wrapper over [`Self::run_results`] for callers that predate
+    /// typed errors: the first failed shot escalates to a panic carrying the
+    /// legacy `decode pool worker panicked` prefix.
+    fn run(
+        &self,
+        spec: &BackendSpec,
+        graph: &Arc<DecodingGraph>,
+        input: JobInput,
+        total: usize,
+        participants: usize,
+    ) -> Vec<ShotOutcome> {
+        self.run_results(spec, graph, input, total, participants)
+            .into_iter()
+            .map(|result| match result {
+                Ok(outcome) => outcome,
+                Err(DecodeError::WorkerPanic { message }) => {
+                    panic!("decode pool worker panicked: {message}")
+                }
+                Err(error) => panic!("decode pool worker failed: {error}"),
+            })
+            .collect()
+    }
+
+    /// Total shot decodes that panicked and were isolated (batch slots or
+    /// stream tickets carrying [`DecodeError::WorkerPanic`]), plus job-level
+    /// worker panics.
+    pub fn worker_panics(&self) -> u64 {
+        self.telemetry.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Times a worker discarded a poisoned backend and rebuilt it to keep
+    /// serving — each one is a capacity self-heal that would otherwise have
+    /// been a lost worker.
+    pub fn worker_respawns(&self) -> u64 {
+        self.telemetry.worker_respawns.load(Ordering::Relaxed)
     }
 }
 
@@ -843,12 +955,21 @@ impl Drop for DecodePool {
 
 /// The worker loop: block on the job channel, pull work from the job's
 /// source (batch chunks or a live stream queue) until it is exhausted, then
-/// signal completion. Panics inside a job are caught and propagated to the
-/// submitting thread so the pool survives a failing backend.
+/// signal completion.
+///
+/// Panics are isolated at the smallest scope that can make progress: a
+/// panicking *shot* records a typed [`DecodeError::WorkerPanic`] in its own
+/// slot (batch) or ticket (stream), the worker discards its poisoned cached
+/// backend, rebuilds it, and keeps serving — pool capacity self-heals
+/// without tearing down the thread. Only panics outside any shot
+/// (infrastructure failures such as a backend build) fall through to the
+/// job-level handler and surface on the submitting thread.
 fn worker_main(
+    index: usize,
     receiver: mpsc::Receiver<Arc<JobState>>,
     builds: Arc<AtomicU64>,
     telemetry: Arc<AccelTelemetry>,
+    faults: FaultPlanHandle,
 ) {
     let mut cache = BackendCache::new(BACKEND_CACHE_CAPACITY, builds);
     let mut deferred: VecDeque<Arc<JobState>> = VecDeque::new();
@@ -860,8 +981,25 @@ fn worker_main(
                 Err(_) => return,
             },
         };
-        run_job(&mut cache, &telemetry, &job, &receiver, &mut deferred);
+        run_job(
+            index,
+            &faults,
+            &mut cache,
+            &telemetry,
+            &job,
+            &receiver,
+            &mut deferred,
+        );
     }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// Runs one job to completion on this worker, including its completion
@@ -871,20 +1009,75 @@ fn worker_main(
 /// deferred until this one closes — serving two streams from one loop would
 /// starve whichever one came second).
 fn run_job(
+    worker: usize,
+    faults: &FaultPlanHandle,
     cache: &mut BackendCache,
     telemetry: &AccelTelemetry,
     job: &Arc<JobState>,
     receiver: &mpsc::Receiver<Arc<JobState>>,
     deferred: &mut VecDeque<Arc<JobState>>,
 ) {
+    #[cfg(not(any(test, feature = "chaos")))]
+    let _ = (worker, faults);
     let result = catch_unwind(AssertUnwindSafe(|| {
         let sampler = ErrorSampler::new(&job.graph);
         match &job.source {
             WorkSource::Batch(batch) => {
-                let backend = cache.get_or_build(&job.spec, &job.graph);
-                let before = backend.accel_observability();
-                batch.decode_all(backend, &sampler);
-                telemetry.fold(before, backend.accel_observability());
+                // warm the cache entry before racing for chunks: every
+                // participant builds (or re-touches) its backend on the job
+                // it joins, so build counts depend on the job placement, not
+                // on which worker happens to win the chunk race
+                let _ = cache.get_or_build(&job.spec, &job.graph);
+                loop {
+                    let start = batch.cursor.fetch_add(batch.chunk, Ordering::Relaxed);
+                    if start >= batch.total {
+                        break;
+                    }
+                    let end = (start + batch.chunk).min(batch.total);
+                    let mut index = start;
+                    while index < end {
+                        let backend = cache.get_or_build(&job.spec, &job.graph);
+                        let before = backend.accel_observability();
+                        // per-shot isolation: a panicking decode poisons only its
+                        // own slot; the rest of the chunk continues on a rebuilt
+                        // backend
+                        let shots = catch_unwind(AssertUnwindSafe(|| {
+                            while index < end {
+                                #[cfg(any(test, feature = "chaos"))]
+                                if let Some(plan) = faults {
+                                    match plan.next_shot_fault(worker) {
+                                        crate::chaos::ShotFault::Panic => {
+                                            panic!("chaos: injected panic (worker {worker})")
+                                        }
+                                        crate::chaos::ShotFault::Delay(delay) => {
+                                            std::thread::sleep(delay)
+                                        }
+                                        crate::chaos::ShotFault::None => {}
+                                    }
+                                }
+                                batch.decode_index(backend, &sampler, index);
+                                index += 1;
+                            }
+                        }));
+                        telemetry.fold(before, backend.accel_observability());
+                        if let Err(payload) = shots {
+                            // `index` still names the shot that panicked: the
+                            // closure increments it only after a successful write
+                            batch.fail_index(
+                                index,
+                                DecodeError::WorkerPanic {
+                                    message: panic_message(payload),
+                                },
+                            );
+                            index += 1;
+                            telemetry.worker_panics.fetch_add(1, Ordering::Relaxed);
+                            telemetry.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                            // the backend may hold arbitrary mid-decode state;
+                            // rebuild fresh before the next shot
+                            cache.discard(&job.spec, &job.graph);
+                        }
+                    }
+                }
             }
             WorkSource::Window(window) => {
                 let backend = cache.get_or_build(&job.spec, &job.graph);
@@ -914,12 +1107,26 @@ fn run_job(
                     };
                     match status {
                         ServeOutcome::Closed => break,
+                        ServeOutcome::Poisoned => {
+                            // a decode panicked inside serve: the failing
+                            // shot's ticket already carries the typed error
+                            // and the stream released this worker's banked
+                            // contexts — drop the poisoned backend and keep
+                            // serving on a fresh one
+                            telemetry.worker_panics.fetch_add(1, Ordering::Relaxed);
+                            telemetry.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                            cache.unpin();
+                            cache.discard(&job.spec, &job.graph);
+                            cache.pin(&job.spec, &job.graph);
+                        }
                         ServeOutcome::Idle => {
                             while let Ok(next) = receiver.try_recv() {
                                 if matches!(next.source, WorkSource::Stream(_)) {
                                     deferred.push_back(next);
                                 } else {
-                                    run_job(cache, telemetry, &next, receiver, deferred);
+                                    run_job(
+                                        worker, faults, cache, telemetry, &next, receiver, deferred,
+                                    );
                                 }
                             }
                         }
@@ -934,12 +1141,11 @@ fn run_job(
     }
     let mut done = job.done.lock().expect("decode pool mutex poisoned");
     if let Err(payload) = result {
-        let message = payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string());
-        done.panic.get_or_insert(message);
+        // job-level (infrastructure) panic: nothing shot-scoped to blame, so
+        // the whole job is poisoned and the submitter decides how to surface
+        // it
+        telemetry.worker_panics.fetch_add(1, Ordering::Relaxed);
+        done.panic.get_or_insert(panic_message(payload));
     }
     done.remaining -= 1;
     let last_participant = done.remaining == 0;
@@ -1106,6 +1312,40 @@ impl ShardedPipeline {
         )
     }
 
+    /// Typed-error variant of [`Self::run_sampled`]: shots whose decode
+    /// panicked come back as [`DecodeError::WorkerPanic`] in their slot
+    /// instead of escalating to a submitter panic, so one poisoned shot does
+    /// not discard a whole batch.
+    ///
+    /// # Panics
+    /// Only on a job-level (infrastructure) panic outside any shot.
+    pub fn try_run_sampled(
+        &self,
+        shots: usize,
+        seed: u64,
+    ) -> Vec<Result<ShotOutcome, DecodeError>> {
+        self.pool().run_results(
+            &self.spec,
+            &self.graph,
+            JobInput::Sampled { seed },
+            shots,
+            self.shards,
+        )
+    }
+
+    /// Typed-error variant of [`Self::run_shots_arc`]; see
+    /// [`Self::try_run_sampled`].
+    pub fn try_run_shots_arc(&self, shots: Arc<[Shot]>) -> Vec<Result<ShotOutcome, DecodeError>> {
+        let total = shots.len();
+        self.pool().run_results(
+            &self.spec,
+            &self.graph,
+            JobInput::Explicit { shots },
+            total,
+            self.shards,
+        )
+    }
+
     /// Samples, decodes, and aggregates `shots` shots into an
     /// [`EvaluationResult`]. Bit-identical for any worker count, except the
     /// `latencies_ns` of wall-clock backends (which vary run to run even
@@ -1143,6 +1383,7 @@ pub(crate) fn decode_one(
         expected_observable: shot.observable,
         latency_ns: outcome.latency_ns,
         breakdown: outcome.breakdown,
+        degraded: false,
     }
 }
 
@@ -1181,13 +1422,18 @@ mod tests {
 
     #[test]
     fn env_shard_override_parses_strictly() {
-        assert_eq!(shards_from_env(None), None);
-        assert_eq!(shards_from_env(Some("")), None);
-        assert_eq!(shards_from_env(Some("zero")), None);
-        assert_eq!(shards_from_env(Some("0")), None);
-        assert_eq!(shards_from_env(Some("-3")), None);
-        assert_eq!(shards_from_env(Some("4")), Some(4));
-        assert_eq!(shards_from_env(Some(" 12 ")), Some(12));
+        assert_eq!(parse_shards_env(None), ShardsOverride::Unset);
+        assert_eq!(parse_shards_env(Some("4")), ShardsOverride::Valid(4));
+        assert_eq!(parse_shards_env(Some(" 12 ")), ShardsOverride::Valid(12));
+        // invalid values are classified (not silently dropped) so
+        // default_shards can warn before falling back
+        for raw in ["", "zero", "0", "-3", "4.5", "0x10"] {
+            assert_eq!(
+                parse_shards_env(Some(raw)),
+                ShardsOverride::Invalid(raw.to_string()),
+                "MB_SHARDS={raw:?}"
+            );
+        }
     }
 
     #[test]
@@ -1203,7 +1449,10 @@ mod tests {
         assert_eq!(pool.effective_workers(0, 0), 1);
         // MB_SHARDS=0 is invalid and falls back to the default, which is
         // itself at least 1
-        assert_eq!(shards_from_env(Some("0")), None);
+        assert_eq!(
+            parse_shards_env(Some("0")),
+            ShardsOverride::Invalid("0".to_string())
+        );
         assert!(default_shards() >= 1);
     }
 
@@ -1389,7 +1638,7 @@ mod tests {
             }
         });
         // the stream still works and drains cleanly afterwards
-        let outcome = stream.submit_seeded(3).recv();
+        let outcome = stream.submit_seeded(3).unwrap().recv().unwrap();
         assert_eq!(outcome.shot_index, 0);
         stream.close();
     }
@@ -1412,17 +1661,18 @@ mod tests {
         // would deadlock permanently if the pinned worker never yielded
         assert_eq!(pipeline.run_sampled(20, 7).len(), 20);
         // the stream is still live and serves after the interleaved batch
-        let outcome = stream.submit_seeded(3).recv();
+        let outcome = stream.submit_seeded(3).unwrap().recv().unwrap();
         assert_eq!(outcome.shot_index, 0);
         stream.close();
     }
 
     #[test]
     fn worker_panics_propagate_to_the_submitter() {
-        // drive the real path: worker_main catches the backend panic,
-        // records it in JobDone, still decrements `remaining` (no deadlock),
-        // and the submitter re-panics with the message. Uses a dedicated
-        // pool so the global pool stays healthy for sibling tests.
+        // drive the real path: the worker catches the backend panic in its
+        // per-shot isolation scope, records a typed WorkerPanic in the
+        // shot's slot (no deadlock), and the infallible run() re-panics
+        // with the legacy message. Uses a dedicated pool so the global pool
+        // stays healthy for sibling tests.
         let graph = rotated();
         let pool = Arc::new(DecodePool::new(2));
         let pipeline = ShardedPipeline::new(BackendSpec::PanicOnDecode, Arc::clone(&graph))
@@ -1437,11 +1687,87 @@ mod tests {
             message.contains("decode pool worker panicked") && message.contains("backend exploded"),
             "unexpected panic message: {message}"
         );
-        // the surviving workers still decode fine afterwards
+        assert!(pool.worker_panics() >= 8, "every shot's panic is counted");
+        // the workers survived the panics and still decode fine afterwards
         let pipeline = ShardedPipeline::new(BackendSpec::union_find(), graph)
             .with_pool(pool)
             .with_shards(2);
         assert_eq!(pipeline.run_sampled(5, 1).len(), 5);
+    }
+
+    #[test]
+    fn panicking_shots_yield_typed_errors_without_losing_the_batch() {
+        // try_run_sampled: every PanicOnDecode shot comes back as a typed
+        // WorkerPanic in its own slot — the batch completes, nothing is
+        // dropped, and the pool's self-heal counters advance
+        let graph = rotated();
+        let pool = Arc::new(DecodePool::new(2));
+        let pipeline = ShardedPipeline::new(BackendSpec::PanicOnDecode, Arc::clone(&graph))
+            .with_pool(Arc::clone(&pool))
+            .with_shards(2);
+        let results = pipeline.try_run_sampled(8, 1);
+        assert_eq!(results.len(), 8);
+        for (i, result) in results.iter().enumerate() {
+            match result {
+                Err(DecodeError::WorkerPanic { message }) => {
+                    assert!(message.contains("backend exploded"), "shot {i}: {message}")
+                }
+                other => panic!("shot {i}: expected WorkerPanic, got {other:?}"),
+            }
+        }
+        assert_eq!(pool.worker_panics(), 8);
+        assert_eq!(pool.worker_respawns(), 8);
+    }
+
+    #[test]
+    fn injected_panics_poison_only_their_own_shots() {
+        use crate::chaos::FaultPlan;
+        // a single-worker pool with one injected panic: the faulted shot
+        // carries the chaos payload, every other shot decodes normally and
+        // stays bit-identical to a fault-free run
+        let graph = rotated();
+        let faults = Arc::new(FaultPlan::new().panic_worker(0, 3));
+        let pool = Arc::new(DecodePool::new_with_faults(1, faults));
+        let pipeline = ShardedPipeline::new(BackendSpec::union_find(), Arc::clone(&graph))
+            .with_pool(Arc::clone(&pool))
+            .with_shards(1);
+        let results = pipeline.try_run_sampled(10, 7);
+        let reference = ShardedPipeline::new(BackendSpec::union_find(), Arc::clone(&graph))
+            .with_pool(Arc::new(DecodePool::new(1)))
+            .with_shards(1)
+            .run_sampled(10, 7);
+        let mut panicked = 0;
+        for (result, expected) in results.iter().zip(&reference) {
+            match result {
+                Ok(outcome) => assert_eq!(outcome, expected),
+                Err(DecodeError::WorkerPanic { message }) => {
+                    assert!(message.contains("chaos: injected panic"), "{message}");
+                    panicked += 1;
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert_eq!(panicked, 1, "exactly the planned shot is poisoned");
+        assert_eq!(pool.worker_panics(), 1);
+        assert_eq!(pool.worker_respawns(), 1);
+    }
+
+    #[test]
+    fn backend_cache_discard_forces_a_rebuild() {
+        let builds = Arc::new(AtomicU64::new(0));
+        let mut cache = BackendCache::new(2, Arc::clone(&builds));
+        let graph = rotated();
+        let spec = BackendSpec::union_find();
+        cache.get_or_build(&spec, &graph);
+        cache.get_or_build(&spec, &graph);
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        cache.discard(&spec, &graph);
+        cache.get_or_build(&spec, &graph);
+        assert_eq!(
+            builds.load(Ordering::Relaxed),
+            2,
+            "discard must drop the entry so the next get rebuilds"
+        );
     }
 
     #[test]
@@ -1473,6 +1799,7 @@ mod tests {
                 expected_observable: 1,
                 latency_ns: 500.0,
                 breakdown: LatencyBreakdown::default(),
+                degraded: false,
             },
             ShotOutcome {
                 shot_index: 1,
@@ -1481,6 +1808,7 @@ mod tests {
                 expected_observable: 1,
                 latency_ns: 100.0,
                 breakdown: LatencyBreakdown::default(),
+                degraded: false,
             },
         ];
         let result = aggregate("test", &outcomes);
@@ -1502,6 +1830,7 @@ mod tests {
                 expected_observable: 0,
                 latency_ns: f64::NAN,
                 breakdown: LatencyBreakdown::default(),
+                degraded: false,
             },
             ShotOutcome {
                 shot_index: 1,
@@ -1510,6 +1839,7 @@ mod tests {
                 expected_observable: 0,
                 latency_ns: 1.0,
                 breakdown: LatencyBreakdown::default(),
+                degraded: false,
             },
         ];
         let result = aggregate("test", &outcomes);

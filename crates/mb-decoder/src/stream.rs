@@ -55,15 +55,20 @@
 //! let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), graph)
 //!     .queue_capacity(16)
 //!     .start();
-//! let tickets: Vec<_> = (0..20).map(|_| stream.submit_seeded(7)).collect();
+//! let tickets: Vec<_> = (0..20)
+//!     .map(|_| stream.submit_seeded(7).expect("stream is open"))
+//!     .collect();
 //! for ticket in tickets {
-//!     let outcome = ticket.recv();
+//!     let outcome = ticket.recv().expect("decoded without faults");
 //!     assert!(outcome.latency_ns >= 0.0);
 //! }
 //! stream.close();
 //! ```
 
 use crate::backend::{BackendSpec, DecoderBackend};
+#[cfg(any(test, feature = "chaos"))]
+use crate::chaos::{FaultPlan, RoundFault, ShotFault};
+use crate::error::{DecodeError, InvalidDefectReason};
 use crate::outcome::DecodeOutcome;
 use crate::pipeline::{
     decode_one, default_shards, shot_rng, DecodePool, JobState, ShotOutcome, MAX_STEAL_CHUNK,
@@ -71,6 +76,7 @@ use crate::pipeline::{
 use mb_graph::syndrome::{ErrorSampler, Shot, SyndromePattern};
 use mb_graph::{DecodingGraph, ObservableMask, VertexIndex};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -124,6 +130,10 @@ struct OutcomeCell {
 enum CellState {
     Pending,
     Ready(ShotOutcome),
+    /// The shot failed with a typed error (its decode panicked inside the
+    /// worker's isolation scope, or its deadline's fallback was
+    /// [`DeadlineFallback::Fail`]).
+    Failed(DecodeError),
     /// Every sender handle dropped without delivering (workers panicked or
     /// the stream was torn down), or the outcome was already taken.
     Abandoned,
@@ -157,6 +167,19 @@ impl OutcomeSender {
             }
         }
     }
+
+    /// Fails the shot with a typed error; like [`Self::deliver`], a second
+    /// resolution is ignored.
+    fn fail(&self, error: DecodeError) {
+        let mut state = self.0.state.lock().expect("outcome cell mutex poisoned");
+        if matches!(*state, CellState::Pending) {
+            *state = CellState::Failed(error);
+            drop(state);
+            if self.0.waiters.load(Ordering::Relaxed) > 0 {
+                self.0.ready.notify_all();
+            }
+        }
+    }
 }
 
 impl Clone for OutcomeSender {
@@ -181,6 +204,74 @@ impl Drop for OutcomeSender {
     }
 }
 
+/// How a shot should complete when its [`DeadlinePolicy`] deadline passes
+/// before the exact blossom decode finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineFallback {
+    /// Abandon the exact decode and complete the shot with the union-find
+    /// fallback decoder instead; the outcome is tagged
+    /// [`ShotOutcome::degraded`]. Accuracy degrades gracefully, latency is
+    /// bounded.
+    DegradeToUnionFind,
+    /// Fail the shot: its [`Ticket::recv`] returns
+    /// [`DecodeError::DeadlineExceeded`].
+    Fail,
+}
+
+/// A per-shot decode deadline, attached at submit time
+/// ([`StreamDecoder::submit_with_deadline`] /
+/// [`StreamDecoder::submit_seeded_with_deadline`]).
+///
+/// The clock starts at submission. A shot whose deadline passes while it is
+/// still queued skips the exact decode entirely; one whose deadline passes
+/// *mid-decode* is aborted at the next obstacle-poll check
+/// ([`DecoderBackend::set_deadline`], a cheap generation-counter test in the
+/// accelerator's poll loop). Either way the shot completes per `fallback`
+/// instead of stalling the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlinePolicy {
+    /// Time budget from submission to outcome.
+    pub deadline: Duration,
+    /// What to do when the budget is exhausted.
+    pub fallback: DeadlineFallback,
+}
+
+impl DeadlinePolicy {
+    /// Degrade to the union-find fallback after `deadline`.
+    pub fn degrade_after(deadline: Duration) -> Self {
+        Self {
+            deadline,
+            fallback: DeadlineFallback::DegradeToUnionFind,
+        }
+    }
+
+    /// Fail the shot with [`DecodeError::DeadlineExceeded`] after `deadline`.
+    pub fn fail_after(deadline: Duration) -> Self {
+        Self {
+            deadline,
+            fallback: DeadlineFallback::Fail,
+        }
+    }
+}
+
+/// A [`DeadlinePolicy`] resolved against the submission instant.
+#[derive(Clone, Copy)]
+struct ArmedDeadline {
+    at: Instant,
+    budget: Duration,
+    fallback: DeadlineFallback,
+}
+
+impl ArmedDeadline {
+    fn arm(policy: DeadlinePolicy) -> Self {
+        Self {
+            at: Instant::now() + policy.deadline,
+            budget: policy.deadline,
+            fallback: policy.fallback,
+        }
+    }
+}
+
 /// One queued submission.
 struct StreamItem {
     /// Submission index (becomes [`ShotOutcome::shot_index`] and the seeded
@@ -188,6 +279,8 @@ struct StreamItem {
     index: usize,
     request: Request,
     reply: OutcomeSender,
+    /// Decode deadline armed at submit time, if any.
+    deadline: Option<ArmedDeadline>,
 }
 
 /// One in-flight round-fed shot: the producer side buffers rounds here and
@@ -454,6 +547,12 @@ pub(crate) enum ServeOutcome {
     /// must call `serve` again afterwards. Any engine-resident context was
     /// banked before returning, so the engine is free for other work.
     Idle,
+    /// A decode panicked on this worker's backend. The failing shot's
+    /// ticket already carries [`DecodeError::WorkerPanic`], this worker's
+    /// banked contexts were failed and released, and any unprocessed
+    /// claimed items were re-queued. The caller must discard the backend
+    /// (its state is arbitrary) and call `serve` again on a fresh one.
+    Poisoned,
 }
 
 /// What the serving worker found to do in one pass over the shared state.
@@ -529,6 +628,17 @@ pub(crate) struct StreamShared {
     decoded: AtomicU64,
     /// Context-bank restores performed by the serving workers.
     bank_switches: AtomicU64,
+    /// Shots completed by the degradation fallback after a deadline miss.
+    degraded: AtomicU64,
+    /// Shots whose deadline passed before their exact decode finished
+    /// (degraded or failed, per their [`DeadlineFallback`]).
+    deadline_misses: AtomicU64,
+    /// Decode panics caught (and isolated) by this stream's serving workers.
+    worker_panics: AtomicU64,
+    /// Deterministic fault schedule injected into the serving workers and
+    /// feeders; `None` outside chaos tests.
+    #[cfg(any(test, feature = "chaos"))]
+    faults: Option<Arc<FaultPlan>>,
     /// Aggregated counters of windowed shots opened through
     /// [`StreamDecoder::begin_windowed_shot`]; each finished (or abandoned)
     /// [`crate::WindowedFeeder`] folds its session totals in here.
@@ -536,7 +646,11 @@ pub(crate) struct StreamShared {
 }
 
 impl StreamShared {
-    fn new(capacity: usize, servers: usize) -> Self {
+    fn new(
+        capacity: usize,
+        servers: usize,
+        #[cfg(any(test, feature = "chaos"))] faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         Self {
             state: Mutex::new(StreamState {
                 queue: VecDeque::with_capacity(capacity),
@@ -557,6 +671,11 @@ impl StreamShared {
             submitted: AtomicU64::new(0),
             decoded: AtomicU64::new(0),
             bank_switches: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            #[cfg(any(test, feature = "chaos"))]
+            faults,
             windowed: Arc::new(crate::window::WindowCounters::default()),
         }
     }
@@ -569,7 +688,11 @@ impl StreamShared {
     /// defers its first block allocation to the first `send` — which would
     /// put that allocation (and its page faults) inside the worker's decode
     /// loop, where it dominates per-shot cost at saturation.
-    fn push(&self, request: Request) -> Ticket {
+    fn push(
+        &self,
+        request: Request,
+        deadline: Option<ArmedDeadline>,
+    ) -> Result<Ticket, DecodeError> {
         let (reply, cell) = OutcomeCell::pair();
         let mut state = self.state.lock().expect("stream queue mutex poisoned");
         while state.queue.len() >= self.capacity && !state.closed {
@@ -577,16 +700,16 @@ impl StreamShared {
             state = self.space.wait(state).expect("stream queue mutex poisoned");
             state.waiting_producers -= 1;
         }
-        assert!(
-            !state.closed,
-            "submit on a closed stream (closed by close(), or every serving worker panicked)"
-        );
+        if state.closed {
+            return Err(DecodeError::StreamClosed);
+        }
         let index = state.next_index;
         state.next_index += 1;
         state.queue.push_back(StreamItem {
             index,
             request,
             reply,
+            deadline,
         });
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.events.fetch_add(1, Ordering::Relaxed);
@@ -595,19 +718,22 @@ impl StreamShared {
         if wake_worker {
             self.work.notify_one();
         }
-        Ticket { index, cell }
+        Ok(Ticket { index, cell })
     }
 
-    /// Enqueues a request if a slot is free; hands the request back when the
-    /// queue is full.
+    /// Enqueues a request if a slot is free; hands the request back when it
+    /// cannot be queued right now — the queue is full (or forced full by an
+    /// injected fault), or the stream is closed (permanently full).
     fn try_push(&self, request: Request) -> Result<Ticket, Request> {
         let (reply, cell) = OutcomeCell::pair();
+        #[cfg(any(test, feature = "chaos"))]
+        if let Some(plan) = &self.faults {
+            if plan.steal_queue_full() {
+                return Err(request);
+            }
+        }
         let mut state = self.state.lock().expect("stream queue mutex poisoned");
-        assert!(
-            !state.closed,
-            "submit on a closed stream (closed by close(), or every serving worker panicked)"
-        );
-        if state.queue.len() >= self.capacity {
+        if state.closed || state.queue.len() >= self.capacity {
             return Err(request);
         }
         let index = state.next_index;
@@ -616,6 +742,7 @@ impl StreamShared {
             index,
             request,
             reply,
+            deadline: None,
         });
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.events.fetch_add(1, Ordering::Relaxed);
@@ -630,7 +757,10 @@ impl StreamShared {
     /// Allocates a context slot and enqueues its ownership claim, blocking
     /// while the queue is at capacity. Returns the ticket plus the slot
     /// handle `(slot, generation)` for the feeder.
-    fn push_open_rounds(&self, expected: ObservableMask) -> (Ticket, usize, u64) {
+    fn push_open_rounds(
+        &self,
+        expected: ObservableMask,
+    ) -> Result<(Ticket, usize, u64), DecodeError> {
         let (reply, cell) = OutcomeCell::pair();
         let mut state = self.state.lock().expect("stream queue mutex poisoned");
         while state.queue.len() >= self.capacity && !state.closed {
@@ -638,10 +768,9 @@ impl StreamShared {
             state = self.space.wait(state).expect("stream queue mutex poisoned");
             state.waiting_producers -= 1;
         }
-        assert!(
-            !state.closed,
-            "submit on a closed stream (closed by close(), or every serving worker panicked)"
-        );
+        if state.closed {
+            return Err(DecodeError::StreamClosed);
+        }
         let index = state.next_index;
         state.next_index += 1;
         let (slot, generation) = state.contexts.allocate(index, expected, reply.clone());
@@ -649,6 +778,7 @@ impl StreamShared {
             index,
             request: Request::OpenRounds { slot },
             reply,
+            deadline: None,
         });
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.events.fetch_add(1, Ordering::Relaxed);
@@ -657,19 +787,34 @@ impl StreamShared {
         if wake_worker {
             self.work.notify_one();
         }
-        (Ticket { index, cell }, slot, generation)
+        Ok((Ticket { index, cell }, slot, generation))
     }
 
     /// Routes one measurement round to context `slot`: buffers it (into a
     /// recycled round buffer — no allocation at steady state, with
     /// duplicate defects within the round dropped) and, when the serving
     /// backends ingest eagerly and the context has an owner, wakes that
-    /// owner through its mailbox. Rounds for a closed stream or a recycled
-    /// slot are silently dropped (the shot already completed).
-    fn push_context_round(&self, slot: usize, generation: u64, defects: &[VertexIndex]) {
+    /// owner through its mailbox. Rounds for a closed stream, a recycled
+    /// slot, or a finished context report [`DecodeError::FeederClosed`] —
+    /// the shot already completed (or was failed by a worker panic), so the
+    /// round cannot reach it.
+    fn push_context_round(
+        &self,
+        slot: usize,
+        generation: u64,
+        defects: &[VertexIndex],
+    ) -> Result<(), DecodeError> {
         let mut state = self.state.lock().expect("stream queue mutex poisoned");
         if state.closed {
-            return;
+            return Err(DecodeError::FeederClosed);
+        }
+        {
+            let Some(ctx) = state.contexts.ctx_mut_checked(slot, generation) else {
+                return Err(DecodeError::FeederClosed);
+            };
+            if ctx.finished {
+                return Err(DecodeError::FeederClosed);
+            }
         }
         let mut round = state.round_pool.pop().unwrap_or_default();
         round.clear();
@@ -680,12 +825,10 @@ impl StreamShared {
         }
         let eager = self.eager_routing.load(Ordering::Relaxed);
         let owner_to_wake = {
-            let Some(ctx) = state.contexts.ctx_mut_checked(slot, generation) else {
-                return;
-            };
-            if ctx.finished {
-                return;
-            }
+            let ctx = state
+                .contexts
+                .ctx_mut_checked(slot, generation)
+                .expect("liveness checked above");
             ctx.defect_count += round.len();
             ctx.rounds.push_back(round);
             match ctx.owner {
@@ -712,6 +855,7 @@ impl StreamShared {
             // that re-parks without draining this mailbox
             self.work.notify_all();
         }
+        Ok(())
     }
 
     /// Returns drained round buffers to the recycle pool in one batch (one
@@ -823,6 +967,9 @@ impl StreamShared {
             windows_decoded: self.windowed.windows_decoded.load(Ordering::Relaxed),
             seam_redecodes: self.windowed.seam_redecodes.load(Ordering::Relaxed),
             max_resident_rounds: self.windowed.max_resident_rounds.load(Ordering::Relaxed),
+            degraded_shots: self.degraded.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
 
@@ -885,9 +1032,12 @@ impl StreamShared {
             backend,
             current: None,
         };
-        let mut items: Vec<StreamItem> = Vec::new();
+        let mut items: VecDeque<StreamItem> = VecDeque::new();
         let mut scratch: VecDeque<Vec<VertexIndex>> = VecDeque::new();
         let mut used: Vec<Vec<VertexIndex>> = Vec::new();
+        // union-find fallback for deadline-degraded shots, built on first
+        // miss only — deadline-free streams never pay for it
+        let mut fallback: Option<Box<dyn DecoderBackend>> = None;
         loop {
             let work = self.next_work(server, &mut items);
             match work {
@@ -897,59 +1047,260 @@ impl StreamShared {
                     return ServeOutcome::Idle;
                 }
                 Work::Context(slot) => {
-                    self.pump(
-                        &mut seat,
-                        slot,
-                        eager,
-                        supports_rounds,
-                        num_layers,
-                        &mut scratch,
-                        &mut used,
-                    );
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        self.pump(
+                            &mut seat,
+                            slot,
+                            eager,
+                            supports_rounds,
+                            num_layers,
+                            &mut scratch,
+                            &mut used,
+                        );
+                    }));
+                    if let Err(payload) = caught {
+                        let message = crate::pipeline::panic_message(payload);
+                        self.poison_server(server, Some(slot), &mut items, &message);
+                        return ServeOutcome::Poisoned;
+                    }
                 }
                 Work::Items => {
-                    for item in items.drain(..) {
-                        match item.request {
-                            Request::Shot(shot) => {
-                                seat.park(self);
-                                let outcome = decode_one(seat.backend, item.index, &shot);
-                                self.decoded.fetch_add(1, Ordering::Relaxed);
-                                // the ticket may have been dropped; the
-                                // decode still counts
-                                item.reply.deliver(outcome);
-                            }
-                            Request::Seeded { seed } => {
-                                seat.park(self);
-                                let mut rng = shot_rng(seed, item.index as u64);
-                                let shot = sampler.sample(&mut rng);
-                                let outcome = decode_one(seat.backend, item.index, &shot);
-                                self.decoded.fetch_add(1, Ordering::Relaxed);
-                                item.reply.deliver(outcome);
-                            }
-                            Request::OpenRounds { slot } => {
-                                {
-                                    let mut state =
-                                        self.state.lock().expect("stream queue mutex poisoned");
-                                    if let Some(ctx) = state.contexts.ctx_mut(slot) {
-                                        ctx.owner = Some(server);
-                                    }
+                    while let Some(item) = items.pop_front() {
+                        let StreamItem {
+                            index,
+                            request,
+                            reply,
+                            deadline,
+                        } = item;
+                        let pumped_slot = match &request {
+                            Request::OpenRounds { slot } => Some(*slot),
+                            _ => None,
+                        };
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            match request {
+                                Request::Shot(shot) => {
+                                    #[cfg(any(test, feature = "chaos"))]
+                                    self.inject_shot_fault(server);
+                                    seat.park(self);
+                                    self.decode_queued(
+                                        seat.backend,
+                                        &mut fallback,
+                                        graph,
+                                        index,
+                                        &shot,
+                                        deadline,
+                                        &reply,
+                                    );
                                 }
-                                // rounds (or a finish) may already have
-                                // buffered before the claim: process them now
-                                self.pump(
-                                    &mut seat,
-                                    slot,
-                                    eager,
-                                    supports_rounds,
-                                    num_layers,
-                                    &mut scratch,
-                                    &mut used,
-                                );
+                                Request::Seeded { seed } => {
+                                    #[cfg(any(test, feature = "chaos"))]
+                                    self.inject_shot_fault(server);
+                                    seat.park(self);
+                                    let mut rng = shot_rng(seed, index as u64);
+                                    let shot = sampler.sample(&mut rng);
+                                    self.decode_queued(
+                                        seat.backend,
+                                        &mut fallback,
+                                        graph,
+                                        index,
+                                        &shot,
+                                        deadline,
+                                        &reply,
+                                    );
+                                }
+                                Request::OpenRounds { slot } => {
+                                    {
+                                        let mut state =
+                                            self.state.lock().expect("stream queue mutex poisoned");
+                                        if let Some(ctx) = state.contexts.ctx_mut(slot) {
+                                            ctx.owner = Some(server);
+                                        }
+                                    }
+                                    // rounds (or a finish) may already have
+                                    // buffered before the claim: process them
+                                    // now
+                                    self.pump(
+                                        &mut seat,
+                                        slot,
+                                        eager,
+                                        supports_rounds,
+                                        num_layers,
+                                        &mut scratch,
+                                        &mut used,
+                                    );
+                                }
                             }
+                        }));
+                        if let Err(payload) = caught {
+                            let message = crate::pipeline::panic_message(payload);
+                            // only the panicking shot's outcome is lost;
+                            // its ticket carries the typed error
+                            reply.fail(DecodeError::WorkerPanic {
+                                message: message.clone(),
+                            });
+                            self.poison_server(server, pumped_slot, &mut items, &message);
+                            return ServeOutcome::Poisoned;
                         }
                     }
                 }
             }
+        }
+    }
+
+    /// Consults the fault plan before decoding a queued shot; a scheduled
+    /// [`ShotFault::Panic`] unwinds into the per-item isolation scope
+    /// exactly like a backend bug would.
+    #[cfg(any(test, feature = "chaos"))]
+    fn inject_shot_fault(&self, server: usize) {
+        if let Some(plan) = &self.faults {
+            match plan.next_shot_fault(server) {
+                ShotFault::Panic => panic!("chaos: injected panic (stream server {server})"),
+                ShotFault::Delay(delay) => std::thread::sleep(delay),
+                ShotFault::None => {}
+            }
+        }
+    }
+
+    /// Decodes one queued (materialized) shot, honoring its deadline:
+    /// already-expired shots skip the exact decode entirely, and shots whose
+    /// deadline passes mid-decode ([`DecoderBackend::deadline_was_hit`])
+    /// complete per their [`DeadlineFallback`] instead of stalling.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_queued(
+        &self,
+        backend: &mut dyn DecoderBackend,
+        fallback: &mut Option<Box<dyn DecoderBackend>>,
+        graph: &Arc<DecodingGraph>,
+        index: usize,
+        shot: &Shot,
+        deadline: Option<ArmedDeadline>,
+        reply: &OutcomeSender,
+    ) {
+        let Some(dl) = deadline else {
+            let outcome = decode_one(backend, index, shot);
+            self.decoded.fetch_add(1, Ordering::Relaxed);
+            // the ticket may have been dropped; the decode still counts
+            reply.deliver(outcome);
+            return;
+        };
+        if Instant::now() >= dl.at {
+            // expired while queued: the exact decode cannot possibly land
+            self.miss_deadline(fallback, graph, index, shot, &dl, reply);
+            return;
+        }
+        backend.set_deadline(Some(dl.at));
+        let outcome = decode_one(backend, index, shot);
+        // read the abort flag before disarming: clearing the deadline also
+        // clears it
+        let missed = backend.deadline_was_hit();
+        backend.set_deadline(None);
+        if missed {
+            self.miss_deadline(fallback, graph, index, shot, &dl, reply);
+            return;
+        }
+        self.decoded.fetch_add(1, Ordering::Relaxed);
+        reply.deliver(outcome);
+    }
+
+    /// Completes a deadline-missed shot per its policy: a typed
+    /// [`DecodeError::DeadlineExceeded`] failure, or a bounded-latency
+    /// union-find decode tagged [`ShotOutcome::degraded`].
+    fn miss_deadline(
+        &self,
+        fallback: &mut Option<Box<dyn DecoderBackend>>,
+        graph: &Arc<DecodingGraph>,
+        index: usize,
+        shot: &Shot,
+        dl: &ArmedDeadline,
+        reply: &OutcomeSender,
+    ) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        match dl.fallback {
+            DeadlineFallback::Fail => {
+                reply.fail(DecodeError::DeadlineExceeded {
+                    deadline: dl.budget,
+                });
+            }
+            DeadlineFallback::DegradeToUnionFind => {
+                let backend = fallback
+                    .get_or_insert_with(|| BackendSpec::union_find().build(Arc::clone(graph)));
+                let mut outcome = decode_one(backend.as_mut(), index, shot);
+                outcome.degraded = true;
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                self.decoded.fetch_add(1, Ordering::Relaxed);
+                reply.deliver(outcome);
+            }
+        }
+    }
+
+    /// Contains the blast radius of a decode panic on `server`: unclaimed
+    /// queue items go back to the queue front (their decode on a healthy
+    /// backend is bit-identical), contexts whose engine or banked state died
+    /// with the poisoned backend fail typed, and untouched contexts owned by
+    /// this server are re-queued for the respawned backend. `in_flight`
+    /// names the context being pumped when the panic hit, if any — it is
+    /// always failed, so a context whose decode deterministically panics
+    /// cannot wedge the worker in a panic/respawn retry loop.
+    fn poison_server(
+        &self,
+        server: usize,
+        in_flight: Option<usize>,
+        items: &mut VecDeque<StreamItem>,
+        message: &str,
+    ) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        let mut casualties: Vec<OutcomeSender> = Vec::new();
+        {
+            let mut state = self.state.lock().expect("stream queue mutex poisoned");
+            while let Some(item) = items.pop_back() {
+                state.queue.push_front(item);
+            }
+            // rebuild this server's mailbox from its surviving contexts
+            state.contexts.mailboxes[server].clear();
+            for slot in 0..state.contexts.entries.len() {
+                let Some(ctx) = state.contexts.entries[slot].ctx.as_ref() else {
+                    continue;
+                };
+                if ctx.owner != Some(server) {
+                    continue;
+                }
+                let doomed = in_flight == Some(slot) || ctx.started || ctx.banked;
+                if doomed {
+                    let was_finished = ctx.finished;
+                    let ctx = state
+                        .contexts
+                        .release(slot)
+                        .expect("occupancy checked above");
+                    if !was_finished {
+                        state.contexts.unfinished -= 1;
+                    }
+                    casualties.push(ctx.reply);
+                } else {
+                    let has_work = ctx.finished || !ctx.rounds.is_empty();
+                    let ctx = state
+                        .contexts
+                        .ctx_mut(slot)
+                        .expect("occupancy checked above");
+                    ctx.queued = has_work;
+                    if has_work {
+                        state.contexts.mailboxes[server].push_back(slot);
+                    }
+                }
+            }
+            self.events.fetch_add(1, Ordering::Relaxed);
+            let wake = state.waiting_workers > 0;
+            drop(state);
+            if wake {
+                self.work.notify_all();
+            }
+        }
+        // deliver failures after dropping the state lock (lock order:
+        // state → outcome cell)
+        let error = DecodeError::WorkerPanic {
+            message: message.to_string(),
+        };
+        for reply in casualties {
+            reply.fail(error.clone());
         }
     }
 
@@ -967,7 +1318,7 @@ impl StreamShared {
     /// producer's submit skips its futex-wake syscall and neither side
     /// pays the park/wake context switch that would otherwise dominate
     /// per-shot cost whenever the worker outruns the producer.
-    fn next_work(&self, server: usize, items: &mut Vec<StreamItem>) -> Work {
+    fn next_work(&self, server: usize, items: &mut VecDeque<StreamItem>) -> Work {
         const SPIN_CHEAP: u32 = 64;
         const SPIN_TOTAL: u32 = 256;
         loop {
@@ -1263,6 +1614,7 @@ impl StreamShared {
             expected_observable: ctx.expected,
             latency_ns: outcome.latency_ns,
             breakdown: outcome.breakdown,
+            degraded: false,
         };
         self.decoded.fetch_add(1, Ordering::Relaxed);
         // the ticket may have been dropped; the decode still counts
@@ -1291,19 +1643,19 @@ impl Ticket {
         self.index
     }
 
-    /// Blocks until the shot has been decoded.
-    ///
-    /// # Panics
-    /// If the shot was abandoned: every worker serving the stream panicked,
-    /// or the stream was dropped before this shot was decoded.
-    pub fn recv(self) -> ShotOutcome {
+    /// Blocks until the shot has been resolved: `Ok` with its decoded
+    /// outcome, or a typed [`DecodeError`] when the shot could not be
+    /// decoded — its worker panicked ([`DecodeError::WorkerPanic`]), its
+    /// deadline expired under a [`DeadlineFallback::Fail`] policy
+    /// ([`DecodeError::DeadlineExceeded`]), or the stream was torn down with
+    /// the shot still pending ([`DecodeError::Abandoned`]).
+    pub fn recv(self) -> Result<ShotOutcome, DecodeError> {
         let mut state = self.cell.state.lock().expect("outcome cell mutex poisoned");
         loop {
             match std::mem::replace(&mut *state, CellState::Abandoned) {
-                CellState::Ready(outcome) => return outcome,
-                CellState::Abandoned => {
-                    panic!("stream shot {} was abandoned before decoding", self.index)
-                }
+                CellState::Ready(outcome) => return Ok(outcome),
+                CellState::Failed(error) => return Err(error),
+                CellState::Abandoned => return Err(DecodeError::Abandoned),
                 CellState::Pending => {
                     *state = CellState::Pending;
                     // under the lock: a deliverer that misses this increment
@@ -1321,18 +1673,15 @@ impl Ticket {
         }
     }
 
-    /// Returns the outcome if it is already available, `None` otherwise.
-    ///
-    /// # Panics
-    /// Like [`Self::recv`], if the shot was abandoned (or its outcome was
-    /// already taken by an earlier call).
-    pub fn try_recv(&self) -> Option<ShotOutcome> {
+    /// Returns the shot's resolution if it is already available (see
+    /// [`Self::recv`] for the error cases), `None` while it is still
+    /// pending.
+    pub fn try_recv(&self) -> Option<Result<ShotOutcome, DecodeError>> {
         let mut state = self.cell.state.lock().expect("outcome cell mutex poisoned");
         match std::mem::replace(&mut *state, CellState::Abandoned) {
-            CellState::Ready(outcome) => Some(outcome),
-            CellState::Abandoned => {
-                panic!("stream shot {} was abandoned before decoding", self.index)
-            }
+            CellState::Ready(outcome) => Some(Ok(outcome)),
+            CellState::Failed(error) => Some(Err(error)),
+            CellState::Abandoned => Some(Err(DecodeError::Abandoned)),
             CellState::Pending => {
                 *state = CellState::Pending;
                 None
@@ -1341,10 +1690,17 @@ impl Ticket {
     }
 }
 
-/// Error returned by [`StreamDecoder::try_submit`] when the queue is full;
-/// hands the shot back to the producer.
+/// Error returned by [`StreamDecoder::try_submit`].
 #[derive(Debug)]
-pub struct QueueFull(pub Shot);
+pub enum TrySubmitError {
+    /// The bounded queue is full — or the stream is closed (permanently
+    /// full). The shot is handed back for a later retry or a blocking
+    /// [`StreamDecoder::submit`].
+    Full(Shot),
+    /// The shot failed defect validation and was not queued
+    /// ([`DecodeError::InvalidDefect`]).
+    Invalid(DecodeError),
+}
 
 /// Incremental submission of one shot, round by round.
 ///
@@ -1353,15 +1709,28 @@ pub struct QueueFull(pub Shot);
 /// its ownership claim). Push each measurement round as it arrives, then
 /// call [`RoundFeeder::finish`] for the ticket. Rounds are the decoding
 /// graph's fusion layers, in order; pushing fewer rounds than the graph has
-/// layers leaves the remaining layers empty, pushing more panics the
-/// decoding worker. Dropping the feeder without `finish` — or closing the
-/// stream while the feeder is open — completes the shot with the rounds
+/// layers leaves the remaining layers empty. Each push is validated up
+/// front — out-of-range, virtual, or wrong-layer defects and overflowing
+/// rounds report a typed [`DecodeError`] *before* anything reaches a
+/// decoding worker, and a rejected round is not consumed (the feeder still
+/// expects that round). Dropping the feeder without `finish` — or closing
+/// the stream while the feeder is open — completes the shot with the rounds
 /// pushed so far and frees its context slot (and bank) for reuse.
 pub struct RoundFeeder {
     slot: usize,
     generation: u64,
     ticket: Option<Ticket>,
     shared: Arc<StreamShared>,
+    graph: Arc<DecodingGraph>,
+    /// Rounds accepted so far — the layer the next push must target.
+    pushed: usize,
+    /// This feeder's creation-order id on the fault plan.
+    #[cfg(any(test, feature = "chaos"))]
+    feeder_seq: u64,
+    /// Payload stashed by a [`RoundFault::Reorder`] injection, delivered
+    /// (one round late) by the next push.
+    #[cfg(any(test, feature = "chaos"))]
+    held: Option<Vec<VertexIndex>>,
 }
 
 impl std::fmt::Debug for RoundFeeder {
@@ -1369,6 +1738,7 @@ impl std::fmt::Debug for RoundFeeder {
         f.debug_struct("RoundFeeder")
             .field("slot", &self.slot)
             .field("ticket", &self.ticket)
+            .field("pushed", &self.pushed)
             .finish_non_exhaustive()
     }
 }
@@ -1376,20 +1746,145 @@ impl std::fmt::Debug for RoundFeeder {
 impl RoundFeeder {
     /// Pushes the defect vertices observed in the next measurement round.
     ///
+    /// Validates before queueing anything: every defect must name a
+    /// physical (non-virtual) vertex of the decoding graph that belongs to
+    /// this round's fusion layer, and the graph must have a layer left for
+    /// the round ([`DecodeError::InvalidDefect`],
+    /// [`DecodeError::LayerOverflow`]). A rejected round is not consumed —
+    /// the feeder still expects the same round, so a producer can fix its
+    /// packet and retry. Rounds pushed after the shot completed — the
+    /// stream was closed (force-finishing the shot) or a worker panic
+    /// failed it — report [`DecodeError::FeederClosed`].
+    ///
     /// Repeated defect indices within the round are deduplicated: a
     /// duplicated syndrome bit is still one defect, and forwarding it twice
     /// would double-count it in the shot's defect tally (and double-load it
     /// into backends without their own dedupe).
     ///
-    /// Rounds pushed after the stream was closed (which force-finishes the
-    /// shot) are silently dropped.
-    ///
     /// Allocation-free at steady state: the round buffers cycle through a
     /// free list shared with the serving workers, so a long-running feeder
     /// does not allocate per round.
-    pub fn push_round(&mut self, defects: &[VertexIndex]) {
+    pub fn push_round(&mut self, defects: &[VertexIndex]) -> Result<(), DecodeError> {
+        #[cfg(any(test, feature = "chaos"))]
+        if let Some(plan) = self.shared.faults.clone() {
+            return self.push_round_faulted(&plan, defects);
+        }
+        self.validate(defects)?;
+        self.deliver(defects)
+    }
+
+    /// Checks `defects` against the round this feeder expects next.
+    fn validate(&self, defects: &[VertexIndex]) -> Result<(), DecodeError> {
+        let num_layers = self.graph.num_layers();
+        if self.pushed >= num_layers {
+            return Err(DecodeError::LayerOverflow {
+                round: self.pushed,
+                num_layers,
+            });
+        }
+        let vertex_count = self.graph.vertex_count();
+        for &defect in defects {
+            if defect >= vertex_count {
+                return Err(DecodeError::InvalidDefect {
+                    defect,
+                    reason: InvalidDefectReason::OutOfRange { vertex_count },
+                });
+            }
+            if self.graph.is_virtual(defect) {
+                return Err(DecodeError::InvalidDefect {
+                    defect,
+                    reason: InvalidDefectReason::Virtual,
+                });
+            }
+            let layer = self.graph.layer_of(defect);
+            if layer != self.pushed {
+                return Err(DecodeError::InvalidDefect {
+                    defect,
+                    reason: InvalidDefectReason::WrongRound {
+                        round: self.pushed,
+                        layer,
+                    },
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes an already-validated round and advances the round counter.
+    fn deliver(&mut self, defects: &[VertexIndex]) -> Result<(), DecodeError> {
         self.shared
-            .push_context_round(self.slot, self.generation, defects);
+            .push_context_round(self.slot, self.generation, defects)?;
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// The fault-injected push path: mutates the *delivery* (never the
+    /// caller's payload), so every corruption a real transport could
+    /// introduce flows through the same validation a misbehaving producer
+    /// would hit. Deterministic given the plan.
+    #[cfg(any(test, feature = "chaos"))]
+    fn push_round_faulted(
+        &mut self,
+        plan: &FaultPlan,
+        defects: &[VertexIndex],
+    ) -> Result<(), DecodeError> {
+        // flush a payload held by an earlier Reorder fault: arriving one
+        // round late, a non-empty packet bounces off the layer validation
+        // and is lost — exactly how the service must treat out-of-order
+        // delivery. An empty late packet carries no defects (and would
+        // otherwise steal the next round's slot), so it simply evaporates.
+        if let Some(held) = self.held.take() {
+            if !held.is_empty() && self.validate(&held).is_ok() {
+                self.deliver(&held)?;
+            }
+        }
+        self.validate(defects)?;
+        match plan.fault_for_round(self.feeder_seq, self.pushed) {
+            None => self.deliver(defects),
+            Some(RoundFault::Drop) => self.deliver(&[]),
+            Some(RoundFault::Corrupt) => {
+                let corrupted = self.corrupt(defects);
+                self.deliver(&corrupted)
+            }
+            Some(RoundFault::Duplicate) => {
+                self.deliver(defects)?;
+                // the duplicate delivery targets the *next* round, where a
+                // non-empty payload fails the layer validation and is
+                // discarded; an empty duplicate carries no defects (and
+                // would otherwise steal a round slot), so it is not resent
+                if !defects.is_empty() && self.validate(defects).is_ok() {
+                    self.deliver(defects)?;
+                }
+                Ok(())
+            }
+            Some(RoundFault::Reorder) => {
+                self.held = Some(defects.to_vec());
+                self.deliver(&[])
+            }
+        }
+    }
+
+    /// Deterministically remaps each defect to a different physical vertex
+    /// of the same layer (falling back to the original when the layer has
+    /// no other vertex) — a corrupted-but-plausible syndrome packet.
+    #[cfg(any(test, feature = "chaos"))]
+    fn corrupt(&self, defects: &[VertexIndex]) -> Vec<VertexIndex> {
+        let n = self.graph.vertex_count();
+        defects
+            .iter()
+            .map(|&d| {
+                let layer = self.graph.layer_of(d);
+                (1..n)
+                    .map(|step| (d + step) % n)
+                    .find(|&v| !self.graph.is_virtual(v) && self.graph.layer_of(v) == layer)
+                    .unwrap_or(d)
+            })
+            .collect()
+    }
+
+    /// Rounds accepted so far (the layer the next push must target).
+    pub fn rounds_pushed(&self) -> usize {
+        self.pushed
     }
 
     /// Marks the shot complete and returns its ticket.
@@ -1443,6 +1938,16 @@ pub struct StreamStats {
     /// independent of the stream length (the bounded-memory guarantee,
     /// observable).
     pub max_resident_rounds: u64,
+    /// Shots completed by the union-find degradation fallback after missing
+    /// their deadline (their outcomes carry [`ShotOutcome::degraded`]).
+    pub degraded_shots: u64,
+    /// Shots whose deadline expired before their exact decode finished —
+    /// degraded or failed, per their [`DeadlineFallback`].
+    pub deadline_misses: u64,
+    /// Decode panics caught and isolated by this stream's serving workers;
+    /// each one failed exactly the shots whose state died with the poisoned
+    /// backend and was followed by a backend respawn.
+    pub worker_panics: u64,
 }
 
 /// Configuration builder for a [`StreamDecoder`].
@@ -1453,6 +1958,8 @@ pub struct StreamBuilder {
     workers: usize,
     capacity: Option<usize>,
     pool: Option<Arc<DecodePool>>,
+    #[cfg(any(test, feature = "chaos"))]
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl StreamBuilder {
@@ -1479,6 +1986,15 @@ impl StreamBuilder {
         self
     }
 
+    /// Injects a deterministic [`FaultPlan`] into this stream's serving
+    /// workers and feeders — the chaos harness's entry point. Only
+    /// compiled under `cfg(any(test, feature = "chaos"))`.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Spawns the stream: submits the long-lived job to the pool, whose
     /// participating workers start serving the queue and the context
     /// mailboxes.
@@ -1489,6 +2005,13 @@ impl StreamBuilder {
         };
         let participants = self.workers.clamp(1, pool_ref.workers());
         let capacity = self.capacity.unwrap_or_else(|| (2 * participants).max(8));
+        #[cfg(any(test, feature = "chaos"))]
+        let shared = Arc::new(StreamShared::new(
+            capacity,
+            participants,
+            self.faults.clone(),
+        ));
+        #[cfg(not(any(test, feature = "chaos")))]
         let shared = Arc::new(StreamShared::new(capacity, participants));
         let job = Arc::new(JobState::new_stream(
             self.spec.clone(),
@@ -1551,6 +2074,8 @@ impl StreamDecoder {
             workers,
             capacity: None,
             pool: None,
+            #[cfg(any(test, feature = "chaos"))]
+            faults: None,
         }
     }
 
@@ -1560,19 +2085,64 @@ impl StreamDecoder {
         Self::builder(spec, graph).start()
     }
 
+    /// Validates a shot's defect indices against the decoding graph before
+    /// anything is queued: every defect must name a physical (non-virtual)
+    /// vertex.
+    fn validate_shot(&self, shot: &Shot) -> Result<(), DecodeError> {
+        let vertex_count = self.graph.vertex_count();
+        for &defect in &shot.syndrome.defects {
+            if defect >= vertex_count {
+                return Err(DecodeError::InvalidDefect {
+                    defect,
+                    reason: InvalidDefectReason::OutOfRange { vertex_count },
+                });
+            }
+            if self.graph.is_virtual(defect) {
+                return Err(DecodeError::InvalidDefect {
+                    defect,
+                    reason: InvalidDefectReason::Virtual,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Submits a fully materialized shot; blocks while the queue is full
-    /// (backpressure).
-    pub fn submit(&self, shot: Shot) -> Ticket {
-        self.shared.push(Request::Shot(shot))
+    /// (backpressure). Defect indices are validated up front
+    /// ([`DecodeError::InvalidDefect`]) so a malformed shot never reaches a
+    /// decoding worker; a closed stream reports
+    /// [`DecodeError::StreamClosed`].
+    pub fn submit(&self, shot: Shot) -> Result<Ticket, DecodeError> {
+        self.validate_shot(&shot)?;
+        self.shared.push(Request::Shot(shot), None)
+    }
+
+    /// [`Self::submit`] with a per-shot [`DeadlinePolicy`]: the clock starts
+    /// now, and a shot that cannot finish its exact decode inside the
+    /// budget completes per the policy's [`DeadlineFallback`] instead of
+    /// stalling the stream.
+    pub fn submit_with_deadline(
+        &self,
+        shot: Shot,
+        policy: DeadlinePolicy,
+    ) -> Result<Ticket, DecodeError> {
+        self.validate_shot(&shot)?;
+        self.shared
+            .push(Request::Shot(shot), Some(ArmedDeadline::arm(policy)))
     }
 
     /// Non-blocking [`Self::submit`]: hands the shot back inside
-    /// [`QueueFull`] instead of waiting for a free slot.
-    pub fn try_submit(&self, shot: Shot) -> Result<Ticket, QueueFull> {
+    /// [`TrySubmitError::Full`] instead of waiting for a free slot (a
+    /// closed stream is permanently full). Defects are validated like
+    /// [`Self::submit`].
+    pub fn try_submit(&self, shot: Shot) -> Result<Ticket, TrySubmitError> {
+        if let Err(error) = self.validate_shot(&shot) {
+            return Err(TrySubmitError::Invalid(error));
+        }
         self.shared
             .try_push(Request::Shot(shot))
             .map_err(|request| match request {
-                Request::Shot(shot) => QueueFull(shot),
+                Request::Shot(shot) => TrySubmitError::Full(shot),
                 _ => unreachable!("try_submit only queues explicit shots"),
             })
     }
@@ -1581,28 +2151,54 @@ impl StreamDecoder {
     /// `shot_rng(seed, submission_index)` — the derivation
     /// [`crate::pipeline::ShardedPipeline::run_sampled`] uses, so `n` seeded
     /// submissions are bit-identical to a sampled batch of `n` shots.
-    /// Blocks while the queue is full.
-    pub fn submit_seeded(&self, seed: u64) -> Ticket {
-        self.shared.push(Request::Seeded { seed })
+    /// Blocks while the queue is full; a closed stream reports
+    /// [`DecodeError::StreamClosed`].
+    pub fn submit_seeded(&self, seed: u64) -> Result<Ticket, DecodeError> {
+        self.shared.push(Request::Seeded { seed }, None)
+    }
+
+    /// [`Self::submit_seeded`] with a per-shot [`DeadlinePolicy`] (see
+    /// [`Self::submit_with_deadline`]).
+    pub fn submit_seeded_with_deadline(
+        &self,
+        seed: u64,
+        policy: DeadlinePolicy,
+    ) -> Result<Ticket, DecodeError> {
+        self.shared
+            .push(Request::Seeded { seed }, Some(ArmedDeadline::arm(policy)))
     }
 
     /// Opens a round-wise submission: allocates a [`ContextPool`] slot and
     /// queues its ownership claim (blocking while the queue is full). The
     /// worker that claims the context folds each pushed round into that
     /// context's banked state as it arrives; any number of feeders may be
-    /// open concurrently, their shots completing out of order.
+    /// open concurrently, their shots completing out of order. A closed
+    /// stream reports [`DecodeError::StreamClosed`].
     ///
     /// `expected` is the ground-truth observable recorded in the outcome
     /// (pass 0 when unknown; [`ShotOutcome::is_logical_error`] is then
     /// meaningless for this shot).
-    pub fn begin_shot(&self, expected: ObservableMask) -> RoundFeeder {
-        let (ticket, slot, generation) = self.shared.push_open_rounds(expected);
-        RoundFeeder {
+    pub fn begin_shot(&self, expected: ObservableMask) -> Result<RoundFeeder, DecodeError> {
+        let (ticket, slot, generation) = self.shared.push_open_rounds(expected)?;
+        #[cfg(any(test, feature = "chaos"))]
+        let feeder_seq = self
+            .shared
+            .faults
+            .as_ref()
+            .map(|plan| plan.next_feeder_seq())
+            .unwrap_or(0);
+        Ok(RoundFeeder {
             slot,
             generation,
             ticket: Some(ticket),
             shared: Arc::clone(&self.shared),
-        }
+            graph: Arc::clone(&self.graph),
+            pushed: 0,
+            #[cfg(any(test, feature = "chaos"))]
+            feeder_seq,
+            #[cfg(any(test, feature = "chaos"))]
+            held: None,
+        })
     }
 
     /// Opens a *windowed* round submission: rounds pushed into the returned
@@ -1617,11 +2213,23 @@ impl StreamDecoder {
     ///
     /// The window plan for `config` is built on first use and cached on the
     /// decoder, so per-shot cost does not include view construction.
+    ///
+    /// A closed stream (the service shut down underneath this handle)
+    /// reports [`DecodeError::StreamClosed`].
     pub fn begin_windowed_shot(
         &self,
         config: crate::WindowConfig,
         expected: ObservableMask,
-    ) -> crate::WindowedFeeder {
+    ) -> Result<crate::WindowedFeeder, DecodeError> {
+        if self
+            .shared
+            .state
+            .lock()
+            .expect("stream queue mutex poisoned")
+            .closed
+        {
+            return Err(DecodeError::StreamClosed);
+        }
         let plan = {
             let mut plans = self
                 .windowed_plans
@@ -1636,14 +2244,14 @@ impl StreamDecoder {
                 }
             }
         };
-        crate::WindowedFeeder::new(
+        Ok(crate::WindowedFeeder::new(
             self.spec.clone(),
             Arc::clone(&self.graph),
             plan,
             self.pool.clone(),
             expected,
             Some(Arc::clone(&self.shared.windowed)),
-        )
+        ))
     }
 
     /// Round feeders currently open (shots begun but not finished).
@@ -1755,7 +2363,6 @@ mod tests {
     use crate::micro::MicroBlossomConfig;
     use crate::pipeline::ShardedPipeline;
     use mb_graph::codes::{CodeCapacityRotatedCode, PhenomenologicalCode};
-    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     fn rotated() -> Arc<DecodingGraph> {
         Arc::new(CodeCapacityRotatedCode::new(3, 0.04).decoding_graph())
@@ -1782,8 +2389,12 @@ mod tests {
             .workers(2)
             .pool(pool)
             .start();
-        let tickets: Vec<Ticket> = shots.iter().cloned().map(|s| stream.submit(s)).collect();
-        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(Ticket::recv).collect();
+        let tickets: Vec<Ticket> = shots
+            .iter()
+            .cloned()
+            .map(|s| stream.submit(s).unwrap())
+            .collect();
+        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(|t| t.recv().unwrap()).collect();
         let stats = stream.close();
         assert_eq!(stats.submitted, 40);
         assert_eq!(stats.decoded, 40);
@@ -1799,8 +2410,8 @@ mod tests {
             .pool(Arc::new(DecodePool::new(2)))
             .workers(2)
             .start();
-        let tickets: Vec<Ticket> = (0..30).map(|_| stream.submit_seeded(99)).collect();
-        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(Ticket::recv).collect();
+        let tickets: Vec<Ticket> = (0..30).map(|_| stream.submit_seeded(99).unwrap()).collect();
+        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(|t| t.recv().unwrap()).collect();
         stream.close();
         assert_eq!(outcomes, reference);
     }
@@ -1818,14 +2429,14 @@ mod tests {
         let tickets: Vec<Ticket> = shots
             .iter()
             .map(|shot| {
-                let mut feeder = stream.begin_shot(shot.observable);
+                let mut feeder = stream.begin_shot(shot.observable).unwrap();
                 for round in shot.syndrome.split_by_layer(&graph) {
-                    feeder.push_round(&round);
+                    feeder.push_round(&round).unwrap();
                 }
                 feeder.finish()
             })
             .collect();
-        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(Ticket::recv).collect();
+        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(|t| t.recv().unwrap()).collect();
         stream.close();
         assert_eq!(outcomes, reference);
     }
@@ -1843,14 +2454,14 @@ mod tests {
         let tickets: Vec<Ticket> = shots
             .iter()
             .map(|shot| {
-                let mut feeder = stream.begin_shot(shot.observable);
+                let mut feeder = stream.begin_shot(shot.observable).unwrap();
                 for round in shot.syndrome.split_by_layer(&graph) {
-                    feeder.push_round(&round);
+                    feeder.push_round(&round).unwrap();
                 }
                 feeder.finish()
             })
             .collect();
-        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(Ticket::recv).collect();
+        let outcomes: Vec<ShotOutcome> = tickets.into_iter().map(|t| t.recv().unwrap()).collect();
         stream.close();
         assert_eq!(outcomes, reference);
     }
@@ -1868,12 +2479,12 @@ mod tests {
             let stream = StreamDecoder::builder(spec, Arc::clone(&graph))
                 .pool(Arc::new(DecodePool::new(1)))
                 .start();
-            let mut deduped = stream.begin_shot(0);
-            deduped.push_round(&[defect, defect, defect]);
-            let got = deduped.finish().recv();
-            let mut clean = stream.begin_shot(0);
-            clean.push_round(&[defect]);
-            let want = clean.finish().recv();
+            let mut deduped = stream.begin_shot(0).unwrap();
+            deduped.push_round(&[defect, defect, defect]).unwrap();
+            let got = deduped.finish().recv().unwrap();
+            let mut clean = stream.begin_shot(0).unwrap();
+            clean.push_round(&[defect]).unwrap();
+            let want = clean.finish().recv().unwrap();
             assert_eq!(got.defects, 1, "duplicates must not inflate the tally");
             assert_eq!(got.decoded_observable, want.decoded_observable);
             assert_eq!(got.breakdown, want.breakdown);
@@ -1895,11 +2506,11 @@ mod tests {
         for shot in &shots {
             let layers = shot.syndrome.split_by_layer(&graph);
             let keep = layers.len() / 2;
-            let mut feeder = stream.begin_shot(0);
+            let mut feeder = stream.begin_shot(0).unwrap();
             for round in &layers[..keep] {
-                feeder.push_round(round);
+                feeder.push_round(round).unwrap();
             }
-            let streamed = feeder.finish().recv();
+            let streamed = feeder.finish().recv().unwrap();
             let partial: SyndromePattern = layers[..keep].iter().flatten().copied().collect();
             let sampler = ErrorSampler::new(&graph);
             let mut truncated = sampler.shot_from_edges(Vec::new());
@@ -1929,17 +2540,20 @@ mod tests {
         for shot in &shots {
             match stream.try_submit(shot.clone()) {
                 Ok(ticket) => tickets.push(ticket),
-                Err(QueueFull(shot)) => {
+                Err(TrySubmitError::Full(shot)) => {
                     saw_full = true;
                     // blocking submit applies backpressure and still queues
-                    tickets.push(stream.submit(shot));
+                    tickets.push(stream.submit(shot).unwrap());
+                }
+                Err(TrySubmitError::Invalid(error)) => {
+                    panic!("sampled shots are always valid: {error}")
                 }
             }
         }
         assert!(saw_full, "queue of capacity 2 never filled under a burst");
         assert!(stream.queue_depth() <= 2);
         for ticket in tickets {
-            ticket.recv();
+            ticket.recv().unwrap();
         }
         let stats = stream.close();
         assert_eq!(stats.submitted, stats.decoded);
@@ -1955,13 +2569,16 @@ mod tests {
             .workers(2)
             .queue_capacity(64)
             .start();
-        let tickets: Vec<Ticket> = shots.into_iter().map(|s| stream.submit(s)).collect();
+        let tickets: Vec<Ticket> = shots
+            .into_iter()
+            .map(|s| stream.submit(s).unwrap())
+            .collect();
         // close before receiving anything: it must wait for every decode
         let stats = stream.close();
         assert_eq!(stats.decoded, 30);
         // tickets resolve after the close
         for ticket in tickets {
-            ticket.recv();
+            ticket.recv().unwrap();
         }
     }
 
@@ -1971,10 +2588,10 @@ mod tests {
         let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
             .pool(Arc::new(DecodePool::new(1)))
             .start();
-        let feeder = stream.begin_shot(0);
+        let feeder = stream.begin_shot(0).unwrap();
         drop(feeder);
         // the shot completed as all-empty rounds; the stream stays usable
-        let outcome = stream.submit_seeded(4).recv();
+        let outcome = stream.submit_seeded(4).unwrap().recv().unwrap();
         assert_eq!(outcome.shot_index, 1);
         stream.close();
     }
@@ -1988,14 +2605,14 @@ mod tests {
         let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
             .pool(Arc::new(DecodePool::new(1)))
             .start();
-        let mut feeder = stream.begin_shot(0);
-        feeder.push_round(&[]);
+        let mut feeder = stream.begin_shot(0).unwrap();
+        feeder.push_round(&[]).unwrap();
         assert_eq!(stream.open_feeders(), 1);
         let stats = stream.close();
         assert_eq!(stats.decoded, 1);
         // the feeder is still usable afterwards; its shot completed with the
         // rounds pushed before the close
-        let outcome = feeder.finish().recv();
+        let outcome = feeder.finish().recv().unwrap();
         assert_eq!(outcome.shot_index, 0);
         assert_eq!(outcome.defects, 0);
     }
@@ -2006,61 +2623,252 @@ mod tests {
         let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), graph)
             .pool(Arc::new(DecodePool::new(1)))
             .start();
-        let feeder = stream.begin_shot(0);
+        let feeder = stream.begin_shot(0).unwrap();
         drop(stream); // must drain and return, not deadlock on the feeder
-        let outcome = feeder.finish().recv();
+        let outcome = feeder.finish().recv().unwrap();
         assert_eq!(outcome.shot_index, 0);
     }
 
     #[test]
-    fn submits_after_total_worker_loss_fail_fast() {
-        // when every serving worker has panicked, a blocking submit against
-        // the refilled queue could never return; the job's last participant
-        // poisons (closes) the stream so producers panic instead of hanging
+    fn panicking_decodes_fail_typed_and_the_stream_survives() {
+        // a deterministically-panicking backend must not wedge or kill the
+        // stream: every shot's panic is caught, its ticket fails with a
+        // typed WorkerPanic, the backend is respawned, and the queue keeps
+        // draining — a blocking producer never hangs against a dead stream
         let graph = rotated();
         let stream = StreamDecoder::builder(BackendSpec::PanicOnDecode, Arc::clone(&graph))
             .pool(Arc::new(DecodePool::new(1)))
             .workers(1)
             .queue_capacity(1)
             .start();
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            for _ in 0..100 {
-                stream.submit_seeded(1);
+        let tickets: Vec<Ticket> = (0..20).map(|_| stream.submit_seeded(1).unwrap()).collect();
+        for ticket in tickets {
+            match ticket.recv() {
+                Err(DecodeError::WorkerPanic { message }) => {
+                    assert!(message.contains("backend exploded"), "{message}");
+                }
+                other => panic!("expected WorkerPanic, got {other:?}"),
             }
-        }));
-        let payload = result.expect_err("submits against a dead stream must fail fast");
-        let message = payload
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .or_else(|| payload.downcast_ref::<&str>().copied())
-            .unwrap_or("");
-        assert!(message.contains("closed stream"), "{message}");
-        // the worker panic still surfaces at close
-        let close_result = catch_unwind(AssertUnwindSafe(|| stream.close()));
-        assert!(close_result.is_err());
+        }
+        let stats = stream.close();
+        assert_eq!(stats.submitted, 20);
+        assert_eq!(stats.decoded, 0);
+        assert_eq!(stats.worker_panics, 20);
     }
 
     #[test]
-    fn worker_panics_surface_at_close() {
+    fn worker_panics_leave_the_pool_usable() {
         let graph = rotated();
         let pool = Arc::new(DecodePool::new(1));
         let stream = StreamDecoder::builder(BackendSpec::PanicOnDecode, Arc::clone(&graph))
             .pool(Arc::clone(&pool))
             .workers(1)
             .start();
-        let ticket = stream.submit_seeded(1);
-        let result = catch_unwind(AssertUnwindSafe(|| stream.close()));
-        let payload = result.expect_err("worker panic must surface at close");
-        let message = payload
-            .downcast_ref::<String>()
-            .expect("panic payload is the formatted message");
-        assert!(message.contains("backend exploded"), "{message}");
-        // the abandoned ticket reports instead of hanging
-        let recv = catch_unwind(AssertUnwindSafe(|| ticket.recv()));
-        assert!(recv.is_err());
-        // the pool worker survives for future jobs
+        let ticket = stream.submit_seeded(1).unwrap();
+        assert!(matches!(
+            ticket.recv(),
+            Err(DecodeError::WorkerPanic { .. })
+        ));
+        let stats = stream.close();
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(pool.worker_panics(), 1);
+        assert!(pool.worker_respawns() >= 1);
+        // the pool worker survives (with a fresh backend) for future jobs
         let pipeline = ShardedPipeline::new(BackendSpec::union_find(), graph).with_pool(pool);
         assert_eq!(pipeline.run_sampled(5, 1).len(), 5);
+    }
+
+    #[test]
+    fn injected_stream_panics_spare_unrelated_shots() {
+        // chaos plan: worker 0's 4th decode panics; the other 19 shots must
+        // come back bit-identical to a fault-free batch run
+        let graph = rotated();
+        let shots = sample_shots(&graph, 20, 17);
+        let spec = BackendSpec::micro_full(Some(3));
+        let reference = ShardedPipeline::new(spec.clone(), Arc::clone(&graph)).run_shots(&shots);
+        let stream = StreamDecoder::builder(spec, Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .workers(1)
+            .fault_plan(Arc::new(FaultPlan::new().panic_worker(0, 3)))
+            .start();
+        let tickets: Vec<Ticket> = shots
+            .iter()
+            .cloned()
+            .map(|s| stream.submit(s).unwrap())
+            .collect();
+        let mut panics = 0;
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            match ticket.recv() {
+                Ok(outcome) => assert_eq!(outcome, reference[i], "shot {i} diverged"),
+                Err(DecodeError::WorkerPanic { message }) => {
+                    assert!(message.contains("chaos: injected panic"), "{message}");
+                    panics += 1;
+                }
+                Err(other) => panic!("unexpected error for shot {i}: {other}"),
+            }
+        }
+        assert_eq!(panics, 1, "exactly the planned shot panics");
+        let stats = stream.close();
+        assert_eq!(stats.decoded, 19);
+        assert_eq!(stats.worker_panics, 1);
+    }
+
+    #[test]
+    fn deadline_missed_shots_degrade_to_union_find() {
+        // an already-expired deadline with the degrade fallback: every shot
+        // is decoded by the union-find fallback, flagged `degraded`, and
+        // matches a plain union-find batch decode bit-for-bit
+        let graph = rotated();
+        let shots = sample_shots(&graph, 10, 23);
+        let fallback_reference =
+            ShardedPipeline::new(BackendSpec::union_find(), Arc::clone(&graph)).run_shots(&shots);
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .workers(1)
+            .start();
+        let policy = DeadlinePolicy::degrade_after(Duration::ZERO);
+        let tickets: Vec<Ticket> = shots
+            .iter()
+            .cloned()
+            .map(|s| stream.submit_with_deadline(s, policy).unwrap())
+            .collect();
+        for (ticket, want) in tickets.into_iter().zip(&fallback_reference) {
+            let outcome = ticket.recv().unwrap();
+            assert!(outcome.degraded, "missed deadline must flag degradation");
+            assert_eq!(outcome.decoded_observable, want.decoded_observable);
+        }
+        let stats = stream.close();
+        assert_eq!(stats.decoded, 10);
+        assert_eq!(stats.degraded_shots, 10);
+        assert_eq!(stats.deadline_misses, 10);
+    }
+
+    #[test]
+    fn deadline_fail_policy_rejects_late_shots() {
+        let graph = rotated();
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .workers(1)
+            .start();
+        let policy = DeadlinePolicy::fail_after(Duration::ZERO);
+        let ticket = stream.submit_seeded_with_deadline(5, policy).unwrap();
+        assert_eq!(
+            ticket.recv(),
+            Err(DecodeError::DeadlineExceeded {
+                deadline: Duration::ZERO
+            })
+        );
+        let stats = stream.close();
+        assert_eq!(stats.decoded, 0);
+        assert_eq!(stats.deadline_misses, 1);
+        assert_eq!(stats.degraded_shots, 0);
+    }
+
+    #[test]
+    fn submit_validates_defects_before_queueing() {
+        let graph = rotated();
+        let sampler = ErrorSampler::new(&graph);
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .start();
+        let mut shot = sampler.shot_from_edges(Vec::new());
+        shot.syndrome.defects = vec![graph.vertex_count()];
+        assert_eq!(
+            stream.submit(shot).map(|_| ()),
+            Err(DecodeError::InvalidDefect {
+                defect: graph.vertex_count(),
+                reason: InvalidDefectReason::OutOfRange {
+                    vertex_count: graph.vertex_count()
+                },
+            })
+        );
+        let virtual_vertex = (0..graph.vertex_count())
+            .find(|&v| graph.is_virtual(v))
+            .expect("rotated code has virtual boundary vertices");
+        let mut shot = sampler.shot_from_edges(Vec::new());
+        shot.syndrome.defects = vec![virtual_vertex];
+        assert_eq!(
+            stream.submit(shot).map(|_| ()),
+            Err(DecodeError::InvalidDefect {
+                defect: virtual_vertex,
+                reason: InvalidDefectReason::Virtual,
+            })
+        );
+        // rejected shots never entered the queue
+        let stats = stream.close();
+        assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn round_feeders_validate_layer_and_defects() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.02).decoding_graph());
+        let num_layers = graph.num_layers();
+        let layer1 = (0..graph.vertex_count())
+            .find(|&v| !graph.is_virtual(v) && graph.layer_of(v) == 1)
+            .unwrap();
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .start();
+        let mut feeder = stream.begin_shot(0).unwrap();
+        // a defect from the wrong measurement round is rejected, and the
+        // rejected round is NOT consumed: the feeder stays at round 0
+        assert_eq!(
+            feeder.push_round(&[layer1]),
+            Err(DecodeError::InvalidDefect {
+                defect: layer1,
+                reason: InvalidDefectReason::WrongRound { round: 0, layer: 1 },
+            })
+        );
+        assert_eq!(feeder.rounds_pushed(), 0);
+        // the corrected sequence is accepted where the bad round was
+        feeder.push_round(&[]).unwrap();
+        feeder.push_round(&[layer1]).unwrap();
+        for _ in 2..num_layers {
+            feeder.push_round(&[]).unwrap();
+        }
+        // feeding past the graph's layer count is a typed overflow
+        assert_eq!(
+            feeder.push_round(&[]),
+            Err(DecodeError::LayerOverflow {
+                round: num_layers,
+                num_layers,
+            })
+        );
+        feeder.finish().recv().unwrap();
+        stream.close();
+    }
+
+    #[test]
+    fn rounds_after_close_report_feeder_closed() {
+        let graph = Arc::new(PhenomenologicalCode::rotated(3, 3, 0.02).decoding_graph());
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(1)))
+            .start();
+        let mut feeder = stream.begin_shot(0).unwrap();
+        feeder.push_round(&[]).unwrap();
+        stream.close();
+        // the stream is gone: further rounds are a typed misuse error, not
+        // a panic or a hang
+        assert_eq!(feeder.push_round(&[]), Err(DecodeError::FeederClosed));
+        // the force-finished shot still resolves
+        feeder.finish().recv().unwrap();
+    }
+
+    #[test]
+    fn dropped_tickets_do_not_stall_the_stream() {
+        // fire-and-forget producers drop tickets before the decode lands;
+        // outcome cells must be abandoned cleanly, never blocking workers
+        let graph = rotated();
+        let stream = StreamDecoder::builder(BackendSpec::micro_full(Some(3)), Arc::clone(&graph))
+            .pool(Arc::new(DecodePool::new(2)))
+            .workers(2)
+            .queue_capacity(8)
+            .start();
+        for shot in sample_shots(&graph, 50, 3) {
+            drop(stream.submit(shot).unwrap());
+        }
+        let stats = stream.close();
+        assert_eq!(stats.decoded, 50);
     }
 
     #[test]
@@ -2119,7 +2927,7 @@ mod tests {
                     .start();
                 let mut feeders: Vec<RoundFeeder> = shots
                     .iter()
-                    .map(|shot| stream.begin_shot(shot.observable))
+                    .map(|shot| stream.begin_shot(shot.observable).unwrap())
                     .collect();
                 #[allow(clippy::needless_range_loop)] // `layer` also drives the shuffle
                 for layer in 0..num_layers {
@@ -2131,12 +2939,12 @@ mod tests {
                         order.reverse();
                     }
                     for &s in &order {
-                        feeders[s].push_round(&layers[s][layer]);
+                        feeders[s].push_round(&layers[s][layer]).unwrap();
                     }
                 }
                 let tickets: Vec<Ticket> = feeders.drain(..).map(RoundFeeder::finish).collect();
                 let mut interleaved: Vec<ShotOutcome> =
-                    tickets.into_iter().map(Ticket::recv).collect();
+                    tickets.into_iter().map(|t| t.recv().unwrap()).collect();
                 interleaved.sort_by_key(|o| o.shot_index);
                 let stats = stream.close();
                 assert_eq!(stats.contexts_peak, k as u64);
@@ -2148,11 +2956,11 @@ mod tests {
                         .pool(Arc::clone(&pool))
                         .workers(workers)
                         .start();
-                    let mut feeder = pinned_stream.begin_shot(shot.observable);
+                    let mut feeder = pinned_stream.begin_shot(shot.observable).unwrap();
                     for round in &layers[i] {
-                        feeder.push_round(round);
+                        feeder.push_round(round).unwrap();
                     }
-                    let pinned = feeder.finish().recv();
+                    let pinned = feeder.finish().recv().unwrap();
                     pinned_stream.close();
                     assert_outcome_eq(&interleaved[i], &pinned);
                 }
@@ -2202,10 +3010,10 @@ mod tests {
             .workers(1)
             .queue_capacity(16)
             .start();
-        let mut feeders = [stream.begin_shot(0), stream.begin_shot(0)];
+        let mut feeders = [stream.begin_shot(0).unwrap(), stream.begin_shot(0).unwrap()];
         for &vertex in &by_layer {
             for feeder in feeders.iter_mut() {
-                feeder.push_round(&[vertex]);
+                feeder.push_round(&[vertex]).unwrap();
             }
             // both contexts keep at most their lookahead round buffered
             // before the next layer goes in: every earlier round was
@@ -2215,7 +3023,7 @@ mod tests {
             }
         }
         for feeder in feeders {
-            feeder.finish().recv();
+            feeder.finish().recv().unwrap();
         }
         let stats = stream.close();
         assert!(
@@ -2234,9 +3042,9 @@ mod tests {
             .queue_capacity(4096)
             .start();
         let n = 3000usize;
-        let mut feeders: Vec<RoundFeeder> = (0..n).map(|_| stream.begin_shot(0)).collect();
+        let mut feeders: Vec<RoundFeeder> = (0..n).map(|_| stream.begin_shot(0).unwrap()).collect();
         for feeder in feeders.iter_mut() {
-            feeder.push_round(&[]);
+            feeder.push_round(&[]).unwrap();
         }
         assert_eq!(stream.open_feeders(), n);
         let stats = stream.close();
@@ -2260,8 +3068,8 @@ mod tests {
             .workers(1)
             .start();
         for i in 0..100u64 {
-            let mut feeder = stream.begin_shot(0);
-            feeder.push_round(&[defect]);
+            let mut feeder = stream.begin_shot(0).unwrap();
+            feeder.push_round(&[defect]).unwrap();
             drop(feeder); // mid-stream drop completes the shot
             while stream.decoded() < i + 1 {
                 std::thread::yield_now();
@@ -2296,8 +3104,9 @@ mod tests {
                 .collect()
         };
         for (shot, &expected_obs) in shots.iter().zip(&reference) {
-            let mut feeder =
-                stream.begin_windowed_shot(crate::WindowConfig::new(3, 1), shot.observable);
+            let mut feeder = stream
+                .begin_windowed_shot(crate::WindowConfig::new(3, 1), shot.observable)
+                .unwrap();
             for round in shot.syndrome.split_by_layer(&graph) {
                 feeder.push_round(&round);
             }

@@ -50,6 +50,7 @@
 //! monolithic path.
 
 use crate::backend::BackendSpec;
+use crate::error::{DecodeError, InvalidDefectReason};
 use crate::outcome::LatencyBreakdown;
 use crate::pipeline::{DecodePool, JobState};
 use mb_blossom::PerfectMatching;
@@ -497,14 +498,72 @@ impl WindowedFeeder {
     ///
     /// # Panics
     /// If more rounds are pushed than the graph has layers, or a defect is
-    /// virtual or not of the round's layer.
+    /// virtual or not of the round's layer. Use [`Self::try_push_round`] for
+    /// a typed, non-panicking report of the same misuses.
     pub fn push_round(&mut self, defects: &[VertexIndex]) {
-        assert!(
-            self.next_round < self.graph.num_layers(),
-            "pushed more rounds than the graph has layers ({})",
-            self.graph.num_layers()
-        );
+        match self.try_push_round(defects) {
+            Ok(()) => {}
+            Err(DecodeError::LayerOverflow { num_layers, .. }) => {
+                panic!("pushed more rounds than the graph has layers ({num_layers})")
+            }
+            Err(DecodeError::InvalidDefect {
+                defect,
+                reason: InvalidDefectReason::Virtual,
+            }) => panic!("defect {defect} is a virtual vertex"),
+            Err(DecodeError::InvalidDefect {
+                defect,
+                reason: InvalidDefectReason::WrongRound { round, .. },
+            }) => panic!("defect {defect} does not belong to round {round}"),
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Fallible [`Self::push_round`]: validates the round before touching
+    /// any session state, so a rejected round is *not* consumed and the
+    /// feeder can retry with a corrected payload.
+    ///
+    /// # Errors
+    /// * [`DecodeError::FeederClosed`] — the session was already completed
+    ///   by [`Self::flush`] (or is mid-teardown).
+    /// * [`DecodeError::LayerOverflow`] — more rounds than the graph has
+    ///   layers.
+    /// * [`DecodeError::InvalidDefect`] — a defect is out of range, a
+    ///   virtual boundary vertex, or belongs to a different round's layer.
+    pub fn try_push_round(&mut self, defects: &[VertexIndex]) -> Result<(), DecodeError> {
+        if self.finished {
+            return Err(DecodeError::FeederClosed);
+        }
+        let num_layers = self.graph.num_layers();
+        if self.next_round >= num_layers {
+            return Err(DecodeError::LayerOverflow {
+                round: self.next_round,
+                num_layers,
+            });
+        }
         let t = self.next_round;
+        for &d in defects {
+            if d >= self.graph.vertex_count() {
+                return Err(DecodeError::InvalidDefect {
+                    defect: d,
+                    reason: InvalidDefectReason::OutOfRange {
+                        vertex_count: self.graph.vertex_count(),
+                    },
+                });
+            }
+            if self.graph.is_virtual(d) {
+                return Err(DecodeError::InvalidDefect {
+                    defect: d,
+                    reason: InvalidDefectReason::Virtual,
+                });
+            }
+            let layer = self.graph.layer_of(d);
+            if layer != t {
+                return Err(DecodeError::InvalidDefect {
+                    defect: d,
+                    reason: InvalidDefectReason::WrongRound { round: t, layer },
+                });
+            }
+        }
         // open staging for every window whose view now covers this round
         while self.next_staged < self.plan.windows.len()
             && self.plan.windows[self.next_staged].view.layer_lo() <= t
@@ -517,12 +576,6 @@ impl WindowedFeeder {
         }
         self.round_buf.clear();
         for &d in defects {
-            assert!(!self.graph.is_virtual(d), "defect {d} is a virtual vertex");
-            assert_eq!(
-                self.graph.layer_of(d),
-                t,
-                "defect {d} does not belong to round {t}"
-            );
             if !self.round_buf.contains(&d) {
                 self.round_buf.push(d);
             }
@@ -556,6 +609,7 @@ impl WindowedFeeder {
         while self.front_ready() {
             self.fuse_next();
         }
+        Ok(())
     }
 
     /// Committed corrections accumulated since the last drain. Drain
@@ -1038,6 +1092,69 @@ mod tests {
             feeder.push_round(&[]);
         }
         let _ = feeder.finish();
+    }
+
+    #[test]
+    fn try_push_round_reports_typed_misuse() {
+        let graph = phenomenological(4, 0.01);
+        let num_layers = graph.num_layers();
+        let layer1 = (0..graph.vertex_count())
+            .find(|&v| !graph.is_virtual(v) && graph.layer_of(v) == 1)
+            .unwrap();
+        let virtual_vertex = (0..graph.vertex_count())
+            .find(|&v| graph.is_virtual(v))
+            .unwrap();
+        let decoder = WindowedDecoder::new(
+            BackendSpec::Parity,
+            Arc::clone(&graph),
+            WindowConfig::new(2, 1),
+        )
+        .with_pool(Arc::new(DecodePool::new(1)));
+        let mut feeder = decoder.begin_shot(0);
+        // out-of-range, virtual, and wrong-round defects are typed errors,
+        // and a rejected round is not consumed
+        assert_eq!(
+            feeder.try_push_round(&[graph.vertex_count()]),
+            Err(DecodeError::InvalidDefect {
+                defect: graph.vertex_count(),
+                reason: InvalidDefectReason::OutOfRange {
+                    vertex_count: graph.vertex_count()
+                },
+            })
+        );
+        assert_eq!(
+            feeder.try_push_round(&[virtual_vertex]),
+            Err(DecodeError::InvalidDefect {
+                defect: virtual_vertex,
+                reason: InvalidDefectReason::Virtual,
+            })
+        );
+        assert_eq!(
+            feeder.try_push_round(&[layer1]),
+            Err(DecodeError::InvalidDefect {
+                defect: layer1,
+                reason: InvalidDefectReason::WrongRound { round: 0, layer: 1 },
+            })
+        );
+        assert_eq!(feeder.rounds_pushed(), 0);
+        // the corrected sequence proceeds
+        feeder.try_push_round(&[]).unwrap();
+        feeder.try_push_round(&[layer1]).unwrap();
+        for _ in 2..num_layers {
+            feeder.try_push_round(&[]).unwrap();
+        }
+        assert_eq!(
+            feeder.try_push_round(&[]),
+            Err(DecodeError::LayerOverflow {
+                round: num_layers,
+                num_layers,
+            })
+        );
+        // a flushed (completed) session reports closure, not overflow
+        feeder.flush();
+        assert_eq!(feeder.try_push_round(&[]), Err(DecodeError::FeederClosed));
+        let outcome = feeder.finish();
+        assert_eq!(outcome.rounds, num_layers);
     }
 
     #[test]

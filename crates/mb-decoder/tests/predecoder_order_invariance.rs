@@ -89,19 +89,19 @@ fn shuffled_round_feed_decodes_like_natural_order_and_batch() {
     for shot in &shots {
         let layers = shot.syndrome.split_by_layer(&graph);
 
-        let mut natural = stream.begin_shot(shot.observable);
+        let mut natural = stream.begin_shot(shot.observable).unwrap();
         for defects in &layers {
-            natural.push_round(defects);
+            natural.push_round(defects).unwrap();
         }
-        let natural = natural.finish().recv();
+        let natural = natural.finish().recv().unwrap();
 
-        let mut jumbled_feed = stream.begin_shot(shot.observable);
+        let mut jumbled_feed = stream.begin_shot(shot.observable).unwrap();
         for defects in &layers {
             let mut jumbled: Vec<VertexIndex> = defects.clone();
             shuffle(&mut jumbled, &mut rng);
-            jumbled_feed.push_round(&jumbled);
+            jumbled_feed.push_round(&jumbled).unwrap();
         }
-        let jumbled = jumbled_feed.finish().recv();
+        let jumbled = jumbled_feed.finish().recv().unwrap();
 
         assert_eq!(
             jumbled.decoded_observable, natural.decoded_observable,

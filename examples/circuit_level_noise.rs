@@ -60,12 +60,12 @@ fn main() {
         let mut rng = shot_rng(0xC1AC0FFE, index as u64);
         let shot = sampler.sample(&mut rng);
         defects += shot.syndrome.len();
-        let mut feeder = stream.begin_shot(shot.observable);
+        let mut feeder = stream.begin_shot(shot.observable).expect("stream is open");
         shot.syndrome.split_by_layer_into(graph, &mut layer_buffer);
         for layer in &layer_buffer {
-            feeder.push_round(layer);
+            feeder.push_round(layer).expect("rounds are valid");
         }
-        let outcome = feeder.finish().recv();
+        let outcome = feeder.finish().recv().expect("no faults injected");
         errors += usize::from(outcome.is_logical_error());
         latency_ns += outcome.latency_ns;
         if (index + 1) % (shots / 4).max(1) == 0 {

@@ -49,10 +49,12 @@ fn main() {
             for shot_index in 0..shots {
                 let mut rng = shot_rng(2026, shot_index);
                 let shot = sampler.sample(&mut rng);
-                let mut feeder = producer_stream.begin_shot(shot.observable);
+                let mut feeder = producer_stream
+                    .begin_shot(shot.observable)
+                    .expect("stream is open while the producer runs");
                 for round in shot.syndrome.split_by_layer(&producer_graph) {
                     std::thread::sleep(cycle);
-                    feeder.push_round(&round);
+                    feeder.push_round(&round).expect("rounds are valid");
                 }
                 // the latency that matters starts at the last round
                 let submitted_at = Instant::now();
@@ -68,7 +70,7 @@ fn main() {
             let mut wall_latency_us = 0.0f64;
             let mut modeled_latency_us = 0.0f64;
             while let Ok((ticket, submitted_at)) = ticket_rx.recv() {
-                let outcome = ticket.recv();
+                let outcome = ticket.recv().expect("no faults injected");
                 decoded += 1;
                 errors += outcome.is_logical_error() as usize;
                 wall_latency_us += submitted_at.elapsed().as_secs_f64() * 1e6;

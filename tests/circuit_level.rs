@@ -135,15 +135,15 @@ fn batch_and_stream_agree_bit_identically_on_circuit_shots() {
             let tickets: Vec<_> = shots
                 .iter()
                 .map(|shot| {
-                    let mut feeder = stream.begin_shot(shot.observable);
+                    let mut feeder = stream.begin_shot(shot.observable).unwrap();
                     for layer in shot.syndrome.split_by_layer(circuit.graph()) {
-                        feeder.push_round(&layer);
+                        feeder.push_round(&layer).unwrap();
                     }
                     feeder.finish()
                 })
                 .collect();
             for (ticket, expected) in tickets.into_iter().zip(&reference) {
-                let outcome = ticket.recv();
+                let outcome = ticket.recv().unwrap();
                 assert_eq!(
                     outcome.defects,
                     expected.defects,

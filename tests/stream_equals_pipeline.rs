@@ -89,11 +89,11 @@ fn interleaved_submitters_match_run_shots_under_backpressure() {
                                     .iter()
                                     .enumerate()
                                     .filter(|(i, _)| i % SUBMITTERS == submitter)
-                                    .map(|(i, shot)| (i, stream.submit(shot.clone())))
+                                    .map(|(i, shot)| (i, stream.submit(shot.clone()).unwrap()))
                                     .collect();
                                 tickets
                                     .into_iter()
-                                    .map(|(i, ticket)| (i, ticket.recv()))
+                                    .map(|(i, ticket)| (i, ticket.recv().unwrap()))
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -146,9 +146,13 @@ fn seeded_streams_are_bit_identical_to_run_sampled() {
                     .start();
                 // a single producer: submission indices align with the batch
                 // shot indices, so the full record must match
-                let tickets: Vec<_> = (0..shots).map(|_| stream.submit_seeded(seed)).collect();
-                let outcomes: Vec<ShotOutcome> =
-                    tickets.into_iter().map(|ticket| ticket.recv()).collect();
+                let tickets: Vec<_> = (0..shots)
+                    .map(|_| stream.submit_seeded(seed).unwrap())
+                    .collect();
+                let outcomes: Vec<ShotOutcome> = tickets
+                    .into_iter()
+                    .map(|ticket| ticket.recv().unwrap())
+                    .collect();
                 stream.close();
                 if deterministic {
                     assert_eq!(
@@ -199,11 +203,11 @@ fn round_fed_streams_match_run_shots() {
                             .enumerate()
                             .filter(|(i, _)| i % SUBMITTERS == submitter)
                             .map(|(i, shot)| {
-                                let mut feeder = stream.begin_shot(shot.observable);
+                                let mut feeder = stream.begin_shot(shot.observable).unwrap();
                                 for round in shot.syndrome.split_by_layer(graph) {
-                                    feeder.push_round(&round);
+                                    feeder.push_round(&round).unwrap();
                                 }
-                                (i, feeder.finish().recv())
+                                (i, feeder.finish().recv().unwrap())
                             })
                             .collect::<Vec<_>>()
                     })

@@ -261,7 +261,9 @@ fn dropping_a_windowed_stream_feeder_mid_window_leaks_nothing() {
         .start();
     let shots = sample_shots(&graph, 3, 4000);
     for shot in &shots {
-        let mut feeder = stream.begin_windowed_shot(WindowConfig::new(COMMIT, OVERLAP), 0);
+        let mut feeder = stream
+            .begin_windowed_shot(WindowConfig::new(COMMIT, OVERLAP), 0)
+            .unwrap();
         let rounds = shot.syndrome.split_by_layer(&graph);
         for round in rounds.iter().take(COMMIT + 1) {
             feeder.push_round(round);
@@ -271,15 +273,16 @@ fn dropping_a_windowed_stream_feeder_mid_window_leaks_nothing() {
     // the pool and stream still work: a full windowed shot and a plain
     // streamed shot both complete after the drops
     let shot = &shots[0];
-    let mut feeder =
-        stream.begin_windowed_shot(WindowConfig::new(COMMIT, OVERLAP), shot.observable);
+    let mut feeder = stream
+        .begin_windowed_shot(WindowConfig::new(COMMIT, OVERLAP), shot.observable)
+        .unwrap();
     for round in shot.syndrome.split_by_layer(&graph) {
         feeder.push_round(&round);
     }
     let outcome = feeder.finish();
     assert_eq!(outcome.rounds, ROUNDS);
-    let ticket = stream.submit(shot.clone());
-    let decoded = ticket.recv();
+    let ticket = stream.submit(shot.clone()).unwrap();
+    let decoded = ticket.recv().unwrap();
     assert_eq!(decoded.shot_index, 0);
     let stats = stream.close();
     // abandoned sessions folded their counters in before releasing
