@@ -152,6 +152,31 @@ pub fn evaluate_circuit_sharded(
         .evaluate_circuit(circuit, shots, seed)
 }
 
+/// Replays a recorded trace corpus through the batch pipeline and
+/// aggregates the outcomes, after checking the corpus was recorded for
+/// (a graph fingerprint-identical to) `graph`.
+///
+/// The corpus analogue of [`evaluate_decoder_sharded`]: identical shots in,
+/// identical [`EvaluationResult`] out — see
+/// [`replay_corpus`](crate::replay::replay_corpus) for the stream and
+/// windowed ingestion paths.
+pub fn evaluate_corpus(
+    spec: &BackendSpec,
+    graph: &Arc<DecodingGraph>,
+    corpus: &mb_graph::TraceCorpus,
+    shards: usize,
+) -> Result<EvaluationResult, mb_graph::CorpusError> {
+    let outcomes = crate::replay::replay_corpus(
+        spec,
+        graph,
+        corpus,
+        crate::replay::ReplayMode::Batch,
+        shards,
+        None,
+    )?;
+    Ok(crate::pipeline::aggregate(spec.name(), &outcomes))
+}
+
 /// Like [`evaluate_decoder`], with an explicit shard count.
 pub fn evaluate_decoder_sharded(
     spec: &BackendSpec,

@@ -25,7 +25,14 @@
 //!   latency distributions, cutoff latencies and effective logical error
 //!   rates (§8.2–§8.3), running on top of the pipeline; circuit-level
 //!   workloads run through [`evaluation::evaluate_circuit`], which samples
-//!   fault *mechanisms* instead of merged edges.
+//!   fault *mechanisms* instead of merged edges;
+//! * [`replay`] — record-once / replay-everywhere: hooks the circuit
+//!   sampler into the `.mbtc` trace-corpus format and replays a corpus
+//!   deterministically through batch, stream, and windowed ingestion;
+//! * [`rare`] — rare-event logical-error estimation (importance sampling
+//!   under a [`mb_graph::MechanismTilt`], multilevel splitting on the
+//!   crossing-fault count), resolving `p_L ~ 1e-9..1e-12` with
+//!   CI-feasible shot counts.
 //!
 //! # Quickstart
 //!
@@ -67,6 +74,8 @@ pub mod micro;
 pub mod outcome;
 pub mod parity;
 pub mod pipeline;
+pub mod rare;
+pub mod replay;
 pub mod stream;
 pub mod uf;
 pub mod window;
@@ -76,13 +85,20 @@ pub use backend::{AccelObservability, BackendSpec, DecoderBackend};
 pub use chaos::{FaultPlan, RoundFault};
 pub use error::{DecodeError, InvalidDefectReason};
 pub use evaluation::{
-    evaluate_circuit, evaluate_circuit_sharded, evaluate_decoder, evaluate_decoder_sharded,
-    phase_profile, EvaluationResult, PhaseProfile,
+    evaluate_circuit, evaluate_circuit_sharded, evaluate_corpus, evaluate_decoder,
+    evaluate_decoder_sharded, phase_profile, EvaluationResult, PhaseProfile,
 };
 pub use micro::{MicroBlossomConfig, MicroBlossomDecoder};
 pub use outcome::{DecodeOutcome, LatencyBreakdown};
 pub use parity::ParityBlossomDecoder;
 pub use pipeline::{DecodePool, ShardedPipeline, ShotOutcome};
+pub use rare::{
+    direct_estimate, importance_estimate, splitting_estimate, RareEventEstimate, SplittingConfig,
+};
+pub use replay::{
+    record_circuit_run, record_tilted_run, replay_corpus, summarize_replay, ReplayMode,
+    ReplaySummary,
+};
 pub use stream::{
     ContextPool, DeadlineFallback, DeadlinePolicy, RoundFeeder, StreamDecoder, StreamStats, Ticket,
     TrySubmitError,

@@ -571,6 +571,218 @@ impl<'a> CircuitErrorSampler<'a> {
     }
 }
 
+/// A tilted ("importance-sampling") fault distribution over a compiled
+/// circuit's mechanisms: mechanism `i` fires with probability `q[i]`
+/// instead of its physical `p[i]`, and every sampled shot carries the
+/// log-likelihood ratio `ln(p(faults)/q(faults))` needed to reweight
+/// estimates back to the physical distribution.
+///
+/// For any tilt with `q[i] > 0` wherever `p[i] > 0`, the reweighted
+/// estimator `mean(w · f(shot))` with `w = exp(log_weight)` is unbiased
+/// for `E_p[f]` — rare events (logical errors at large distance) are made
+/// frequent under `q` and their inflated counts are exactly discounted by
+/// the weights. See `mb_decoder::rare` for the estimators built on top.
+///
+/// ```
+/// use mb_graph::circuit::{CircuitLevelCode, MechanismTilt, TiltedCircuitSampler};
+/// use rand::SeedableRng;
+///
+/// let circuit = CircuitLevelCode::rotated(3, 3, 0.01).compile();
+/// let tilt = MechanismTilt::uniform(&circuit, 4.0);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let (shot, log_w) = TiltedCircuitSampler::new(&circuit, &tilt).sample(&mut rng);
+/// assert_eq!(shot.syndrome, shot.error.syndrome(circuit.graph()));
+/// assert!(log_w.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismTilt {
+    /// Tilted firing probability per mechanism.
+    q: Vec<f64>,
+    /// `Σ_i ln((1-p_i)/(1-q_i))` — the log-LR of a shot with no faults.
+    log_stay: f64,
+    /// `ln(p_i/q_i) - ln((1-p_i)/(1-q_i))` per mechanism: the log-LR
+    /// adjustment applied when mechanism `i` fires.
+    log_fire_adjust: Vec<f64>,
+    /// Human-readable description for provenance records.
+    label: String,
+}
+
+/// Hard ceiling on tilted probabilities, mirroring the `[0, 0.5)` domain
+/// of the physical parameters.
+pub const MAX_TILTED_PROBABILITY: f64 = 0.45;
+
+impl MechanismTilt {
+    /// Builds a tilt from explicit per-mechanism probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not one probability per mechanism, or any entry is
+    /// outside `(0, 1)` (a zero `q` over a positive `p` would make the
+    /// estimator biased, so it is rejected outright).
+    pub fn from_probabilities(circuit: &CompiledCircuit, q: Vec<f64>, label: String) -> Self {
+        assert_eq!(
+            q.len(),
+            circuit.mechanisms.len(),
+            "tilt needs one probability per mechanism"
+        );
+        let mut log_stay = 0.0;
+        let mut log_fire_adjust = Vec::with_capacity(q.len());
+        for (mechanism, &qi) in circuit.mechanisms.iter().zip(&q) {
+            assert!(
+                qi > 0.0 && qi < 1.0,
+                "tilted probability {qi} must be in (0, 1)"
+            );
+            let pi = mechanism.probability;
+            let stay = ((1.0 - pi) / (1.0 - qi)).ln();
+            log_stay += stay;
+            log_fire_adjust.push((pi / qi).ln() - stay);
+        }
+        Self {
+            q,
+            log_stay,
+            log_fire_adjust,
+            label,
+        }
+    }
+
+    /// The null tilt: `q = p`. Every sampled shot has log-weight exactly
+    /// zero (weight one) — the identity baseline the statistical tests
+    /// pin down.
+    pub fn null(circuit: &CompiledCircuit) -> Self {
+        let q = circuit.mechanisms.iter().map(|m| m.probability).collect();
+        Self::from_probabilities(circuit, q, "null".into())
+    }
+
+    /// Uniform tilt: every mechanism's probability is multiplied by
+    /// `factor` (clamped to [`MAX_TILTED_PROBABILITY`]). `factor > 1`
+    /// makes every fault — and therefore dense, failure-prone shots —
+    /// proportionally more likely.
+    pub fn uniform(circuit: &CompiledCircuit, factor: f64) -> Self {
+        assert!(factor > 0.0, "tilt factor must be positive");
+        let q = circuit
+            .mechanisms
+            .iter()
+            .map(|m| (m.probability * factor).min(MAX_TILTED_PROBABILITY))
+            .collect();
+        Self::from_probabilities(circuit, q, format!("uniform x{factor}"))
+    }
+
+    /// Observable-aware tilt: mechanisms that flip a logical observable
+    /// fire with probability `q_cross`, all others have their probability
+    /// multiplied by `background_factor`. Concentrates sampling on the
+    /// observable-crossing fault chains that dominate logical errors while
+    /// keeping the background realistic.
+    pub fn boost_observable(
+        circuit: &CompiledCircuit,
+        q_cross: f64,
+        background_factor: f64,
+    ) -> Self {
+        assert!(
+            q_cross > 0.0 && q_cross <= MAX_TILTED_PROBABILITY,
+            "q_cross {q_cross} must be in (0, {MAX_TILTED_PROBABILITY}]"
+        );
+        assert!(
+            background_factor > 0.0,
+            "background factor must be positive"
+        );
+        let q = circuit
+            .mechanisms
+            .iter()
+            .map(|m| {
+                if m.observable_mask != 0 {
+                    q_cross
+                } else {
+                    (m.probability * background_factor).min(MAX_TILTED_PROBABILITY)
+                }
+            })
+            .collect();
+        Self::from_probabilities(
+            circuit,
+            q,
+            format!("boost_observable q={q_cross} bg x{background_factor}"),
+        )
+    }
+
+    /// The tilted probability of mechanism `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.q[i]
+    }
+
+    /// Number of mechanisms covered.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the circuit has no mechanisms at all.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Human-readable description, for provenance records.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Log-likelihood ratio `ln(p(faults)/q(faults))` of an explicit fired
+    /// set (indices into the circuit's mechanism table, each at most
+    /// once).
+    pub fn log_weight_of_faults(&self, faults: &[usize]) -> f64 {
+        faults
+            .iter()
+            .fold(self.log_stay, |acc, &i| acc + self.log_fire_adjust[i])
+    }
+}
+
+/// Samples circuit-level faults under a [`MechanismTilt`], returning each
+/// shot together with its log-likelihood ratio.
+///
+/// The companion to [`CircuitErrorSampler`]: same mechanism order, same
+/// XOR cancellation, same self-consistent [`Shot`]s — only the firing
+/// probabilities differ, and the difference is accounted for in the
+/// returned log-weight.
+#[derive(Debug, Clone)]
+pub struct TiltedCircuitSampler<'a> {
+    circuit: &'a CompiledCircuit,
+    tilt: &'a MechanismTilt,
+}
+
+impl<'a> TiltedCircuitSampler<'a> {
+    /// Creates a tilted sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tilt was built for a circuit with a different
+    /// mechanism count.
+    pub fn new(circuit: &'a CompiledCircuit, tilt: &'a MechanismTilt) -> Self {
+        assert_eq!(
+            tilt.len(),
+            circuit.mechanisms.len(),
+            "tilt was built for a different circuit"
+        );
+        Self { circuit, tilt }
+    }
+
+    /// Samples which mechanisms fire under the tilted distribution,
+    /// returning the fired set (round-major order) and its log-likelihood
+    /// ratio.
+    pub fn sample_faults<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<usize>, f64) {
+        let faults: Vec<usize> = (0..self.circuit.mechanisms.len())
+            .filter(|&i| rng.gen_bool(self.tilt.q[i]))
+            .collect();
+        let log_weight = self.tilt.log_weight_of_faults(&faults);
+        (faults, log_weight)
+    }
+
+    /// Samples one shot and its log-likelihood ratio.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (Shot, f64) {
+        let (faults, log_weight) = self.sample_faults(rng);
+        (
+            CircuitErrorSampler::new(self.circuit).shot_from_faults(&faults),
+            log_weight,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -823,5 +1035,103 @@ mod tests {
     #[should_panic(expected = "must be in [0, 0.5)")]
     fn out_of_range_probability_panics() {
         CircuitNoiseParams::new(0.6, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn null_tilt_weights_are_exactly_one() {
+        let circuit = small();
+        let tilt = MechanismTilt::null(&circuit);
+        let sampler = TiltedCircuitSampler::new(&circuit, &tilt);
+        for seed in 0..16u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let (_, log_w) = sampler.sample_faults(&mut rng);
+            // q = p termwise, so every log term is ln(1) = 0 exactly
+            assert_eq!(log_w, 0.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn null_tilt_reproduces_the_physical_sampler() {
+        let circuit = small();
+        let tilt = MechanismTilt::null(&circuit);
+        let tilted = TiltedCircuitSampler::new(&circuit, &tilt);
+        let physical = circuit.sampler();
+        for seed in 0..16u64 {
+            let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+            let (shot, _) = tilted.sample(&mut rng_a);
+            // identical probabilities consume the identical random stream
+            assert_eq!(shot, physical.sample(&mut rng_b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uniform_tilt_log_weight_matches_direct_computation() {
+        let circuit = small();
+        let tilt = MechanismTilt::uniform(&circuit, 3.0);
+        let sampler = TiltedCircuitSampler::new(&circuit, &tilt);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let (faults, log_w) = sampler.sample_faults(&mut rng);
+        let mut expected = 0.0f64;
+        for (i, m) in circuit.mechanisms().iter().enumerate() {
+            let q = tilt.probability(i);
+            if faults.contains(&i) {
+                expected += (m.probability / q).ln();
+            } else {
+                expected += ((1.0 - m.probability) / (1.0 - q)).ln();
+            }
+        }
+        assert!(
+            (log_w - expected).abs() < 1e-9,
+            "log weight {log_w} vs direct {expected}"
+        );
+    }
+
+    #[test]
+    fn tilted_shots_are_self_consistent_and_denser() {
+        let circuit = CircuitLevelCode::rotated(5, 5, 0.004).compile();
+        let tilt = MechanismTilt::uniform(&circuit, 10.0);
+        let sampler = TiltedCircuitSampler::new(&circuit, &tilt);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut tilted_defects = 0usize;
+        for _ in 0..64 {
+            let (shot, log_w) = sampler.sample(&mut rng);
+            assert_eq!(shot.syndrome, shot.error.syndrome(circuit.graph()));
+            assert_eq!(shot.observable, shot.error.observable(circuit.graph()));
+            assert!(log_w.is_finite());
+            tilted_defects += shot.syndrome.len();
+        }
+        let physical = circuit.sampler();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let physical_defects: usize = (0..64)
+            .map(|_| physical.sample(&mut rng).syndrome.len())
+            .sum();
+        assert!(
+            tilted_defects > physical_defects * 3,
+            "x10 tilt should inflate defect density: {tilted_defects} vs {physical_defects}"
+        );
+    }
+
+    #[test]
+    fn boost_observable_targets_crossing_mechanisms() {
+        let circuit = small();
+        let tilt = MechanismTilt::boost_observable(&circuit, 0.2, 1.0);
+        for (i, m) in circuit.mechanisms().iter().enumerate() {
+            if m.observable_mask != 0 {
+                assert_eq!(tilt.probability(i), 0.2);
+            } else {
+                assert_eq!(tilt.probability(i), m.probability);
+            }
+        }
+        assert!(tilt.label().contains("boost_observable"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different circuit")]
+    fn tilt_circuit_mismatch_panics() {
+        let a = small();
+        let b = CircuitLevelCode::rotated(5, 5, 0.01).compile();
+        let tilt = MechanismTilt::null(&a);
+        TiltedCircuitSampler::new(&b, &tilt);
     }
 }

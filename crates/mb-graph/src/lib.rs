@@ -58,6 +58,7 @@
 
 pub mod circuit;
 pub mod codes;
+pub mod corpus;
 pub mod dijkstra;
 pub mod export;
 pub mod graph;
@@ -68,7 +69,13 @@ pub mod types;
 pub mod weights;
 pub mod window;
 
-pub use circuit::{CircuitErrorSampler, CircuitLevelCode, CircuitNoiseParams, CompiledCircuit};
+pub use circuit::{
+    CircuitErrorSampler, CircuitLevelCode, CircuitNoiseParams, CompiledCircuit, MechanismTilt,
+    TiltedCircuitSampler,
+};
+pub use corpus::{
+    graph_fingerprint, CorpusError, CorpusHeader, CorpusWriter, TraceCorpus, TraceRecord,
+};
 pub use graph::{DecodingGraph, DecodingGraphBuilder, EdgeInfo, VertexInfo};
 pub use lattice::RotatedLattice;
 pub use syndrome::{ErrorPattern, ErrorSampler, Shot, SyndromePattern};

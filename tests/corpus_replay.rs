@@ -1,0 +1,270 @@
+//! Trace-corpus subsystem: round-trip fidelity, robustness to damaged
+//! files, and deterministic replay.
+//!
+//! * **Round trip** (property): corpora over randomized codes, round
+//!   counts, tilts and defect densities encode → decode to exactly the
+//!   structure that was written, through both the in-memory codec and the
+//!   streaming [`CorpusWriter`].
+//! * **Robustness** (property): truncating an encoded corpus at any
+//!   prefix length, flipping any single byte, or rewriting the version
+//!   yields a typed [`CorpusError`] — never a panic, never a silently
+//!   wrong corpus.
+//! * **Differential replay**: one corpus replays bit-identically across
+//!   3 backends × 1/2/8-worker pools × batch/stream/windowed ingestion,
+//!   and the batch replay equals the original in-process sampled run at
+//!   the same seed — the byte format is a faithful transport for the
+//!   pipeline's exact workload.
+//! * **Golden fixture**: the committed `golden_d3.mbtc` (also exercised
+//!   by CI's record/replay smoke) still loads, matches its recorded
+//!   provenance, and replays deterministically — guarding the on-disk
+//!   format against accidental version drift.
+
+use mb_decoder::pipeline::{DecodePool, ShardedPipeline};
+use mb_decoder::replay::{record_circuit_run, record_tilted_run, replay_corpus, ReplayMode};
+use mb_decoder::{BackendSpec, ShotOutcome, WindowConfig};
+use mb_graph::circuit::{CircuitLevelCode, MechanismTilt};
+use mb_graph::corpus::{graph_fingerprint, CorpusError, CorpusWriter, TraceCorpus};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// The decode triple that must be invariant across every replay
+/// configuration (latency is wall-clock for some backends).
+fn decode_key(o: &ShotOutcome) -> (usize, usize, u64, u64) {
+    (
+        o.shot_index,
+        o.defects,
+        o.decoded_observable,
+        o.expected_observable,
+    )
+}
+
+#[test]
+fn round_trips_randomized_corpora_exactly() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x20B5);
+    for case in 0..12 {
+        let d = [3, 5][case % 2];
+        let rounds = 2 + case % 4;
+        let p = [0.004, 0.02, 0.08][case % 3];
+        let circuit = Arc::new(CircuitLevelCode::rotated(d, rounds, p).compile());
+        let shots = 1 + rng.gen_range_u64(40) as usize;
+        let seed = rng.next_u64();
+        let corpus = if case % 3 == 0 {
+            let tilt = MechanismTilt::uniform(&circuit, 1.5 + case as f64);
+            record_tilted_run(&circuit, &tilt, shots, seed)
+        } else {
+            record_circuit_run(&circuit, shots, seed)
+        };
+        let decoded = TraceCorpus::decode(&corpus.encode()).expect("round trip");
+        assert_eq!(corpus, decoded, "case {case}: corpus survives the codec");
+        assert!(decoded.validate_for(circuit.graph()).is_ok());
+    }
+}
+
+#[test]
+fn streaming_writer_matches_in_memory_encoder() {
+    let circuit = Arc::new(CircuitLevelCode::rotated(3, 4, 0.03).compile());
+    let corpus = record_circuit_run(&circuit, 25, 77);
+    let mut writer = CorpusWriter::new(Vec::new(), corpus.header.clone()).expect("header writes");
+    for record in &corpus.records {
+        writer.push(record).expect("record writes");
+    }
+    assert_eq!(writer.records_written(), 25);
+    let streamed = writer.finish().expect("trailer writes");
+    assert_eq!(streamed, corpus.encode(), "one byte stream, two writers");
+}
+
+#[test]
+fn damaged_corpora_fail_typed_never_panic() {
+    let circuit = Arc::new(CircuitLevelCode::rotated(3, 3, 0.05).compile());
+    let corpus = record_circuit_run(&circuit, 12, 3);
+    let bytes = corpus.encode();
+
+    // every strict prefix is truncated
+    for len in 0..bytes.len() {
+        let result = TraceCorpus::decode(&bytes[..len]);
+        assert!(result.is_err(), "prefix of {len} bytes must not decode");
+    }
+    // every single-byte corruption is detected (structurally or by the
+    // trailer checksum)
+    for index in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[index] ^= 0x41;
+        let result = TraceCorpus::decode(&corrupted);
+        assert!(result.is_err(), "flip at byte {index} must not decode");
+    }
+    // wrong magic and unsupported version are reported as such
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] = b'X';
+    assert!(matches!(
+        TraceCorpus::decode(&wrong_magic),
+        Err(CorpusError::BadMagic)
+    ));
+    let mut future_version = bytes.clone();
+    future_version[4] = 0xFF;
+    assert!(matches!(
+        TraceCorpus::decode(&future_version),
+        Err(CorpusError::UnsupportedVersion { .. })
+    ));
+    assert!(matches!(
+        TraceCorpus::decode(&[]),
+        Err(CorpusError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn corpus_for_one_graph_refuses_another() {
+    let recorded = Arc::new(CircuitLevelCode::rotated(3, 3, 0.02).compile());
+    let other = Arc::new(CircuitLevelCode::rotated(5, 3, 0.02).compile());
+    let corpus = record_circuit_run(&recorded, 6, 1);
+    let error = replay_corpus(
+        &BackendSpec::Parity,
+        other.graph(),
+        &corpus,
+        ReplayMode::Batch,
+        1,
+        None,
+    )
+    .expect_err("wrong graph must be rejected");
+    assert!(matches!(error, CorpusError::GraphMismatch { .. }));
+    assert_ne!(
+        graph_fingerprint(recorded.graph()),
+        graph_fingerprint(other.graph())
+    );
+}
+
+#[test]
+fn one_corpus_replays_identically_across_backends_workers_and_modes() {
+    let d = 3;
+    let circuit = Arc::new(CircuitLevelCode::rotated(d, 6, 0.02).compile());
+    let graph = circuit.graph();
+    let shots = 96;
+    let seed = 0xD1FF;
+    let corpus = record_circuit_run(&circuit, shots, seed);
+
+    for spec in [
+        BackendSpec::micro_full(Some(d)),
+        BackendSpec::Parity,
+        BackendSpec::union_find(),
+    ] {
+        // the in-process sampled run the corpus was recorded from
+        let original = ShardedPipeline::new(spec.clone(), Arc::clone(graph))
+            .run_circuit_sampled(&circuit, shots, seed);
+        let reference = replay_corpus(&spec, graph, &corpus, ReplayMode::Batch, 1, None)
+            .expect("replay batch x1");
+        assert_eq!(original.len(), reference.len());
+        for (a, b) in original.iter().zip(&reference) {
+            assert_eq!(
+                decode_key(a),
+                decode_key(b),
+                "{}: replay equals the original sampled run at equal seed",
+                spec.name()
+            );
+        }
+        let windowed = !matches!(spec, BackendSpec::UnionFind(_));
+        let mut windowed_reference: Option<Vec<ShotOutcome>> = None;
+        for workers in [1usize, 2, 8] {
+            let pool = Arc::new(DecodePool::new(workers));
+            let batch = replay_corpus(
+                &spec,
+                graph,
+                &corpus,
+                ReplayMode::Batch,
+                workers,
+                Some(Arc::clone(&pool)),
+            )
+            .expect("batch replay");
+            let stream = replay_corpus(
+                &spec,
+                graph,
+                &corpus,
+                ReplayMode::Stream,
+                workers,
+                Some(Arc::clone(&pool)),
+            )
+            .expect("stream replay");
+            for (r, outcomes) in [("batch", &batch), ("stream", &stream)] {
+                for (a, b) in reference.iter().zip(outcomes.iter()) {
+                    assert_eq!(
+                        decode_key(a),
+                        decode_key(b),
+                        "{} {r} x{workers} diverged",
+                        spec.name()
+                    );
+                }
+            }
+            if spec.deterministic_latency() {
+                // modeled-latency backends must agree on the *entire*
+                // outcome, latency included, for any worker count
+                assert_eq!(reference, batch, "{} full equality", spec.name());
+            }
+            if windowed {
+                let outcomes = replay_corpus(
+                    &spec,
+                    graph,
+                    &corpus,
+                    ReplayMode::Windowed(WindowConfig::new(3, 1)),
+                    workers,
+                    Some(pool),
+                )
+                .expect("windowed replay");
+                // windowed decoding equals batch only up to MWPM seam
+                // degeneracy, but must be deterministic across workers
+                match &windowed_reference {
+                    None => windowed_reference = Some(outcomes),
+                    Some(reference) => {
+                        for (a, b) in reference.iter().zip(&outcomes) {
+                            assert_eq!(
+                                decode_key(a),
+                                decode_key(b),
+                                "{} windowed x{workers} diverged",
+                                spec.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_fixture_still_loads_and_replays() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../bench/fixtures/golden_d3.mbtc"
+    );
+    let corpus = TraceCorpus::load(path).expect("committed golden corpus decodes");
+    let meta = &corpus.header.provenance;
+    let d = meta.get("d").and_then(|v| v.as_u64()).expect("d recorded") as usize;
+    let rounds = meta
+        .get("rounds")
+        .and_then(|v| v.as_u64())
+        .expect("rounds recorded") as usize;
+    let p = meta.get("p").and_then(|v| v.as_f64()).expect("p recorded");
+    let circuit = Arc::new(CircuitLevelCode::rotated(d, rounds, p).compile());
+    assert_eq!(
+        corpus.header.graph_fingerprint,
+        graph_fingerprint(circuit.graph()),
+        "provenance rebuilds the exact graph the fixture was recorded on"
+    );
+    assert_eq!(
+        corpus.records.len() as u64,
+        meta.get("shots").and_then(|v| v.as_u64()).expect("shots"),
+        "record count matches provenance"
+    );
+    let spec = BackendSpec::micro_full(Some(d));
+    let one = replay_corpus(&spec, circuit.graph(), &corpus, ReplayMode::Batch, 1, None)
+        .expect("fixture replays");
+    let eight = replay_corpus(&spec, circuit.graph(), &corpus, ReplayMode::Batch, 8, None)
+        .expect("fixture replays sharded");
+    assert_eq!(one, eight, "fixture replay is worker-count invariant");
+    // the fixture was recorded with the pipeline's seeded sampler: the
+    // same seed regenerates it byte for byte
+    let seed = meta.get("seed").and_then(|v| v.as_u64()).expect("seed");
+    let regenerated = record_circuit_run(&circuit, corpus.records.len(), seed);
+    assert_eq!(
+        regenerated.records, corpus.records,
+        "fixture records regenerate from their recorded seed"
+    );
+}
